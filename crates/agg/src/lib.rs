@@ -1,0 +1,34 @@
+//! # ifi-agg — aggregate computation for P2P systems
+//!
+//! The paper's §III-A surveys two families of aggregate computation and
+//! builds netFilter on the hierarchical one; this crate implements both,
+//! plus the sampling machinery of §IV-E:
+//!
+//! * [`hierarchical`] — bottom-up ("convergecast") aggregation along a
+//!   [`ifi_hierarchy::Hierarchy`]: an *instant* engine (post-order tree
+//!   walk with exact per-peer byte accounting) and a message-level
+//!   [`ConvergecastProtocol`] for the DES; both compute identical values
+//!   and identical byte counts,
+//! * [`gossip`] — push-sum gossip aggregation (the paper's discussed
+//!   alternative, citing \[8]\[15]; it needs `O(log N)` rounds and yields
+//!   approximate values — exactly the trade-off §III-A describes),
+//! * [`sampling`] — random-branch sampling to estimate `v̄`, `v̄_light`,
+//!   `n̂`, and `r̂` for optimal parameter tuning (§IV-E, Eq. 7–8).
+//!
+//! Aggregate *types* implement [`Aggregate`], which pairs the merge
+//! operation with a wire-size model ([`WireSizes`], the paper's
+//! `s_a`/`s_g`/`s_i` constants) so that communication cost is measured by
+//! encoding real messages rather than plugging formulas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gossip;
+pub mod hierarchical;
+mod merge;
+pub mod sampling;
+mod wire;
+
+pub use hierarchical::{AggregationOutcome, ConvergecastProtocol};
+pub use merge::{Aggregate, MapSum, ScalarSum, VecSum};
+pub use wire::WireSizes;

@@ -1,0 +1,179 @@
+//! Mergeable aggregate values.
+
+use std::collections::BTreeMap;
+
+use ifi_workload::ItemId;
+
+use crate::wire::WireSizes;
+
+/// A value that can be merged bottom-up along the hierarchy and has a
+/// defined wire encoding size.
+///
+/// Merging must be **commutative and associative** (children may be merged
+/// in any order); this is property-tested in the `netfilter` integration
+/// suite for all three implementations below.
+pub trait Aggregate: Clone + std::fmt::Debug {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: &Self);
+
+    /// Bytes needed to transmit this value under the given size model.
+    fn encoded_bytes(&self, sizes: &WireSizes) -> u64;
+}
+
+/// A single summed counter — used for `v` (total mass) and `N` (peer
+/// count), which the paper obtains "through simple aggregate computation"
+/// (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScalarSum(pub u64);
+
+impl Aggregate for ScalarSum {
+    fn merge(&mut self, other: &Self) {
+        self.0 += other.0;
+    }
+
+    fn encoded_bytes(&self, sizes: &WireSizes) -> u64 {
+        sizes.sa
+    }
+}
+
+/// A fixed-width vector of summed counters — the item-group aggregate
+/// vector of candidate filtering (`f·g` slots, `s_a` bytes each).
+///
+/// Peers always transmit the full vector ("all these peers need to
+/// propagate the aggregates for all the item groups", §IV-A), so the
+/// encoded size is `s_a · len` regardless of how many slots are zero.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VecSum(pub Vec<u64>);
+
+impl VecSum {
+    /// A zeroed vector of `len` slots.
+    pub fn zeros(len: usize) -> Self {
+        VecSum(vec![0; len])
+    }
+}
+
+impl Aggregate for VecSum {
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "merging group vectors of different filter dimensions"
+        );
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += b;
+        }
+    }
+
+    fn encoded_bytes(&self, sizes: &WireSizes) -> u64 {
+        sizes.sa * self.0.len() as u64
+    }
+}
+
+/// A sparse `item → summed value` map — the partial candidate sets of
+/// candidate verification (Alg. 2) and the full item maps of the naive
+/// approach. Encodes as one `(s_i + s_a)` pair per entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MapSum(pub BTreeMap<ItemId, u64>);
+
+impl MapSum {
+    /// Builds from `(item, value)` pairs, summing duplicates.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ItemId, u64)>) -> Self {
+        let mut m = BTreeMap::new();
+        for (k, v) in pairs {
+            *m.entry(k).or_insert(0) += v;
+        }
+        MapSum(m)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The summed value for `item`, 0 if absent.
+    pub fn value(&self, item: ItemId) -> u64 {
+        self.0.get(&item).copied().unwrap_or(0)
+    }
+}
+
+impl Aggregate for MapSum {
+    fn merge(&mut self, other: &Self) {
+        for (&k, &v) in &other.0 {
+            *self.0.entry(k).or_insert(0) += v;
+        }
+    }
+
+    fn encoded_bytes(&self, sizes: &WireSizes) -> u64 {
+        sizes.pair() * self.0.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sum_merges_and_sizes() {
+        let mut a = ScalarSum(3);
+        a.merge(&ScalarSum(4));
+        assert_eq!(a, ScalarSum(7));
+        assert_eq!(a.encoded_bytes(&WireSizes::default()), 4);
+    }
+
+    #[test]
+    fn vec_sum_elementwise() {
+        let mut a = VecSum(vec![1, 2, 3]);
+        a.merge(&VecSum(vec![10, 0, 5]));
+        assert_eq!(a.0, vec![11, 2, 8]);
+        assert_eq!(a.encoded_bytes(&WireSizes::default()), 12);
+        assert_eq!(VecSum::zeros(4).0, vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different filter dimensions")]
+    fn vec_sum_dimension_mismatch_panics() {
+        let mut a = VecSum(vec![1]);
+        a.merge(&VecSum(vec![1, 2]));
+    }
+
+    #[test]
+    fn map_sum_union_with_addition() {
+        let mut a = MapSum::from_pairs([(ItemId(1), 5), (ItemId(2), 1)]);
+        let b = MapSum::from_pairs([(ItemId(2), 2), (ItemId(9), 7)]);
+        a.merge(&b);
+        assert_eq!(a.value(ItemId(1)), 5);
+        assert_eq!(a.value(ItemId(2)), 3);
+        assert_eq!(a.value(ItemId(9)), 7);
+        assert_eq!(a.value(ItemId(0)), 0);
+        assert_eq!(a.len(), 3);
+        // 3 entries × (4 + 4) bytes.
+        assert_eq!(a.encoded_bytes(&WireSizes::default()), 24);
+    }
+
+    #[test]
+    fn from_pairs_sums_duplicates() {
+        let m = MapSum::from_pairs([(ItemId(1), 2), (ItemId(1), 3)]);
+        assert_eq!(m.value(ItemId(1)), 5);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn merge_is_commutative_on_samples() {
+        let a = MapSum::from_pairs([(ItemId(1), 1), (ItemId(3), 9)]);
+        let b = MapSum::from_pairs([(ItemId(3), 2), (ItemId(4), 4)]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion bench for the Figure 5 sweep: netFilter end-to-end runtime as
+//! the filter size `g` varies (fixed `f = 3`, quick-scale workload).
+//!
+//! The `experiments` binary regenerates the paper's actual table; this
+//! bench tracks the computational cost of the engine itself across the
+//! same sweep so regressions in the hot paths (hashing, vector merges,
+//! candidate materialization) are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifi_bench::{summarize_netfilter, Scale};
+
+fn bench_filter_size(c: &mut Criterion) {
+    let scale = Scale::Quick;
+    let data = scale.workload(scale.items_small(), 1.0, 1);
+    let h = scale.hierarchy();
+
+    let mut group = c.benchmark_group("fig5_filter_size");
+    group.sample_size(10);
+    for &g in &[25u32, 100, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, &g| {
+            b.iter(|| summarize_netfilter(&h, &data, g, 3, 0.01));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_size);
+criterion_main!(benches);

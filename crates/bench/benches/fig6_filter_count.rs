@@ -1,0 +1,26 @@
+//! Criterion bench for the Figure 6 sweep: netFilter end-to-end runtime as
+//! the number of filters `f` varies (fixed `g = 100`, quick-scale
+//! workload). Runtime grows with `f` (more hashing and wider vectors);
+//! the communication-cost optimum at `f = 3` is measured by the
+//! `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifi_bench::{summarize_netfilter, Scale};
+
+fn bench_filter_count(c: &mut Criterion) {
+    let scale = Scale::Quick;
+    let data = scale.workload(scale.items_small(), 1.0, 1);
+    let h = scale.hierarchy();
+
+    let mut group = c.benchmark_group("fig6_filter_count");
+    group.sample_size(10);
+    for &f in &[1u32, 3, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            b.iter(|| summarize_netfilter(&h, &data, 100, f, 0.01));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_count);
+criterion_main!(benches);

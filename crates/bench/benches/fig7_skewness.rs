@@ -1,0 +1,41 @@
+//! Criterion bench for the Figure 7 comparison: netFilter vs the naive
+//! approach at two skew levels (quick-scale workload). The naive baseline
+//! does strictly more merge work (full item maps instead of `f·g`
+//! vectors), which shows up here as wall-clock and in the `experiments`
+//! binary as bytes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifi_bench::{summarize_netfilter, Scale};
+use netfilter::{naive, Threshold, WireSizes};
+
+fn bench_skewness(c: &mut Criterion) {
+    let scale = Scale::Quick;
+    let h = scale.hierarchy();
+
+    let mut group = c.benchmark_group("fig7_skewness");
+    group.sample_size(10);
+    for &theta in &[0.0f64, 1.0, 3.0] {
+        let data = scale.workload(scale.items_small(), theta, 1);
+        group.bench_with_input(
+            BenchmarkId::new("netfilter", format!("theta{theta}")),
+            &data,
+            |b, data| {
+                b.iter(|| summarize_netfilter(&h, data, 100, 3, 0.01));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("theta{theta}")),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    naive::run(&h, data, Threshold::Ratio(0.01), &WireSizes::default())
+                        .total_bytes()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skewness);
+criterion_main!(benches);

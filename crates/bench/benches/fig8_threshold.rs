@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure 8 sweep: netFilter runtime at the three
+//! threshold settings the paper tunes (`(φ, g, f)` = `(0.1, 10, 6)`,
+//! `(0.01, 100, 5)`, `(0.001, 1000, 2)`), on the large quick-scale
+//! universe. Smaller thresholds admit more candidates and larger filters,
+//! so both bytes (see `experiments`) and runtime grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifi_bench::{fig8::SERIES, summarize_netfilter, Scale};
+
+fn bench_threshold(c: &mut Criterion) {
+    let scale = Scale::Quick;
+    let data = scale.workload(scale.items_large(), 1.0, 1);
+    let h = scale.hierarchy();
+
+    let mut group = c.benchmark_group("fig8_threshold");
+    group.sample_size(10);
+    for &(phi, g, f) in SERIES.iter() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("phi{phi}")),
+            &(phi, g, f),
+            |b, &(phi, g, f)| {
+                b.iter(|| summarize_netfilter(&h, &data, g, f, phi));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

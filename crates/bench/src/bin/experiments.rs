@@ -1,0 +1,122 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! cargo run -p ifi-bench --release --bin experiments -- all
+//! cargo run -p ifi-bench --release --bin experiments -- fig5 fig7 --quick
+//! cargo run -p ifi-bench --release --bin experiments -- all --seed 7
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ifi_bench::output::DataFile;
+use ifi_bench::{ablation, depth, fig5, fig6, fig7, fig8, report_checks, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all] \
+         [--quick] [--seed <u64>] [--out <dir>]"
+    );
+    std::process::exit(2);
+}
+
+fn dump(out: &Option<PathBuf>, data: &DataFile) {
+    if let Some(dir) = out {
+        match data.write_to(dir) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", data.name()),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut seed = 20080617u64; // ICDCS 2008
+    let mut out: Option<PathBuf> = None;
+    let mut which: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                let Some(s) = it.next() else { usage() };
+                let Ok(v) = s.parse() else { usage() };
+                seed = v;
+            }
+            "--out" => {
+                let Some(dir) = it.next() else { usage() };
+                out = Some(PathBuf::from(dir));
+            }
+            "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all" => {
+                which.push(Box::leak(arg.clone().into_boxed_str()))
+            }
+            _ => usage(),
+        }
+    }
+    if which.is_empty() {
+        which.push("all");
+    }
+    let all = which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    println!(
+        "netFilter experiment harness — scale: {:?}, seed: {seed}",
+        scale
+    );
+    println!(
+        "(N = {}, n = {} / {}, b = 3, phi default 0.01, sa = sg = si = 4 B)",
+        scale.peers(),
+        scale.items_small(),
+        scale.items_large()
+    );
+
+    let mut all_ok = true;
+
+    if want("fig5") {
+        let fig = fig5::run(scale, seed);
+        fig.print();
+        dump(&out, &fig.to_data());
+        all_ok &= report_checks("Figure 5", &fig.checks());
+    }
+    if want("fig6") {
+        let fig = fig6::run(scale, seed);
+        fig.print();
+        dump(&out, &fig.to_data());
+        all_ok &= report_checks("Figure 6", &fig.checks());
+    }
+    if want("fig7") {
+        let (a, b) = fig7::run(scale, seed);
+        a.print();
+        dump(&out, &a.to_data());
+        all_ok &= report_checks("Figure 7(a)", &a.checks());
+        b.print();
+        dump(&out, &b.to_data());
+        all_ok &= report_checks("Figure 7(b)", &b.checks());
+    }
+    if want("fig8") {
+        let fig = fig8::run(scale, seed);
+        fig.print();
+        dump(&out, &fig.to_data());
+        all_ok &= report_checks("Figure 8", &fig.checks());
+    }
+    if want("ablation") {
+        let ab = ablation::run(scale, seed);
+        ab.print();
+        all_ok &= report_checks("ablations", &ab.checks());
+    }
+    if want("depth") {
+        let prof = depth::run(scale, seed);
+        prof.print();
+        dump(&out, &prof.to_data());
+        all_ok &= report_checks("depth profile", &prof.checks());
+    }
+
+    if all_ok {
+        println!("\nall shape checks passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nsome shape checks FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,73 @@
+//! # ifi-bench — experiment harness for the netFilter paper
+//!
+//! Regenerates every figure of the evaluation (§V):
+//!
+//! | experiment | paper | sweep |
+//! |------------|-------|-------|
+//! | [`fig5`]   | Fig. 5(a)+(b) | filter size `g`, `f = 3` |
+//! | [`fig6`]   | Fig. 6(a)+(b) | number of filters `f`, `g = 100` |
+//! | [`fig7`]   | Fig. 7(a)+(b) | data skewness `θ`, netFilter vs naive, `n ∈ {10^5, 10^6}` |
+//! | [`fig8`]   | Fig. 8 | threshold ratio `φ` × skewness, `n = 10^6` |
+//! | [`ablation`] | §IV | Eq. 3/6 optima vs measured; gossip vs hierarchy |
+//!
+//! Run with `cargo run -p ifi-bench --release --bin experiments -- all`
+//! (add `--quick` for a scaled-down smoke pass). Every experiment prints
+//! the paper's table/series plus a *shape check* verifying the qualitative
+//! claims (interior cost minimum, netFilter ≪ naive, monotone trends).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod depth;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod output;
+pub mod par;
+mod runner;
+pub mod table;
+
+pub use runner::{RunSummary, Scale, summarize_netfilter};
+
+/// Outcome of one qualitative shape check.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// What the paper claims.
+    pub claim: String,
+    /// Whether the regenerated data exhibits it.
+    pub holds: bool,
+    /// Supporting numbers.
+    pub detail: String,
+}
+
+impl ShapeCheck {
+    /// Creates a check result.
+    pub fn new(claim: impl Into<String>, holds: bool, detail: impl Into<String>) -> Self {
+        ShapeCheck {
+            claim: claim.into(),
+            holds,
+            detail: detail.into(),
+        }
+    }
+
+    /// Prints the check as a `[PASS]`/`[FAIL]` line.
+    pub fn print(&self) {
+        println!(
+            "  [{}] {} ({})",
+            if self.holds { "PASS" } else { "FAIL" },
+            self.claim,
+            self.detail
+        );
+    }
+}
+
+/// Prints a labelled list of checks and returns whether all passed.
+pub fn report_checks(title: &str, checks: &[ShapeCheck]) -> bool {
+    println!("shape checks — {title}:");
+    for c in checks {
+        c.print();
+    }
+    checks.iter().all(|c| c.holds)
+}

@@ -1,0 +1,133 @@
+//! Shared experiment plumbing.
+
+use ifi_hierarchy::Hierarchy;
+use ifi_workload::{SystemData, WorkloadParams};
+use netfilter::{NetFilter, NetFilterConfig, Threshold, WireSizes};
+
+/// Experiment scale: the paper's full setting or a fast smoke setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Table III: `N = 1000`, `n = 10^5` (and `10^6` where the paper uses
+    /// it).
+    Paper,
+    /// Scaled down ~10× for smoke runs and CI.
+    Quick,
+}
+
+impl Scale {
+    /// `N` — number of peers.
+    pub fn peers(self) -> usize {
+        match self {
+            Scale::Paper => 1000,
+            Scale::Quick => 200,
+        }
+    }
+
+    /// The base `n` (Figures 5, 6, 7a).
+    pub fn items_small(self) -> u64 {
+        match self {
+            Scale::Paper => 100_000,
+            Scale::Quick => 20_000,
+        }
+    }
+
+    /// The large `n` (Figures 7b, 8).
+    pub fn items_large(self) -> u64 {
+        match self {
+            Scale::Paper => 1_000_000,
+            Scale::Quick => 50_000,
+        }
+    }
+
+    /// Generates the Table III workload for this scale, using the paper's
+    /// replica-split placement (see `SystemData::generate_paper`).
+    pub fn workload(self, items: u64, theta: f64, seed: u64) -> SystemData {
+        SystemData::generate_paper(
+            &WorkloadParams {
+                peers: self.peers(),
+                items,
+                instances_per_item: 10,
+                theta,
+            },
+            seed,
+        )
+    }
+
+    /// The paper's hierarchy: `b = 3` downstream neighbors per peer.
+    pub fn hierarchy(self) -> Hierarchy {
+        Hierarchy::balanced(self.peers(), 3)
+    }
+}
+
+/// Flat per-run summary used by the figure tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Average candidate pairs propagated per peer (Fig. 5a/6a, left line).
+    pub candidates_per_peer: f64,
+    /// Total heavy item groups across filters (Fig. 5a/6a, right line).
+    pub heavy_groups: usize,
+    /// Heavy items `r` (= result size).
+    pub heavy_items: usize,
+    /// False positives in the candidate set.
+    pub false_positives: usize,
+    /// Average bytes per peer: total and per phase (Fig. 5b/6b lines).
+    pub total: f64,
+    /// Candidate-filtering component.
+    pub filtering: f64,
+    /// Candidate-dissemination component.
+    pub dissemination: f64,
+    /// Candidate-aggregation component.
+    pub aggregation: f64,
+}
+
+/// Runs netFilter once and flattens the result for table printing.
+pub fn summarize_netfilter(
+    hierarchy: &Hierarchy,
+    data: &SystemData,
+    g: u32,
+    f: u32,
+    phi: f64,
+) -> RunSummary {
+    let config = NetFilterConfig::builder()
+        .filter_size(g)
+        .filters(f)
+        .threshold(Threshold::Ratio(phi))
+        .build();
+    let run = NetFilter::new(config).run(hierarchy, data);
+    let cost = run.cost();
+    let counts = run.counts();
+    RunSummary {
+        candidates_per_peer: counts
+            .candidates_per_peer(&WireSizes::default(), hierarchy.universe()),
+        heavy_groups: counts.heavy_groups_total,
+        heavy_items: counts.heavy_items,
+        false_positives: counts.false_positives(),
+        total: cost.avg_total(),
+        filtering: cost.avg_filtering(),
+        dissemination: cost.avg_dissemination(),
+        aggregation: cost.avg_aggregation(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        assert!(Scale::Quick.peers() < Scale::Paper.peers());
+        assert!(Scale::Quick.items_small() < Scale::Paper.items_small());
+        assert!(Scale::Quick.items_large() < Scale::Paper.items_large());
+    }
+
+    #[test]
+    fn summary_components_sum_to_total() {
+        let scale = Scale::Quick;
+        let data = scale.workload(2_000, 1.0, 1);
+        let h = scale.hierarchy();
+        let s = summarize_netfilter(&h, &data, 50, 3, 0.01);
+        assert!((s.filtering + s.dissemination + s.aggregation - s.total).abs() < 1e-9);
+        assert!(s.candidates_per_peer >= 0.0);
+        assert!(s.heavy_items + s.false_positives >= s.heavy_items);
+    }
+}

@@ -1,0 +1,523 @@
+//! The two-phase netFilter engine (instant evaluation) — Algorithm 1 + 2.
+//!
+//! This engine evaluates both netFilter phases over a materialized
+//! [`Hierarchy`] by post-order tree walks, charging every peer the encoded
+//! size of exactly the messages the distributed protocol would send. The
+//! message-level DES implementation in [`crate::protocol`] is
+//! property-tested to produce identical answers *and* identical byte
+//! counts, so experiments can use this engine at paper scale (`n = 10^6`)
+//! without simulating millions of message events.
+
+use ifi_agg::{hierarchical, MapSum, WireSizes};
+use ifi_hierarchy::Hierarchy;
+use ifi_sim::PeerId;
+use ifi_workload::{ItemId, SystemData};
+
+use crate::config::NetFilterConfig;
+use crate::filter::{HeavyGroups, LocalFilter};
+use crate::hashing::HashFamily;
+
+/// The netFilter query engine.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug, Clone)]
+pub struct NetFilter {
+    config: NetFilterConfig,
+}
+
+impl NetFilter {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: NetFilterConfig) -> Self {
+        NetFilter { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NetFilterConfig {
+        &self.config
+    }
+
+    /// Runs both phases over `hierarchy` and `data` and returns the exact
+    /// frequent-item set plus full cost accounting.
+    ///
+    /// The preliminary scalar aggregations for `v` and `N` (§IV) cost one
+    /// `s_a` value per peer each and are *not* included in the reported
+    /// cost, matching the paper's accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hierarchy` and `data` cover different peer universes.
+    pub fn run(&self, hierarchy: &Hierarchy, data: &SystemData) -> NetFilterRun {
+        assert_eq!(
+            hierarchy.universe(),
+            data.peer_count(),
+            "hierarchy and data peer universes differ"
+        );
+        let sizes = self.config.sizes;
+        let threshold = self.config.threshold.resolve(data.total_value());
+        let family = HashFamily::new(
+            self.config.filters,
+            self.config.filter_size,
+            self.config.hash_seed,
+        );
+        let local_filter = LocalFilter::new(family.clone());
+
+        // ---- Phase 1: candidate filtering (Algorithm 1, lines 1-3). ----
+        // Every peer contributes its f·g local group vector; the aggregate
+        // flows to the root.
+        let phase1 = hierarchical::aggregate(hierarchy, &sizes, |p| {
+            local_filter.group_vector(data.local_items(p))
+        });
+        let heavy = HeavyGroups::from_aggregate(&family, &phase1.root_value, threshold);
+
+        // ---- Phase 2a: heavy-group dissemination (Algorithm 2, line 1). --
+        // The root propagates the heavy identifiers downward; every member
+        // forwards one copy to each downstream neighbor.
+        let list_bytes = sizes.sg * heavy.total_heavy() as u64;
+        let mut dissemination = vec![0u64; hierarchy.universe()];
+        for p in hierarchy.members() {
+            dissemination[p.index()] = list_bytes * hierarchy.children(p).len() as u64;
+        }
+
+        // ---- Phase 2b: candidate materialization + aggregation (Alg. 2,
+        // lines 2-4), integrated: each peer materializes its partial
+        // candidate set locally and the partial sets merge on the way up.
+        let phase2 = hierarchical::aggregate(hierarchy, &sizes, |p| {
+            local_filter.partial_candidates(data.local_items(p), &heavy)
+        });
+
+        // ---- Result extraction at the root (Algorithm 1, line 4). ----
+        let candidate_map: &MapSum = &phase2.root_value;
+        let mut frequent: Vec<(ItemId, u64)> = candidate_map
+            .0
+            .iter()
+            .filter(|&(_, &v)| v >= threshold)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        let counts = Self::classify(&family, candidate_map, &heavy, threshold, &phase2);
+
+        NetFilterRun {
+            frequent,
+            threshold,
+            cost: CostBreakdown {
+                filtering: phase1.bytes_per_peer,
+                dissemination,
+                aggregation: phase2.bytes_per_peer,
+            },
+            counts,
+            heavy,
+        }
+    }
+
+    /// Classifies the candidate set at the root into heavy items, and
+    /// homogeneous vs. heterogeneous false positives (§III-B.2).
+    fn classify(
+        family: &HashFamily,
+        candidates: &MapSum,
+        heavy: &HeavyGroups,
+        threshold: u64,
+        phase2: &hierarchical::AggregationOutcome<MapSum>,
+    ) -> RunCounts {
+        // The heavy items are exactly the candidates whose exact global
+        // value clears the threshold (no false negatives are possible: a
+        // heavy item makes each of its own groups heavy).
+        let heavy_items: Vec<ItemId> = candidates
+            .0
+            .iter()
+            .filter(|&(_, &v)| v >= threshold)
+            .map(|(&k, _)| k)
+            .collect();
+        let heavy_slots: std::collections::HashSet<usize> = heavy_items
+            .iter()
+            .flat_map(|&x| family.slots_of(x))
+            .collect();
+
+        let mut fp_homogeneous = 0usize;
+        let mut fp_heterogeneous = 0usize;
+        for (&item, &v) in &candidates.0 {
+            if v >= threshold {
+                continue;
+            }
+            // Heterogeneous: the light item shares *every* filter's group
+            // with some heavy item. Homogeneous: at least one of its groups
+            // is heavy purely from light-item mass.
+            if family.slots_of(item).all(|s| heavy_slots.contains(&s)) {
+                fp_heterogeneous += 1;
+            } else {
+                fp_homogeneous += 1;
+            }
+        }
+
+        RunCounts {
+            threshold,
+            heavy_groups_total: heavy.total_heavy(),
+            w_avg: heavy.w_avg(),
+            heavy_items: heavy_items.len(),
+            candidates_at_root: candidates.len(),
+            fp_homogeneous,
+            fp_heterogeneous,
+            candidate_pairs_sent: phase2
+                .bytes_per_peer
+                .iter()
+                .sum::<u64>(),
+        }
+    }
+}
+
+/// Per-phase byte accounting, indexed by peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// Phase 1 bytes per peer (the `s_a·f·g` vectors).
+    pub filtering: Vec<u64>,
+    /// Phase 2a bytes per peer (heavy-group lists to each child).
+    pub dissemination: Vec<u64>,
+    /// Phase 2b bytes per peer (candidate `(id, value)` pairs).
+    pub aggregation: Vec<u64>,
+}
+
+impl CostBreakdown {
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.filtering.len()
+    }
+
+    /// Total bytes across all peers and phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.filtering.iter().sum::<u64>()
+            + self.dissemination.iter().sum::<u64>()
+            + self.aggregation.iter().sum::<u64>()
+    }
+
+    /// Total bytes sent by one peer across phases.
+    pub fn peer_bytes(&self, p: PeerId) -> u64 {
+        self.filtering[p.index()] + self.dissemination[p.index()] + self.aggregation[p.index()]
+    }
+
+    /// The paper's metric: average bytes per peer, total.
+    pub fn avg_total(&self) -> f64 {
+        self.total_bytes() as f64 / self.peer_count().max(1) as f64
+    }
+
+    /// Average candidate-filtering bytes per peer.
+    pub fn avg_filtering(&self) -> f64 {
+        self.filtering.iter().sum::<u64>() as f64 / self.peer_count().max(1) as f64
+    }
+
+    /// Average candidate-dissemination bytes per peer.
+    pub fn avg_dissemination(&self) -> f64 {
+        self.dissemination.iter().sum::<u64>() as f64 / self.peer_count().max(1) as f64
+    }
+
+    /// Average candidate-aggregation bytes per peer.
+    pub fn avg_aggregation(&self) -> f64 {
+        self.aggregation.iter().sum::<u64>() as f64 / self.peer_count().max(1) as f64
+    }
+
+    /// Average total bytes per peer, grouped by hierarchy depth — the
+    /// quantitative form of §IV-A's claim that "the communication cost
+    /// incurred at the peers located at the higher levels of the hierarchy
+    /// is not significantly higher than that incurred at the peers located
+    /// at the lower levels". Returns `(depth, avg bytes, peer count)` rows
+    /// in ascending depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hierarchy` covers a different universe.
+    pub fn by_depth(&self, hierarchy: &ifi_hierarchy::Hierarchy) -> Vec<(u32, f64, usize)> {
+        assert_eq!(hierarchy.universe(), self.peer_count(), "universe mismatch");
+        let mut sums: std::collections::BTreeMap<u32, (u64, usize)> = std::collections::BTreeMap::new();
+        for p in hierarchy.members() {
+            let d = hierarchy.depth(p).expect("member has a depth");
+            let e = sums.entry(d).or_insert((0, 0));
+            e.0 += self.peer_bytes(p);
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(d, (bytes, count))| (d, bytes as f64 / count as f64, count))
+            .collect()
+    }
+
+    /// The heaviest-loaded peer and its bytes — used to check the paper's
+    /// no-root-bottleneck claim (§IV-A).
+    pub fn max_peer(&self) -> (PeerId, u64) {
+        (0..self.peer_count())
+            .map(|i| (PeerId::new(i), self.peer_bytes(PeerId::new(i))))
+            .max_by_key(|&(_, b)| b)
+            .expect("at least one peer")
+    }
+}
+
+/// Observable counts from one run (Figure 5/6's y-axes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCounts {
+    /// The resolved absolute threshold `t`.
+    pub threshold: u64,
+    /// `Σ_i w_i` — heavy groups across all filters.
+    pub heavy_groups_total: usize,
+    /// `w` — average heavy groups per filter.
+    pub w_avg: f64,
+    /// `r` — heavy items (== final result size).
+    pub heavy_items: usize,
+    /// Candidates surviving filtering (as materialized at the root).
+    pub candidates_at_root: usize,
+    /// False positives whose heavy groups contain only light items.
+    pub fp_homogeneous: usize,
+    /// False positives sharing all their groups with heavy items.
+    pub fp_heterogeneous: usize,
+    /// Total phase-2b bytes (internal; see
+    /// [`RunCounts::candidates_per_peer`]).
+    candidate_pairs_sent: u64,
+}
+
+impl RunCounts {
+    /// Total false positives in the candidate set (`fp` in Table II).
+    pub fn false_positives(&self) -> usize {
+        self.fp_homogeneous + self.fp_heterogeneous
+    }
+
+    /// Figure 5(a)/6(a)'s metric: the average number of candidate
+    /// `(identifier, value)` pairs each peer propagated during candidate
+    /// verification.
+    pub fn candidates_per_peer(&self, sizes: &WireSizes, peers: usize) -> f64 {
+        self.candidate_pairs_sent as f64 / sizes.pair() as f64 / peers.max(1) as f64
+    }
+}
+
+/// The outcome of a netFilter run: the exact answer plus accounting.
+#[derive(Debug, Clone)]
+pub struct NetFilterRun {
+    frequent: Vec<(ItemId, u64)>,
+    threshold: u64,
+    cost: CostBreakdown,
+    counts: RunCounts,
+    heavy: HeavyGroups,
+}
+
+impl NetFilterRun {
+    /// The frequent items with their **exact** global values, sorted by
+    /// descending value (ties by ascending id).
+    pub fn frequent_items(&self) -> &[(ItemId, u64)] {
+        &self.frequent
+    }
+
+    /// The resolved absolute threshold `t`.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Per-phase, per-peer byte accounting.
+    pub fn cost(&self) -> &CostBreakdown {
+        &self.cost
+    }
+
+    /// Counts of heavy groups, candidates, and false positives.
+    pub fn counts(&self) -> &RunCounts {
+        &self.counts
+    }
+
+    /// The heavy item groups the run disseminated.
+    pub fn heavy_groups(&self) -> &HeavyGroups {
+        &self.heavy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Threshold;
+    use ifi_workload::{GroundTruth, WorkloadParams};
+
+    fn workload(peers: usize, items: u64, theta: f64, seed: u64) -> SystemData {
+        SystemData::generate(
+            &WorkloadParams {
+                peers,
+                items,
+                instances_per_item: 10,
+                theta,
+            },
+            seed,
+        )
+    }
+
+    fn run_with(g: u32, f: u32, data: &SystemData, h: &Hierarchy) -> NetFilterRun {
+        let config = NetFilterConfig::builder()
+            .filter_size(g)
+            .filters(f)
+            .threshold(Threshold::Ratio(0.01))
+            .build();
+        NetFilter::new(config).run(h, data)
+    }
+
+    #[test]
+    fn result_is_exact_against_ground_truth() {
+        let data = workload(100, 2_000, 1.0, 11);
+        let h = Hierarchy::balanced(100, 3);
+        let run = run_with(40, 3, &data, &h);
+        let truth = GroundTruth::compute(&data);
+        let t = truth.threshold_for_ratio(0.01);
+        assert_eq!(run.threshold(), t);
+        assert_eq!(run.frequent_items(), &truth.frequent_items(t)[..]);
+        let (fp, fn_, verr) = truth.verify(t, run.frequent_items());
+        assert_eq!((fp, fn_, verr), (0, 0, 0));
+    }
+
+    #[test]
+    fn exact_across_many_configs_and_topologies() {
+        use ifi_overlay::Topology;
+        use ifi_sim::DetRng;
+        let data = workload(60, 800, 1.2, 13);
+        let truth = GroundTruth::compute(&data);
+        let t = truth.threshold_for_ratio(0.01);
+        let topo = Topology::random_regular(60, 4, &mut DetRng::new(4));
+        let hierarchies = vec![
+            Hierarchy::balanced(60, 3),
+            Hierarchy::balanced(60, 2),
+            Hierarchy::bfs(&topo, PeerId::new(7)),
+        ];
+        for h in &hierarchies {
+            for &(g, f) in &[(1u32, 1u32), (5, 1), (20, 3), (200, 8), (1, 4)] {
+                let run = run_with(g, f, &data, h);
+                assert_eq!(
+                    run.frequent_items(),
+                    &truth.frequent_items(t)[..],
+                    "wrong answer at g={g} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filtering_cost_is_exactly_sa_f_g_per_nonroot_member() {
+        let data = workload(50, 500, 1.0, 17);
+        let h = Hierarchy::balanced(50, 3);
+        let run = run_with(25, 4, &data, &h);
+        let per = &run.cost().filtering;
+        assert_eq!(per[0], 0, "root pays no filtering cost");
+        for (i, &bytes) in per.iter().enumerate().skip(1) {
+            assert_eq!(bytes, 4 * 4 * 25, "peer {i}");
+        }
+    }
+
+    #[test]
+    fn dissemination_charges_one_list_per_child() {
+        let data = workload(13, 300, 1.0, 19);
+        let h = Hierarchy::balanced(13, 3);
+        let run = run_with(20, 2, &data, &h);
+        let list = 4 * run.counts().heavy_groups_total as u64;
+        // Internal peers (0..=3) have 3 children each, leaves none.
+        for p in 0..13usize {
+            let expect = list * h.children(PeerId::new(p)).len() as u64;
+            assert_eq!(run.cost().dissemination[p], expect, "peer {p}");
+        }
+    }
+
+    #[test]
+    fn more_filters_reduce_false_positives() {
+        let data = workload(100, 5_000, 1.0, 23);
+        let h = Hierarchy::balanced(100, 3);
+        let fp1 = run_with(60, 1, &data, &h).counts().false_positives();
+        let fp4 = run_with(60, 4, &data, &h).counts().false_positives();
+        assert!(
+            fp4 <= fp1,
+            "4 filters ({fp4} fps) should not beat 1 filter ({fp1} fps)"
+        );
+        assert!(fp1 > 0, "workload too easy to exercise filtering");
+    }
+
+    #[test]
+    fn larger_filters_reduce_false_positives() {
+        let data = workload(100, 5_000, 1.0, 29);
+        let h = Hierarchy::balanced(100, 3);
+        let fp_small = run_with(10, 2, &data, &h).counts().false_positives();
+        let fp_large = run_with(500, 2, &data, &h).counts().false_positives();
+        assert!(fp_large < fp_small, "{fp_large} !< {fp_small}");
+    }
+
+    #[test]
+    fn tiny_filter_prunes_nothing() {
+        // §V-A: "when the filter size is very small … none of the items are
+        // pruned" — with g=1, f=1 the single group is necessarily heavy.
+        let data = workload(40, 400, 1.0, 31);
+        let h = Hierarchy::balanced(40, 3);
+        let run = run_with(1, 1, &data, &h);
+        assert_eq!(run.counts().heavy_groups_total, 1);
+        assert_eq!(run.counts().candidates_at_root, data.distinct_items());
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let data = workload(80, 3_000, 1.0, 37);
+        let h = Hierarchy::balanced(80, 3);
+        let run = run_with(50, 3, &data, &h);
+        let c = run.counts();
+        assert_eq!(
+            c.candidates_at_root,
+            c.heavy_items + c.false_positives(),
+            "candidates = heavy + fps"
+        );
+        assert_eq!(c.heavy_items, run.frequent_items().len());
+        assert!(c.w_avg <= 50.0);
+    }
+
+    #[test]
+    fn no_root_bottleneck() {
+        // §IV-A: the cost at the top of the hierarchy is not significantly
+        // higher than elsewhere — the filtering vectors dominate and are
+        // uniform.
+        let data = workload(200, 20_000, 1.0, 41);
+        let h = Hierarchy::balanced(200, 3);
+        let run = run_with(100, 3, &data, &h);
+        let (_, max_bytes) = run.cost().max_peer();
+        let avg = run.cost().avg_total();
+        assert!(
+            (max_bytes as f64) < 5.0 * avg,
+            "bottleneck: max {max_bytes} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn cost_is_uniform_across_hierarchy_levels() {
+        // §IV-A quantified: per-level average cost within a small factor
+        // of the global average at the paper's operating point (the
+        // filtering vectors dominate and are identical at every level).
+        let data = workload(200, 20_000, 1.0, 59);
+        let h = Hierarchy::balanced(200, 3);
+        let run = run_with(100, 3, &data, &h);
+        let profile = run.cost().by_depth(&h);
+        assert_eq!(profile.len() as u32, h.height());
+        let global_avg = run.cost().avg_total();
+        // Skip depth 0 (the lone root pays no filtering) and the deepest
+        // level (leaves pay no dissemination) — the paper's claim concerns
+        // levels carrying both directions.
+        for &(d, avg, count) in &profile[1..profile.len() - 1] {
+            assert!(
+                avg < 3.0 * global_avg && avg > 0.3 * global_avg,
+                "depth {d} ({count} peers): {avg} vs global {global_avg}"
+            );
+        }
+        // Peer counts per level sum to the membership.
+        let total: usize = profile.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn cost_breakdown_totals_agree() {
+        let data = workload(30, 300, 1.0, 43);
+        let h = Hierarchy::balanced(30, 3);
+        let run = run_with(10, 2, &data, &h);
+        let c = run.cost();
+        let manual: u64 = (0..30).map(|i| c.peer_bytes(PeerId::new(i))).sum();
+        assert_eq!(manual, c.total_bytes());
+        let sum_avgs = c.avg_filtering() + c.avg_dissemination() + c.avg_aggregation();
+        assert!((sum_avgs - c.avg_total()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "peer universes differ")]
+    fn mismatched_universe_panics() {
+        let data = workload(10, 100, 1.0, 47);
+        let h = Hierarchy::balanced(11, 3);
+        let _ = run_with(10, 2, &data, &h);
+    }
+}

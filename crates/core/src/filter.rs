@@ -1,0 +1,276 @@
+//! Candidate filtering and candidate materialization — §III-B, §III-C.
+
+use ifi_agg::{MapSum, VecSum};
+use ifi_workload::ItemId;
+
+use crate::hashing::HashFamily;
+
+/// Per-peer filtering logic: computing the local item-group aggregate
+/// vector and, later, the peer's partial candidate set.
+///
+/// §III-B.1: *"Each peer obtains the local values for the item groups as
+/// follows. It assigns each of its local items to one of the `g` item
+/// groups and increases the local value of the corresponding item group
+/// accordingly."*
+#[derive(Debug, Clone)]
+pub struct LocalFilter {
+    family: HashFamily,
+}
+
+impl LocalFilter {
+    /// Creates the local filter logic over the shared hash family.
+    pub fn new(family: HashFamily) -> Self {
+        LocalFilter { family }
+    }
+
+    /// The shared hash family.
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// The peer's local contribution to the `f·g` group-aggregate vector.
+    pub fn group_vector(&self, local_items: &[(ItemId, u64)]) -> VecSum {
+        let mut v = VecSum::zeros(
+            self.family.filters() as usize * self.family.groups() as usize,
+        );
+        for &(item, value) in local_items {
+            for slot in self.family.slots_of(item) {
+                v.0[slot] += value;
+            }
+        }
+        v
+    }
+
+    /// §III-C: given the heavy groups, materializes the peer's **partial
+    /// candidate set** — the local items all of whose `f` groups are heavy
+    /// — with their local values.
+    pub fn partial_candidates(
+        &self,
+        local_items: &[(ItemId, u64)],
+        heavy: &HeavyGroups,
+    ) -> MapSum {
+        MapSum::from_pairs(
+            local_items
+                .iter()
+                .filter(|&&(item, _)| heavy.is_candidate(&self.family, item))
+                .copied(),
+        )
+    }
+}
+
+/// The set of heavy item groups per filter, as determined at the root after
+/// candidate filtering (aggregate ≥ `t`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyGroups {
+    /// `per_filter[i]` = sorted heavy group ids of filter `i`.
+    per_filter: Vec<Vec<u32>>,
+    /// Dense membership bitmaps for `O(1)` candidate checks.
+    bitmap: Vec<bool>,
+    groups: u32,
+}
+
+impl HeavyGroups {
+    /// Scans the aggregated `f·g` vector and marks every group with
+    /// aggregate ≥ `threshold` as heavy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length is not `f·g` for the given family.
+    pub fn from_aggregate(family: &HashFamily, aggregate: &VecSum, threshold: u64) -> Self {
+        let f = family.filters();
+        let g = family.groups();
+        assert_eq!(
+            aggregate.0.len(),
+            f as usize * g as usize,
+            "aggregate vector has wrong dimension"
+        );
+        let mut per_filter = Vec::with_capacity(f as usize);
+        let mut bitmap = vec![false; aggregate.0.len()];
+        for i in 0..f {
+            let mut heavy_i = Vec::new();
+            for grp in 0..g {
+                let slot = family.slot(i, grp);
+                if aggregate.0[slot] >= threshold {
+                    heavy_i.push(grp);
+                    bitmap[slot] = true;
+                }
+            }
+            per_filter.push(heavy_i);
+        }
+        HeavyGroups {
+            per_filter,
+            bitmap,
+            groups: g,
+        }
+    }
+
+    /// Rebuilds from explicit per-filter heavy lists (what the
+    /// dissemination message carries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group id is out of range.
+    pub fn from_lists(per_filter: Vec<Vec<u32>>, groups: u32) -> Self {
+        let f = per_filter.len();
+        let mut bitmap = vec![false; f * groups as usize];
+        let mut sorted = per_filter;
+        for (i, list) in sorted.iter_mut().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            for &grp in list.iter() {
+                assert!(grp < groups, "group id {grp} out of range");
+                bitmap[i * groups as usize + grp as usize] = true;
+            }
+        }
+        HeavyGroups {
+            per_filter: sorted,
+            bitmap,
+            groups,
+        }
+    }
+
+    /// `f` — number of filters covered.
+    pub fn filters(&self) -> u32 {
+        self.per_filter.len() as u32
+    }
+
+    /// The sorted heavy group ids of filter `i` (`w_i` entries).
+    pub fn heavy_of(&self, filter: u32) -> &[u32] {
+        &self.per_filter[filter as usize]
+    }
+
+    /// Total heavy-group count across filters, `Σ_i w_i` — what the
+    /// dissemination message pays `s_g` bytes per entry for.
+    pub fn total_heavy(&self) -> usize {
+        self.per_filter.iter().map(Vec::len).sum()
+    }
+
+    /// Average heavy groups per filter (the paper's `w`).
+    pub fn w_avg(&self) -> f64 {
+        if self.per_filter.is_empty() {
+            0.0
+        } else {
+            self.total_heavy() as f64 / self.per_filter.len() as f64
+        }
+    }
+
+    /// §III-B.2: an item is a candidate iff **each** of the `f` item groups
+    /// it belongs to is heavy.
+    #[inline]
+    pub fn is_candidate(&self, family: &HashFamily, item: ItemId) -> bool {
+        debug_assert_eq!(family.groups(), self.groups);
+        family.slots_of(item).all(|slot| self.bitmap[slot])
+    }
+
+    /// The per-filter lists, for serialization.
+    pub fn lists(&self) -> &[Vec<u32>] {
+        &self.per_filter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> HashFamily {
+        HashFamily::new(3, 10, 77)
+    }
+
+    #[test]
+    fn group_vector_accumulates_values_per_filter() {
+        let lf = LocalFilter::new(family());
+        let items = vec![(ItemId(1), 5), (ItemId(2), 3)];
+        let v = lf.group_vector(&items);
+        assert_eq!(v.0.len(), 30);
+        // Each filter's 10 slots sum to the local mass (every item counted
+        // once per filter).
+        for f in 0..3usize {
+            let sum: u64 = v.0[f * 10..(f + 1) * 10].iter().sum();
+            assert_eq!(sum, 8, "filter {f}");
+        }
+    }
+
+    #[test]
+    fn heavy_groups_from_aggregate_threshold() {
+        let fam = family();
+        let mut agg = VecSum::zeros(30);
+        agg.0[fam.slot(0, 3)] = 10;
+        agg.0[fam.slot(0, 4)] = 9;
+        agg.0[fam.slot(2, 7)] = 25;
+        let heavy = HeavyGroups::from_aggregate(&fam, &agg, 10);
+        assert_eq!(heavy.heavy_of(0), &[3]);
+        assert_eq!(heavy.heavy_of(1), &[] as &[u32]);
+        assert_eq!(heavy.heavy_of(2), &[7]);
+        assert_eq!(heavy.total_heavy(), 2);
+        assert!((heavy.w_avg() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidate_requires_all_filters_heavy() {
+        let fam = family();
+        let item = ItemId(42);
+        // Make exactly the item's own groups heavy → candidate.
+        let lists: Vec<Vec<u32>> = (0..3).map(|i| vec![fam.group_of(i, item)]).collect();
+        let heavy = HeavyGroups::from_lists(lists.clone(), 10);
+        assert!(heavy.is_candidate(&fam, item));
+
+        // Remove one filter's heavy group → no longer a candidate.
+        let mut partial = lists;
+        partial[1].clear();
+        let heavy = HeavyGroups::from_lists(partial, 10);
+        assert!(!heavy.is_candidate(&fam, item));
+    }
+
+    #[test]
+    fn partial_candidates_filters_local_items() {
+        let fam = family();
+        let lf = LocalFilter::new(fam.clone());
+        let keep = ItemId(5);
+        let drop = ItemId(6);
+        let lists: Vec<Vec<u32>> = (0..3).map(|i| vec![fam.group_of(i, keep)]).collect();
+        let heavy = HeavyGroups::from_lists(lists, 10);
+        // `drop` survives only if it collides with `keep` in all 3 filters
+        // — astronomically unlikely here; assert it does not.
+        assert!(!heavy.is_candidate(&fam, drop));
+        let partial = lf.partial_candidates(&[(keep, 4), (drop, 100)], &heavy);
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial.value(keep), 4);
+    }
+
+    #[test]
+    fn from_lists_round_trips_through_lists() {
+        let lists = vec![vec![1, 5, 9], vec![], vec![0]];
+        let heavy = HeavyGroups::from_lists(lists.clone(), 10);
+        assert_eq!(heavy.lists(), &lists[..]);
+        assert_eq!(heavy.filters(), 3);
+    }
+
+    #[test]
+    fn from_lists_sorts_and_dedups() {
+        let heavy = HeavyGroups::from_lists(vec![vec![5, 1, 5]], 10);
+        assert_eq!(heavy.heavy_of(0), &[1, 5]);
+        assert_eq!(heavy.total_heavy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_group_panics() {
+        let _ = HeavyGroups::from_lists(vec![vec![10]], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn wrong_dimension_panics() {
+        let fam = family();
+        let _ = HeavyGroups::from_aggregate(&fam, &VecSum::zeros(29), 1);
+    }
+
+    #[test]
+    fn single_filter_single_group_everything_is_candidate_when_heavy() {
+        let fam = HashFamily::new(1, 1, 3);
+        let heavy = HeavyGroups::from_lists(vec![vec![0]], 1);
+        for i in 0..100u64 {
+            assert!(heavy.is_candidate(&fam, ItemId(i)));
+        }
+    }
+}

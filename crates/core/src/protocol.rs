@@ -1,0 +1,403 @@
+//! netFilter as a message-level protocol on the DES.
+//!
+//! The instant engine in [`crate::NetFilter`] evaluates the two phases by
+//! tree walks; this module runs the *same* phases as real messages over
+//! [`ifi_sim`], exercising asynchrony, per-hop latency, and completion
+//! detection:
+//!
+//! 1. **Filtering convergecast** — every peer computes its local `f·g`
+//!    group vector; leaves send at start, internal peers count down their
+//!    children and forward the merged vector (`MsgClass::FILTERING`).
+//! 2. **Heavy dissemination** — the root thresholds the aggregate and
+//!    pushes the per-filter heavy-group lists down the tree
+//!    (`MsgClass::DISSEMINATION`).
+//! 3. **Candidate convergecast** — on receiving the lists, each peer
+//!    materializes its partial candidate set (§III-C) and the sets merge
+//!    upward (`MsgClass::AGGREGATION`); the root thresholds the exact
+//!    values and stores the result.
+//!
+//! Equivalence with the instant engine — identical answers *and* identical
+//! per-phase byte totals — is asserted by this module's tests and the
+//! workspace integration suite.
+//!
+//! The protocol assumes a reliable network and a stable hierarchy for the
+//! duration of one run (the paper recruits stable peers for exactly this
+//! reason, §III-A). Under churn, the maintenance protocol of
+//! `ifi-hierarchy` repairs the tree and the query is re-issued — see the
+//! `failure_recovery` integration test.
+
+use ifi_agg::{Aggregate, MapSum, VecSum};
+use ifi_hierarchy::Hierarchy;
+use ifi_sim::{Ctx, MsgClass, PeerId, Protocol, SimConfig, World};
+use ifi_workload::{ItemId, SystemData};
+
+use crate::config::NetFilterConfig;
+use crate::filter::{HeavyGroups, LocalFilter};
+use crate::hashing::HashFamily;
+
+/// Messages of the netFilter protocol.
+#[derive(Debug, Clone)]
+pub enum NfMsg {
+    /// Phase 1: a merged item-group aggregate vector moving rootward.
+    GroupAgg(VecSum),
+    /// Phase 2a: the per-filter heavy-group lists moving leafward.
+    Heavy(Vec<Vec<u32>>),
+    /// Phase 2b: a merged partial candidate set moving rootward.
+    CandidateAgg(MapSum),
+}
+
+/// Per-peer state of the netFilter protocol.
+#[derive(Debug, Clone)]
+pub struct NetFilterProtocol {
+    local_filter: LocalFilter,
+    sizes: crate::WireSizes,
+    threshold: u64,
+    parent: Option<PeerId>,
+    children: Vec<PeerId>,
+    is_root: bool,
+    /// Whether this peer is a member of the hierarchy at all. Dead or
+    /// detached peers stay in the universe but take no part in the run.
+    is_member: bool,
+    local_items: Vec<(ItemId, u64)>,
+
+    p1_pending: usize,
+    p1_acc: Option<VecSum>,
+    heavy: Option<HeavyGroups>,
+    p2_pending: usize,
+    p2_acc: Option<MapSum>,
+    result: Option<Vec<(ItemId, u64)>>,
+}
+
+impl NetFilterProtocol {
+    /// Creates the state for `peer`. The threshold must already be
+    /// resolved (the root learns `v` from the preliminary scalar
+    /// aggregation, as in the paper).
+    pub fn new(
+        config: &NetFilterConfig,
+        hierarchy: &Hierarchy,
+        peer: PeerId,
+        local_items: Vec<(ItemId, u64)>,
+        threshold: u64,
+    ) -> Self {
+        let family = HashFamily::new(config.filters, config.filter_size, config.hash_seed);
+        NetFilterProtocol {
+            local_filter: LocalFilter::new(family),
+            sizes: config.sizes,
+            threshold,
+            parent: hierarchy.parent(peer),
+            children: hierarchy.children(peer).to_vec(),
+            is_root: hierarchy.root() == peer,
+            is_member: hierarchy.is_member(peer),
+            local_items,
+            p1_pending: hierarchy.children(peer).len(),
+            p1_acc: None,
+            heavy: None,
+            p2_pending: hierarchy.children(peer).len(),
+            p2_acc: None,
+            result: None,
+        }
+    }
+
+    /// Builds a ready-to-run world over `hierarchy` and `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy and data universes differ.
+    pub fn build_world(
+        config: &NetFilterConfig,
+        hierarchy: &Hierarchy,
+        data: &SystemData,
+        sim: SimConfig,
+    ) -> World<NetFilterProtocol> {
+        assert_eq!(
+            hierarchy.universe(),
+            data.peer_count(),
+            "hierarchy and data peer universes differ"
+        );
+        let threshold = config.threshold.resolve(data.total_value());
+        let peers = (0..data.peer_count())
+            .map(|i| {
+                let p = PeerId::new(i);
+                NetFilterProtocol::new(
+                    config,
+                    hierarchy,
+                    p,
+                    data.local_items(p).to_vec(),
+                    threshold,
+                )
+            })
+            .collect();
+        World::new(sim, peers)
+    }
+
+    /// The final result (root only, once the run quiesces).
+    pub fn result(&self) -> Option<&[(ItemId, u64)]> {
+        self.result.as_deref()
+    }
+
+    /// The resolved threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    fn phase1_complete(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let acc = self
+            .p1_acc
+            .take()
+            .expect("phase-1 accumulator present until completion");
+        if self.is_root {
+            let heavy = HeavyGroups::from_aggregate(
+                self.local_filter.family(),
+                &acc,
+                self.threshold,
+            );
+            self.start_phase2(ctx, heavy);
+        } else {
+            let parent = self.parent.expect("non-root has a parent");
+            let bytes = acc.encoded_bytes(&self.sizes);
+            ctx.send(parent, NfMsg::GroupAgg(acc), bytes, MsgClass::FILTERING);
+        }
+    }
+
+    fn start_phase2(&mut self, ctx: &mut Ctx<'_, Self>, heavy: HeavyGroups) {
+        // Forward the heavy lists to every downstream neighbor.
+        let list_bytes = self.sizes.sg * heavy.total_heavy() as u64;
+        for &c in &self.children.clone() {
+            ctx.send(
+                c,
+                NfMsg::Heavy(heavy.lists().to_vec()),
+                list_bytes,
+                MsgClass::DISSEMINATION,
+            );
+        }
+        // Materialize the local partial candidate set (Algorithm 2 line 2).
+        self.p2_acc = Some(
+            self.local_filter
+                .partial_candidates(&self.local_items, &heavy),
+        );
+        self.heavy = Some(heavy);
+        if self.p2_pending == 0 {
+            self.phase2_complete(ctx);
+        }
+    }
+
+    fn phase2_complete(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let acc = self
+            .p2_acc
+            .take()
+            .expect("phase-2 accumulator present until completion");
+        if self.is_root {
+            let mut frequent: Vec<(ItemId, u64)> = acc
+                .0
+                .iter()
+                .filter(|&(_, &v)| v >= self.threshold)
+                .map(|(&k, &v)| (k, v))
+                .collect();
+            frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            self.result = Some(frequent);
+        } else {
+            let parent = self.parent.expect("non-root has a parent");
+            let bytes = acc.encoded_bytes(&self.sizes);
+            ctx.send(parent, NfMsg::CandidateAgg(acc), bytes, MsgClass::AGGREGATION);
+        }
+    }
+}
+
+impl Protocol for NetFilterProtocol {
+    type Msg = NfMsg;
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if !self.is_member {
+            return; // not part of the hierarchy: contributes nothing
+        }
+        self.p1_acc = Some(self.local_filter.group_vector(&self.local_items));
+        if self.p1_pending == 0 {
+            self.phase1_complete(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: NfMsg) {
+        match msg {
+            NfMsg::GroupAgg(v) => {
+                assert!(self.p1_pending > 0, "unexpected phase-1 report from {from}");
+                self.p1_acc
+                    .as_mut()
+                    .expect("phase-1 accumulator initialized at start")
+                    .merge(&v);
+                self.p1_pending -= 1;
+                if self.p1_pending == 0 {
+                    self.phase1_complete(ctx);
+                }
+            }
+            NfMsg::Heavy(lists) => {
+                assert_eq!(Some(from), self.parent, "heavy lists must come from parent");
+                let heavy =
+                    HeavyGroups::from_lists(lists, self.local_filter.family().groups());
+                self.start_phase2(ctx, heavy);
+            }
+            NfMsg::CandidateAgg(m) => {
+                assert!(self.p2_pending > 0, "unexpected phase-2 report from {from}");
+                self.p2_acc
+                    .as_mut()
+                    .expect("phase-2 accumulator set when heavy lists arrived")
+                    .merge(&m);
+                self.p2_pending -= 1;
+                if self.p2_pending == 0 && self.heavy.is_some() {
+                    self.phase2_complete(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _t: ()) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetFilter, Threshold};
+    use ifi_overlay::Topology;
+    use ifi_sim::{DetRng, Duration, LatencyModel};
+    use ifi_workload::{GroundTruth, WorkloadParams};
+
+    fn workload(peers: usize, items: u64, seed: u64) -> SystemData {
+        SystemData::generate(
+            &WorkloadParams {
+                peers,
+                items,
+                instances_per_item: 10,
+                theta: 1.0,
+            },
+            seed,
+        )
+    }
+
+    fn config(g: u32, f: u32) -> NetFilterConfig {
+        NetFilterConfig::builder()
+            .filter_size(g)
+            .filters(f)
+            .threshold(Threshold::Ratio(0.01))
+            .build()
+    }
+
+    #[test]
+    fn protocol_matches_instant_engine_exactly() {
+        let data = workload(60, 2_000, 81);
+        let topo = Topology::random_regular(60, 4, &mut DetRng::new(2));
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let cfg = config(50, 3);
+
+        let instant = NetFilter::new(cfg.clone()).run(&h, &data);
+
+        let mut w = NetFilterProtocol::build_world(
+            &cfg,
+            &h,
+            &data,
+            SimConfig::default().with_seed(4),
+        );
+        w.start();
+        w.run_to_quiescence();
+
+        let result = w
+            .peer(PeerId::new(0))
+            .result()
+            .expect("root must finish")
+            .to_vec();
+        assert_eq!(result, instant.frequent_items());
+
+        // Byte-for-byte identical per phase.
+        let m = w.metrics();
+        let c = instant.cost();
+        assert_eq!(
+            m.class_bytes(MsgClass::FILTERING),
+            c.filtering.iter().sum::<u64>()
+        );
+        assert_eq!(
+            m.class_bytes(MsgClass::DISSEMINATION),
+            c.dissemination.iter().sum::<u64>()
+        );
+        assert_eq!(
+            m.class_bytes(MsgClass::AGGREGATION),
+            c.aggregation.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn asynchrony_does_not_change_the_answer() {
+        let data = workload(40, 1_000, 83);
+        let h = Hierarchy::balanced(40, 3);
+        let cfg = config(30, 2);
+        let instant = NetFilter::new(cfg.clone()).run(&h, &data);
+
+        for seed in [1u64, 2, 3] {
+            let sim = SimConfig::default()
+                .with_seed(seed)
+                .with_latency(LatencyModel::Uniform {
+                    lo: Duration::from_millis(5),
+                    hi: Duration::from_millis(500),
+                });
+            let mut w = NetFilterProtocol::build_world(&cfg, &h, &data, sim);
+            w.start();
+            w.run_to_quiescence();
+            assert_eq!(
+                w.peer(PeerId::new(0)).result().expect("root finishes"),
+                instant.frequent_items(),
+                "divergence at sim seed {seed}"
+            );
+            assert_eq!(
+                w.metrics().class_bytes(MsgClass::FILTERING),
+                instant.cost().filtering.iter().sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn non_root_peers_hold_no_result() {
+        let data = workload(20, 300, 85);
+        let h = Hierarchy::balanced(20, 3);
+        let mut w =
+            NetFilterProtocol::build_world(&config(10, 2), &h, &data, SimConfig::default());
+        w.start();
+        w.run_to_quiescence();
+        for i in 1..20 {
+            assert!(w.peer(PeerId::new(i)).result().is_none());
+        }
+        assert!(w.peer(PeerId::new(0)).result().is_some());
+    }
+
+    #[test]
+    fn answer_is_exact_against_ground_truth() {
+        let data = workload(50, 1_500, 87);
+        let truth = GroundTruth::compute(&data);
+        let h = Hierarchy::balanced(50, 3);
+        let mut w =
+            NetFilterProtocol::build_world(&config(40, 3), &h, &data, SimConfig::default());
+        w.start();
+        w.run_to_quiescence();
+        let t = truth.threshold_for_ratio(0.01);
+        assert_eq!(
+            w.peer(PeerId::new(0)).result().unwrap(),
+            &truth.frequent_items(t)[..]
+        );
+    }
+
+    #[test]
+    fn singleton_system_answers_immediately() {
+        let data = SystemData::from_local_sets(vec![vec![(ItemId(1), 10), (ItemId(2), 1)]], 5);
+        let h = Hierarchy::balanced(1, 3);
+        let cfg = NetFilterConfig::builder()
+            .filter_size(4)
+            .filters(2)
+            .threshold(Threshold::Absolute(5))
+            .build();
+        let mut w = NetFilterProtocol::build_world(&cfg, &h, &data, SimConfig::default());
+        w.start();
+        w.run_to_quiescence();
+        assert_eq!(
+            w.peer(PeerId::new(0)).result().unwrap(),
+            &[(ItemId(1), 10)]
+        );
+        assert_eq!(w.metrics().total_bytes(), 0, "no peers, no traffic");
+    }
+}

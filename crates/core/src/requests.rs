@@ -1,0 +1,229 @@
+//! Multi-request sharing at the root — §III-A.1.
+//!
+//! *"Multiple peers might simultaneously issue requests for identifying
+//! frequent items with different threshold values. … The requests from
+//! different peers are first forwarded to the root node, which then invokes
+//! netFilter with the threshold value `t` set to the minimum threshold
+//! value among all the requests. The returned result set is the superset of
+//! the result sets for the requests with larger threshold values."*
+
+use ifi_hierarchy::Hierarchy;
+use ifi_sim::PeerId;
+use ifi_workload::{ItemId, SystemData};
+
+use crate::config::{NetFilterConfig, Threshold};
+use crate::engine::{NetFilter, NetFilterRun};
+
+/// A pending IFI request from one peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// The requesting peer (where the result set must be returned).
+    pub requester: PeerId,
+    /// The requested threshold.
+    pub threshold: Threshold,
+}
+
+/// One requester's answer, split out of the shared superset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestResult {
+    /// The requesting peer.
+    pub requester: PeerId,
+    /// The absolute threshold this request resolved to.
+    pub threshold: u64,
+    /// The exact frequent items at that threshold.
+    pub items: Vec<(ItemId, u64)>,
+    /// Bytes spent forwarding this result set from the root back to the
+    /// requester along the hierarchy ("forms the proper result set for
+    /// each request and forwards it to the corresponding peer",
+    /// §III-A.1): one `(s_i + s_a)` pair per item per hop.
+    pub return_bytes: u64,
+}
+
+/// Collects concurrent requests and serves them all with **one** netFilter
+/// invocation at the minimum threshold.
+#[derive(Debug, Clone, Default)]
+pub struct RequestBroker {
+    pending: Vec<Request>,
+}
+
+impl RequestBroker {
+    /// An empty broker.
+    pub fn new() -> Self {
+        RequestBroker::default()
+    }
+
+    /// Queues a request.
+    pub fn submit(&mut self, requester: PeerId, threshold: Threshold) {
+        self.pending.push(Request {
+            requester,
+            threshold,
+        });
+    }
+
+    /// Number of queued requests.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Serves every queued request with a single run: netFilter executes at
+    /// the minimum resolved threshold, and each request's result set is the
+    /// prefix of the shared superset clearing its own threshold.
+    ///
+    /// Returns the per-request results and the shared run (for cost
+    /// inspection). The queue is drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no requests are queued.
+    pub fn serve(
+        &mut self,
+        base_config: &NetFilterConfig,
+        hierarchy: &Hierarchy,
+        data: &SystemData,
+    ) -> (Vec<RequestResult>, NetFilterRun) {
+        let pair = base_config.sizes.pair();
+        assert!(!self.pending.is_empty(), "no requests to serve");
+        let v = data.total_value();
+        let resolved: Vec<(PeerId, u64)> = self
+            .pending
+            .drain(..)
+            .map(|rq| (rq.requester, rq.threshold.resolve(v)))
+            .collect();
+        let t_min = resolved
+            .iter()
+            .map(|&(_, t)| t)
+            .min()
+            .expect("nonempty pending set");
+
+        let mut config = base_config.clone();
+        config.threshold = Threshold::Absolute(t_min);
+        let run = NetFilter::new(config).run(hierarchy, data);
+
+        // The superset is sorted descending by value, so each request's
+        // answer is a prefix.
+        let results = resolved
+            .into_iter()
+            .map(|(requester, t)| {
+                let items: Vec<(ItemId, u64)> = run
+                    .frequent_items()
+                    .iter()
+                    .take_while(|&&(_, value)| value >= t)
+                    .copied()
+                    .collect();
+                // The result travels root → requester along the tree, one
+                // hop per level of the requester's depth (0 hops if the
+                // requester is the root or outside the hierarchy).
+                let hops = hierarchy.depth(requester).unwrap_or(0) as u64;
+                RequestResult {
+                    return_bytes: pair * items.len() as u64 * hops,
+                    requester,
+                    threshold: t,
+                    items,
+                }
+            })
+            .collect();
+        (results, run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifi_workload::{GroundTruth, WorkloadParams};
+
+    fn setup() -> (Hierarchy, SystemData, GroundTruth) {
+        let data = SystemData::generate(
+            &WorkloadParams {
+                peers: 80,
+                items: 3_000,
+                instances_per_item: 10,
+                theta: 1.0,
+            },
+            71,
+        );
+        let truth = GroundTruth::compute(&data);
+        (Hierarchy::balanced(80, 3), data, truth)
+    }
+
+    #[test]
+    fn every_request_gets_its_exact_answer() {
+        let (h, data, truth) = setup();
+        let mut broker = RequestBroker::new();
+        broker.submit(PeerId::new(3), Threshold::Ratio(0.1));
+        broker.submit(PeerId::new(9), Threshold::Ratio(0.01));
+        broker.submit(PeerId::new(42), Threshold::Ratio(0.001));
+        assert_eq!(broker.pending(), 3);
+
+        let (results, _run) = broker.serve(&NetFilterConfig::default(), &h, &data);
+        assert_eq!(broker.pending(), 0, "queue must drain");
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            let expect = truth.frequent_items(r.threshold);
+            assert_eq!(r.items, expect, "request by {} wrong", r.requester);
+            let hops = h.depth(r.requester).unwrap() as u64;
+            assert_eq!(r.return_bytes, 8 * r.items.len() as u64 * hops);
+        }
+        // Smaller threshold ⇒ superset.
+        assert!(results[2].items.len() >= results[1].items.len());
+        assert!(results[1].items.len() >= results[0].items.len());
+    }
+
+    #[test]
+    fn shared_run_uses_minimum_threshold() {
+        let (h, data, truth) = setup();
+        let mut broker = RequestBroker::new();
+        broker.submit(PeerId::new(0), Threshold::Ratio(0.05));
+        broker.submit(PeerId::new(1), Threshold::Ratio(0.02));
+        let (_, run) = broker.serve(&NetFilterConfig::default(), &h, &data);
+        assert_eq!(run.threshold(), truth.threshold_for_ratio(0.02));
+    }
+
+    #[test]
+    fn one_shared_run_costs_less_than_individual_runs() {
+        let (h, data, _) = setup();
+        let cfg = NetFilterConfig::default();
+        let ratios = [0.1, 0.01, 0.005];
+
+        let mut broker = RequestBroker::new();
+        for (i, &phi) in ratios.iter().enumerate() {
+            broker.submit(PeerId::new(i), Threshold::Ratio(phi));
+        }
+        let (_, shared) = broker.serve(&cfg, &h, &data);
+        let shared_cost = shared.cost().total_bytes();
+
+        let individual: u64 = ratios
+            .iter()
+            .map(|&phi| {
+                let mut c = cfg.clone();
+                c.threshold = Threshold::Ratio(phi);
+                NetFilter::new(c).run(&h, &data).cost().total_bytes()
+            })
+            .sum();
+        assert!(
+            shared_cost < individual,
+            "shared {shared_cost} !< individual {individual}"
+        );
+    }
+
+    #[test]
+    fn mixed_absolute_and_ratio_requests() {
+        let (h, data, truth) = setup();
+        let mut broker = RequestBroker::new();
+        let abs = truth.threshold_for_ratio(0.03);
+        broker.submit(PeerId::new(5), Threshold::Absolute(abs));
+        broker.submit(PeerId::new(6), Threshold::Ratio(0.01));
+        let (results, _) = broker.serve(&NetFilterConfig::default(), &h, &data);
+        assert_eq!(results[0].items, truth.frequent_items(abs));
+        assert_eq!(
+            results[1].items,
+            truth.frequent_items(truth.threshold_for_ratio(0.01))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no requests")]
+    fn serving_empty_queue_panics() {
+        let (h, data, _) = setup();
+        let _ = RequestBroker::new().serve(&NetFilterConfig::default(), &h, &data);
+    }
+}

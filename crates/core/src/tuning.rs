@@ -1,0 +1,184 @@
+//! Setting netFilter optimally in practice — §IV-E.
+//!
+//! Connects the sampling estimators of [`ifi_agg::sampling`] to the
+//! analytic optima of [`crate::analysis`]: one cheap sampling pass over a
+//! few hierarchy branches yields `v̄`, `v̄_light`, `n̂`, `r̂`, from which
+//! Eq. 3 and Eq. 6 produce `(g, f)` — no global knowledge required.
+
+use ifi_agg::sampling::{self, SampledStats, SamplingConfig};
+use ifi_hierarchy::Hierarchy;
+use ifi_sim::DetRng;
+use ifi_workload::SystemData;
+
+use crate::analysis;
+use crate::config::{NetFilterConfig, Threshold};
+use crate::WireSizes;
+
+/// The tuned parameters plus the estimates they came from.
+#[derive(Debug, Clone)]
+pub struct TunedSetting {
+    /// Recommended filter size `g` (Eq. 3).
+    pub filter_size: u32,
+    /// Recommended number of filters `f` (Eq. 6).
+    pub filters: u32,
+    /// The raw sampling estimates.
+    pub stats: SampledStats,
+    /// The absolute threshold the tuning assumed.
+    pub threshold: u64,
+}
+
+impl TunedSetting {
+    /// Materializes a ready-to-run [`NetFilterConfig`] from the tuning.
+    pub fn to_config(&self, sizes: WireSizes, hash_seed: u64) -> NetFilterConfig {
+        NetFilterConfig::builder()
+            .filter_size(self.filter_size)
+            .filters(self.filters)
+            .threshold(Threshold::Absolute(self.threshold))
+            .sizes(sizes)
+            .hash_seed(hash_seed)
+            .build()
+    }
+}
+
+/// The slack constant `c` of Eq. 3 ("with `c` as a small positive
+/// constant"); headroom against under-sized filters, which cause
+/// homogeneous false positives.
+pub const G_SLACK: u32 = 5;
+
+/// Runs the §IV-E sampling pass and derives `(g, f)` from Eq. 3 and 6.
+///
+/// `v` (and hence the absolute threshold) is assumed known from the
+/// preliminary scalar aggregation, exactly as in the paper.
+///
+/// # Panics
+///
+/// Panics if the threshold ratio is out of range or sampling is empty.
+pub fn tune(
+    hierarchy: &Hierarchy,
+    data: &SystemData,
+    threshold: Threshold,
+    sampling_config: &SamplingConfig,
+    sizes: &WireSizes,
+    rng: &mut DetRng,
+) -> TunedSetting {
+    let t = threshold.resolve(data.total_value());
+    let stats = sampling::estimate(hierarchy, data, t, sampling_config, sizes, rng);
+
+    // Eq. 3 with sampled v̄_light and the universe average v / n̂. Guard the
+    // degenerate all-heavy sample (v̄_light = 0).
+    let v_bar = stats.v_bar_universe(data.total_value()).max(f64::MIN_POSITIVE);
+    let phi = t as f64 / data.total_value().max(1) as f64;
+    let g = if stats.v_light_bar > 0.0 {
+        analysis::optimal_g(stats.v_light_bar, phi, v_bar, G_SLACK)
+    } else {
+        G_SLACK
+    };
+
+    // Eq. 6 with sampled n̂ and r̂.
+    let f = analysis::optimal_f(sizes, stats.n_hat, stats.r_hat, g);
+
+    TunedSetting {
+        filter_size: g,
+        filters: f,
+        stats,
+        threshold: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetFilter, NetFilterConfig};
+    use ifi_workload::{GroundTruth, WorkloadParams};
+
+    fn setup() -> (Hierarchy, SystemData, GroundTruth) {
+        let params = WorkloadParams {
+            peers: 200,
+            items: 10_000,
+            instances_per_item: 10,
+            theta: 1.0,
+        };
+        let data = SystemData::generate(&params, 61);
+        let truth = GroundTruth::compute(&data);
+        (Hierarchy::balanced(200, 3), data, truth)
+    }
+
+    #[test]
+    fn tuned_config_is_valid_and_correct() {
+        let (h, data, truth) = setup();
+        let tuned = tune(
+            &h,
+            &data,
+            Threshold::Ratio(0.01),
+            &SamplingConfig { branches: 16, items_per_peer: 200 },
+            &WireSizes::default(),
+            &mut DetRng::new(3),
+        );
+        assert!(tuned.filter_size >= 1);
+        assert!((1..=64).contains(&tuned.filters));
+
+        // Running with the tuned config still yields the exact answer.
+        let cfg = tuned.to_config(WireSizes::default(), 99);
+        let run = NetFilter::new(cfg).run(&h, &data);
+        let t = truth.threshold_for_ratio(0.01);
+        assert_eq!(run.frequent_items(), &truth.frequent_items(t)[..]);
+    }
+
+    #[test]
+    fn tuned_cost_is_competitive_with_oracle_tuning() {
+        let (h, data, truth) = setup();
+        let t = truth.threshold_for_ratio(0.01);
+
+        let tuned = tune(
+            &h,
+            &data,
+            Threshold::Ratio(0.01),
+            &SamplingConfig { branches: 16, items_per_peer: 200 },
+            &WireSizes::default(),
+            &mut DetRng::new(5),
+        );
+        let tuned_cost = NetFilter::new(tuned.to_config(WireSizes::default(), 7))
+            .run(&h, &data)
+            .cost()
+            .avg_total();
+
+        // Oracle: Eq. 3/6 with the true statistics.
+        let phi = t as f64 / truth.total_value() as f64;
+        let g_star = crate::analysis::optimal_g(
+            truth.avg_light_value(t),
+            phi,
+            truth.avg_value(),
+            super::G_SLACK,
+        );
+        let f_star = crate::analysis::optimal_f(
+            &WireSizes::default(),
+            data.universe(),
+            truth.heavy_count(t) as u64,
+            g_star,
+        );
+        let oracle_cost = NetFilter::new(
+            NetFilterConfig::builder()
+                .filter_size(g_star)
+                .filters(f_star)
+                .threshold(Threshold::Absolute(t))
+                .build(),
+        )
+        .run(&h, &data)
+        .cost()
+        .avg_total();
+
+        assert!(
+            tuned_cost <= 3.0 * oracle_cost,
+            "tuned {tuned_cost} vs oracle {oracle_cost}"
+        );
+    }
+
+    #[test]
+    fn tuning_is_deterministic_per_seed() {
+        let (h, data, _) = setup();
+        let cfg = SamplingConfig::default();
+        let a = tune(&h, &data, Threshold::Ratio(0.01), &cfg, &WireSizes::default(), &mut DetRng::new(9));
+        let b = tune(&h, &data, Threshold::Ratio(0.01), &cfg, &WireSizes::default(), &mut DetRng::new(9));
+        assert_eq!((a.filter_size, a.filters), (b.filter_size, b.filters));
+    }
+}

@@ -1,0 +1,282 @@
+//! Transport-agnostic hierarchy-maintenance state machine.
+//!
+//! The §III-A.3 repair rules (periodic heartbeats with a `DEPTH` counter,
+//! depth-∞ detachment cascades, re-attachment to the first finite-depth
+//! neighbor) are needed by two protocols: the standalone
+//! [`MaintainProtocol`](crate::MaintainProtocol) and the churn-resilient
+//! netFilter protocol in the `netfilter` crate, whose message enum embeds
+//! [`MaintainMsg`](crate::MaintainMsg). [`MaintainCore`] holds the shared
+//! logic; handlers return the messages to transmit instead of sending
+//! them, so any transport (and any enclosing message enum) can drive it.
+
+use std::collections::BTreeMap;
+
+use ifi_overlay::{HeartbeatConfig, HeartbeatTracker, NeighborStatus};
+use ifi_sim::{PeerId, SimTime};
+
+use crate::protocol::MaintainMsg;
+use crate::tree::Hierarchy;
+
+/// Depth value encoding the paper's "∞" (detached) state.
+pub(crate) const DEPTH_INF: u32 = u32::MAX;
+
+/// Outbound maintenance traffic produced by one handler call.
+pub type Outbox = Vec<(PeerId, MaintainMsg)>;
+
+/// The maintenance state machine for one peer.
+#[derive(Debug, Clone)]
+pub struct MaintainCore {
+    neighbors: Vec<PeerId>,
+    is_root: bool,
+    depth: u32,
+    parent: Option<PeerId>,
+    /// `child -> last time it asserted the link` (initially the tracking
+    /// epoch start). Children that stop re-asserting expire after one
+    /// heartbeat timeout — a child that re-parented elsewhere is alive
+    /// (so failure suspicion never fires) yet must still be dropped, or
+    /// this peer waits on its reports forever.
+    children: BTreeMap<PeerId, SimTime>,
+    tracker: HeartbeatTracker,
+    /// Number of detach events this peer underwent.
+    pub detach_count: u32,
+}
+
+impl MaintainCore {
+    /// Creates per-peer state from an established hierarchy position.
+    pub fn new(
+        hierarchy: &Hierarchy,
+        peer: PeerId,
+        neighbors: Vec<PeerId>,
+        config: HeartbeatConfig,
+    ) -> Self {
+        let tracker = HeartbeatTracker::new(config, neighbors.iter().copied());
+        MaintainCore {
+            neighbors,
+            is_root: hierarchy.root() == peer,
+            depth: hierarchy.depth(peer).unwrap_or(DEPTH_INF),
+            parent: hierarchy.parent(peer),
+            children: hierarchy
+                .children(peer)
+                .iter()
+                .map(|&c| (c, SimTime::ZERO))
+                .collect(),
+            tracker,
+            detach_count: 0,
+        }
+    }
+
+    /// The heartbeat configuration.
+    pub fn config(&self) -> HeartbeatConfig {
+        self.tracker.config()
+    }
+
+    /// Current depth, or `None` while detached.
+    pub fn depth(&self) -> Option<u32> {
+        (self.depth != DEPTH_INF).then_some(self.depth)
+    }
+
+    /// Current parent.
+    pub fn parent(&self) -> Option<PeerId> {
+        self.parent
+    }
+
+    /// Current children (sorted).
+    pub fn children(&self) -> Vec<PeerId> {
+        self.children.keys().copied().collect()
+    }
+
+    /// Whether the peer is detached (depth ∞ and not the root).
+    pub fn is_detached(&self) -> bool {
+        self.depth == DEPTH_INF && !self.is_root
+    }
+
+    /// Starts the tracking epoch.
+    pub fn start(&mut self, now: SimTime) {
+        self.tracker.start(now);
+        for stamp in self.children.values_mut() {
+            *stamp = now;
+        }
+    }
+
+    /// Resets the peer to the detached state, as a **newly joining** (or
+    /// crash-revived) peer: §III-A.3 sets up the upstream/downstream
+    /// neighbors of a new participant "similarly as described in Section
+    /// III-A.1" — here, by starting at depth ∞ and attaching to the first
+    /// finite-depth heartbeat, exactly like a repaired orphan. Any stale
+    /// parent/children links from a previous incarnation are dropped
+    /// (the neighbors detected the crash and detached long ago).
+    pub fn rejoin(&mut self, now: SimTime) {
+        if !self.is_root {
+            self.depth = DEPTH_INF;
+            self.parent = None;
+        }
+        self.children.clear();
+        self.tracker.start(now);
+    }
+
+    fn detach(&mut self, out: &mut Outbox) {
+        if self.depth == DEPTH_INF {
+            return;
+        }
+        self.depth = DEPTH_INF;
+        self.parent = None;
+        self.detach_count += 1;
+        for &c in self.children.keys() {
+            out.push((c, MaintainMsg::Detach));
+        }
+        self.children.clear();
+    }
+
+    /// Handles an incoming maintenance message. Returns outbound traffic.
+    pub fn on_message(&mut self, from: PeerId, msg: MaintainMsg, now: SimTime) -> Outbox {
+        let mut out = Outbox::new();
+        match msg {
+            MaintainMsg::Heartbeat { depth } => {
+                self.tracker.on_heartbeat(from, depth, now);
+                if self.is_detached() && depth != DEPTH_INF {
+                    self.depth = depth + 1;
+                    self.parent = Some(from);
+                    out.push((from, MaintainMsg::Attach));
+                }
+            }
+            MaintainMsg::Attach => {
+                // The Attach itself proves the sender is alive; without
+                // this, a just-revived child is suspected (stale tracker
+                // entry) and silently dropped on the next tick while it
+                // believes it attached — a permanent half-attached state.
+                self.tracker.touch(from, now);
+                if self.is_detached() {
+                    out.push((from, MaintainMsg::Detach));
+                } else {
+                    self.children.insert(from, now);
+                }
+            }
+            MaintainMsg::Detach => {
+                self.tracker.touch(from, now);
+                if self.parent == Some(from) {
+                    self.detach(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Handles a periodic tick: emits heartbeats, applies failure
+    /// detection. Returns outbound traffic and whether the local tree
+    /// membership (parent or children) changed.
+    pub fn on_tick(&mut self, now: SimTime) -> (Outbox, bool) {
+        let mut out = Outbox::new();
+        for &nb in &self.neighbors {
+            out.push((nb, MaintainMsg::Heartbeat { depth: self.depth }));
+        }
+        let mut changed = false;
+        if let Some(p) = self.parent {
+            if self.tracker.status(p, now) == NeighborStatus::Suspected {
+                self.detach(&mut out);
+                changed = true;
+            }
+        }
+        // Drop children that failed, and children that stopped asserting
+        // the link (they re-parented; they are alive, so suspicion alone
+        // never fires for them).
+        let suspected = self.tracker.suspected(now);
+        let timeout = self.tracker.config().timeout;
+        let before = self.children.len();
+        self.children.retain(|c, &mut stamp| {
+            !suspected.contains(c) && now.duration_since(stamp) <= timeout
+        });
+        changed |= self.children.len() != before;
+        // Re-assert the parent link every tick. Attach is idempotent at
+        // the parent, and without the refresh a single lost Attach leaves
+        // the peer permanently half-attached under message loss: it
+        // believes it has a parent (so it never re-attaches), while the
+        // parent never forwards it anything.
+        if let Some(p) = self.parent {
+            out.push((p, MaintainMsg::Attach));
+        }
+        (out, changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifi_overlay::Topology;
+    use ifi_sim::Duration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1000)
+    }
+
+    fn core_at(peer: usize) -> MaintainCore {
+        // Line 0-1-2: peer 1 has parent 0 and child 2.
+        let topo = Topology::line(3);
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(100),
+            timeout: Duration::from_millis(300),
+            bytes: 8,
+        };
+        let p = PeerId::new(peer);
+        let mut c = MaintainCore::new(&h, p, topo.neighbors(p).to_vec(), cfg);
+        c.start(t(0));
+        c
+    }
+
+    #[test]
+    fn tick_emits_heartbeats_and_refreshes_the_parent_link() {
+        let mut c = core_at(1);
+        let (out, changed) = c.on_tick(t(100));
+        assert!(!changed);
+        let hb: Vec<PeerId> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, MaintainMsg::Heartbeat { .. }))
+            .map(|&(to, _)| to)
+            .collect();
+        assert_eq!(hb, vec![PeerId::new(0), PeerId::new(2)]);
+        // The parent link is re-asserted so a lost Attach heals itself.
+        assert!(out.contains(&(PeerId::new(0), MaintainMsg::Attach)));
+    }
+
+    #[test]
+    fn silent_parent_triggers_detach_cascade() {
+        let mut c = core_at(1);
+        // Child 2 keeps heartbeating; parent 0 goes silent.
+        c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 2 }, t(350));
+        let (out, changed) = c.on_tick(t(400));
+        assert!(changed);
+        assert!(c.is_detached());
+        assert_eq!(c.detach_count, 1);
+        assert!(out.contains(&(PeerId::new(2), MaintainMsg::Detach)));
+    }
+
+    #[test]
+    fn detached_core_reattaches_on_finite_heartbeat() {
+        let mut c = core_at(1);
+        let _ = c.on_tick(t(400)); // detach (parent silent)
+        let out = c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 5 }, t(450));
+        assert_eq!(c.depth(), Some(6));
+        assert_eq!(c.parent(), Some(PeerId::new(2)));
+        assert_eq!(out, vec![(PeerId::new(2), MaintainMsg::Attach)]);
+    }
+
+    #[test]
+    fn attach_while_detached_is_bounced() {
+        let mut c = core_at(1);
+        let _ = c.on_tick(t(400)); // detach
+        let out = c.on_message(PeerId::new(0), MaintainMsg::Attach, t(410));
+        assert_eq!(out, vec![(PeerId::new(0), MaintainMsg::Detach)]);
+        assert!(c.children().is_empty());
+    }
+
+    #[test]
+    fn suspected_child_is_dropped_from_children() {
+        let mut c = core_at(1);
+        c.on_message(PeerId::new(0), MaintainMsg::Heartbeat { depth: 0 }, t(350));
+        // Child 2 silent past the timeout.
+        let (_, changed) = c.on_tick(t(400));
+        assert!(changed);
+        assert!(c.children().is_empty());
+        assert!(!c.is_detached(), "losing a child must not detach us");
+    }
+}

@@ -1,0 +1,124 @@
+//! Multiple redundant hierarchies.
+//!
+//! §III-A.1: *"the hierarchy is still vulnerable to single point of
+//! failure. We can construct multiple hierarchies to alleviate this issue
+//! similar to [13]."* A [`MultiHierarchy`] holds `k` BFS trees with
+//! distinct roots over the same overlay; a query runs on the primary tree
+//! and fails over to the next when the primary root is down.
+
+use ifi_overlay::Topology;
+use ifi_sim::{DetRng, PeerId};
+
+use crate::tree::Hierarchy;
+
+/// `k` independent BFS hierarchies with distinct random roots.
+#[derive(Debug, Clone)]
+pub struct MultiHierarchy {
+    trees: Vec<Hierarchy>,
+}
+
+impl MultiHierarchy {
+    /// Builds `k` hierarchies over `topology` with distinct roots chosen
+    /// uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k` exceeds the peer count.
+    pub fn build(topology: &Topology, k: usize, rng: &mut DetRng) -> Self {
+        let n = topology.peer_count();
+        assert!(k > 0, "need at least one hierarchy");
+        assert!(k <= n, "more hierarchies than peers");
+        let roots = rng.sample_indices(n, k);
+        MultiHierarchy {
+            trees: roots
+                .into_iter()
+                .map(|r| Hierarchy::bfs(topology, PeerId::new(r)))
+                .collect(),
+        }
+    }
+
+    /// Builds hierarchies from explicit roots (deterministic tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roots` is empty or contains duplicates.
+    pub fn with_roots(topology: &Topology, roots: &[PeerId]) -> Self {
+        assert!(!roots.is_empty(), "need at least one root");
+        let mut dedup = roots.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), roots.len(), "duplicate roots");
+        MultiHierarchy {
+            trees: roots.iter().map(|&r| Hierarchy::bfs(topology, r)).collect(),
+        }
+    }
+
+    /// Number of redundant trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether there are no trees (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// All trees, primary first.
+    pub fn trees(&self) -> &[Hierarchy] {
+        &self.trees
+    }
+
+    /// The primary tree.
+    pub fn primary(&self) -> &Hierarchy {
+        &self.trees[0]
+    }
+
+    /// The first tree whose root is alive according to `alive`, i.e. the
+    /// failover choice for a new netFilter run.
+    pub fn active(&self, alive: impl Fn(PeerId) -> bool) -> Option<&Hierarchy> {
+        self.trees.iter().find(|t| alive(t.root()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_distinct_roots() {
+        let topo = Topology::random_regular(50, 4, &mut DetRng::new(1));
+        let mh = MultiHierarchy::build(&topo, 3, &mut DetRng::new(2));
+        assert_eq!(mh.len(), 3);
+        let mut roots: Vec<PeerId> = mh.trees().iter().map(|t| t.root()).collect();
+        roots.dedup();
+        assert_eq!(roots.len(), 3, "roots must be distinct");
+        for t in mh.trees() {
+            t.check_invariants(Some(&topo));
+            assert_eq!(t.member_count(), 50);
+        }
+    }
+
+    #[test]
+    fn active_fails_over_when_primary_root_dies() {
+        let topo = Topology::ring(8);
+        let mh = MultiHierarchy::with_roots(&topo, &[PeerId::new(0), PeerId::new(4)]);
+        assert_eq!(mh.primary().root(), PeerId::new(0));
+        let active = mh.active(|p| p != PeerId::new(0)).unwrap();
+        assert_eq!(active.root(), PeerId::new(4));
+        assert!(mh.active(|_| false).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate roots")]
+    fn duplicate_roots_rejected() {
+        let topo = Topology::ring(4);
+        let _ = MultiHierarchy::with_roots(&topo, &[PeerId::new(1), PeerId::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more hierarchies than peers")]
+    fn too_many_trees_rejected() {
+        let topo = Topology::ring(4);
+        let _ = MultiHierarchy::build(&topo, 5, &mut DetRng::new(3));
+    }
+}

@@ -1,0 +1,511 @@
+//! Message-level hierarchy construction and maintenance on the DES.
+//!
+//! [`BuildProtocol`] implements §III-A.1 (BFS construction from a
+//! designated root); [`MaintainProtocol`] implements §III-A.3 (periodic
+//! heartbeats carrying a `DEPTH` counter, failure detection, depth-∞
+//! detachment flooding, and re-attachment to the first finite-depth
+//! neighbor heard from).
+
+use ifi_overlay::HeartbeatConfig;
+
+use crate::maintain_core::MaintainCore;
+use ifi_sim::{Ctx, MsgClass, PeerId, Protocol};
+
+use crate::tree::Hierarchy;
+
+/// Depth value encoding the paper's "∞" (detached) state.
+const DEPTH_INF: u32 = u32::MAX;
+
+/// Wire size of a construction/maintenance control message: one depth
+/// counter plus a small header.
+const CTRL_BYTES: u64 = 8;
+
+/// Messages of the BFS construction protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildMsg {
+    /// "I am at `depth`; join beneath me." Sent by every peer that settles.
+    Invite {
+        /// The sender's depth in the forming hierarchy.
+        depth: u32,
+    },
+    /// "You are now my upstream neighbor."
+    Attach,
+    /// "I found a shorter path; I am no longer your child."
+    Detach,
+}
+
+/// BFS hierarchy construction (§III-A.1).
+///
+/// The designated root starts at depth 0 and invites its neighbors; a peer
+/// adopts the first (or any strictly better) invitation, attaches to the
+/// sender, and re-invites its own neighbors. Under constant latency this is
+/// exactly breadth-first search; under variable latency the
+/// strictly-better-offer rule makes it converge to the same shortest-path
+/// tree (asynchronous Bellman–Ford over hop counts).
+#[derive(Debug, Clone)]
+pub struct BuildProtocol {
+    neighbors: Vec<PeerId>,
+    is_root: bool,
+    /// Current depth; `DEPTH_INF` until settled.
+    depth: u32,
+    parent: Option<PeerId>,
+    children: Vec<PeerId>,
+}
+
+impl BuildProtocol {
+    /// Creates the per-peer state. `neighbors` are the peer's overlay
+    /// neighbors that participate in netFilter.
+    pub fn new(neighbors: Vec<PeerId>, is_root: bool) -> Self {
+        BuildProtocol {
+            neighbors,
+            is_root,
+            depth: DEPTH_INF,
+            parent: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// The settled depth, if the peer has joined the hierarchy.
+    pub fn depth(&self) -> Option<u32> {
+        (self.depth != DEPTH_INF).then_some(self.depth)
+    }
+
+    /// The settled parent.
+    pub fn parent(&self) -> Option<PeerId> {
+        self.parent
+    }
+
+    /// The settled children (sorted).
+    pub fn children(&self) -> Vec<PeerId> {
+        let mut c = self.children.clone();
+        c.sort_unstable();
+        c
+    }
+
+    fn settle(&mut self, ctx: &mut Ctx<'_, Self>, depth: u32, parent: Option<PeerId>) {
+        if let Some(old) = self.parent {
+            ctx.send(old, BuildMsg::Detach, CTRL_BYTES, MsgClass::CONTROL);
+        }
+        self.depth = depth;
+        self.parent = parent;
+        if let Some(p) = parent {
+            ctx.send(p, BuildMsg::Attach, CTRL_BYTES, MsgClass::CONTROL);
+        }
+        for &nb in &self.neighbors.clone() {
+            if Some(nb) != parent {
+                ctx.send(
+                    nb,
+                    BuildMsg::Invite { depth },
+                    CTRL_BYTES,
+                    MsgClass::CONTROL,
+                );
+            }
+        }
+    }
+
+    /// Snapshots the converged construction into a [`Hierarchy`].
+    ///
+    /// `states` yields every peer's protocol state in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorded parents do not form a tree rooted at `root`
+    /// (construction has not converged).
+    pub fn snapshot<'a>(root: PeerId, states: impl Iterator<Item = &'a BuildProtocol>) -> Hierarchy {
+        let parents: Vec<Option<PeerId>> = states.map(|s| s.parent).collect();
+        Hierarchy::from_parents(root, &parents)
+    }
+}
+
+impl Protocol for BuildProtocol {
+    type Msg = BuildMsg;
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if self.is_root && self.depth == DEPTH_INF {
+            self.settle(ctx, 0, None);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: BuildMsg) {
+        match msg {
+            BuildMsg::Invite { depth } => {
+                let offered = depth.saturating_add(1);
+                if offered < self.depth {
+                    self.settle(ctx, offered, Some(from));
+                }
+            }
+            BuildMsg::Attach => {
+                if !self.children.contains(&from) {
+                    self.children.push(from);
+                }
+            }
+            BuildMsg::Detach => {
+                self.children.retain(|&c| c != from);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _t: ()) {}
+}
+
+/// Messages of the maintenance (heartbeat + repair) protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintainMsg {
+    /// Periodic liveness beacon carrying the sender's DEPTH counter
+    /// (`u32::MAX` = ∞, detached).
+    Heartbeat {
+        /// The sender's current depth in the hierarchy.
+        depth: u32,
+    },
+    /// "You are now my upstream neighbor."
+    Attach,
+    /// Parent-to-child: "our subtree is detached; set your depth to ∞ and
+    /// pass it on" (§III-A.3).
+    Detach,
+}
+
+/// Timers of the maintenance protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintainTimer {
+    /// Periodic heartbeat tick.
+    Tick,
+}
+
+/// Steady-state hierarchy maintenance (§III-A.3).
+///
+/// Every peer periodically heartbeats its overlay neighbors with its DEPTH.
+/// A peer that stops hearing its parent for the configured timeout sets its
+/// depth to ∞ and recursively detaches its subtree; any detached peer that
+/// hears a heartbeat advertising finite depth `d` re-attaches beneath the
+/// sender at depth `d + 1`.
+///
+/// The state machine itself lives in [`crate::MaintainCore`] (shared with
+/// the churn-resilient netFilter protocol); this type binds it to the DES
+/// transport.
+#[derive(Debug, Clone)]
+pub struct MaintainProtocol {
+    core: MaintainCore,
+    started_before: bool,
+}
+
+impl MaintainProtocol {
+    /// Creates per-peer state from an established hierarchy position.
+    pub fn new(
+        hierarchy: &Hierarchy,
+        peer: PeerId,
+        neighbors: Vec<PeerId>,
+        config: HeartbeatConfig,
+    ) -> Self {
+        MaintainProtocol {
+            core: MaintainCore::new(hierarchy, peer, neighbors, config),
+            started_before: false,
+        }
+    }
+
+    /// Current depth, or `None` while detached.
+    pub fn depth(&self) -> Option<u32> {
+        self.core.depth()
+    }
+
+    /// Current parent.
+    pub fn parent(&self) -> Option<PeerId> {
+        self.core.parent()
+    }
+
+    /// Current children (sorted).
+    pub fn children(&self) -> Vec<PeerId> {
+        self.core.children()
+    }
+
+    /// Whether the peer is detached (depth ∞).
+    pub fn is_detached(&self) -> bool {
+        self.core.is_detached()
+    }
+
+    /// Number of detach events this peer underwent.
+    pub fn detach_count(&self) -> u32 {
+        self.core.detach_count
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, Self>, out: crate::maintain_core::Outbox) {
+        let hb_bytes = self.core.config().bytes;
+        for (to, msg) in out {
+            let bytes = match msg {
+                MaintainMsg::Heartbeat { .. } => hb_bytes,
+                _ => CTRL_BYTES,
+            };
+            let class = match msg {
+                MaintainMsg::Heartbeat { .. } => MsgClass::HEARTBEAT,
+                _ => MsgClass::CONTROL,
+            };
+            ctx.send(to, msg, bytes, class);
+        }
+    }
+
+    /// Snapshots the current structure of alive peers into a [`Hierarchy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure is not a tree rooted at `root` (repair has
+    /// not converged).
+    pub fn snapshot<'a>(
+        root: PeerId,
+        states: impl Iterator<Item = (&'a MaintainProtocol, bool)>,
+    ) -> Hierarchy {
+        let parents: Vec<Option<PeerId>> = states
+            .map(|(s, alive)| if alive { s.core.parent() } else { None })
+            .collect();
+        Hierarchy::from_parents(root, &parents)
+    }
+}
+
+impl Protocol for MaintainProtocol {
+    type Msg = MaintainMsg;
+    type Timer = MaintainTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if self.started_before {
+            // Crash-revival or late join: come back as a fresh, detached
+            // participant and re-attach via heartbeats (§III-A.3).
+            self.core.rejoin(ctx.now());
+        } else {
+            self.started_before = true;
+            self.core.start(ctx.now());
+        }
+        ctx.set_timer(self.core.config().interval, MaintainTimer::Tick);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: MaintainMsg) {
+        let out = self.core.on_message(from, msg, ctx.now());
+        self.flush(ctx, out);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: MaintainTimer) {
+        let MaintainTimer::Tick = timer;
+        let (out, _changed) = self.core.on_tick(ctx.now());
+        self.flush(ctx, out);
+        ctx.set_timer(self.core.config().interval, MaintainTimer::Tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifi_overlay::Topology;
+    use ifi_sim::{DetRng, Duration, SimConfig, SimTime, World};
+
+    fn build_world(topo: &Topology, root: PeerId, seed: u64) -> World<BuildProtocol> {
+        let peers: Vec<BuildProtocol> = topo
+            .peers()
+            .map(|p| BuildProtocol::new(topo.neighbors(p).to_vec(), p == root))
+            .collect();
+        World::new(SimConfig::default().with_seed(seed), peers)
+    }
+
+    #[test]
+    fn build_converges_to_bfs_tree_constant_latency() {
+        let topo = Topology::random_regular(150, 4, &mut DetRng::new(2));
+        let root = PeerId::new(0);
+        let mut w = build_world(&topo, root, 1);
+        w.start();
+        w.run_to_quiescence();
+        let h = BuildProtocol::snapshot(root, w.peers());
+        h.check_invariants(Some(&topo)); // exact BFS depths under constant latency
+        assert_eq!(h.member_count(), 150);
+    }
+
+    #[test]
+    fn build_converges_under_variable_latency() {
+        let topo = Topology::random_regular(100, 4, &mut DetRng::new(4));
+        let root = PeerId::new(5);
+        let peers: Vec<BuildProtocol> = topo
+            .peers()
+            .map(|p| BuildProtocol::new(topo.neighbors(p).to_vec(), p == root))
+            .collect();
+        let cfg = SimConfig::default()
+            .with_seed(9)
+            .with_latency(ifi_sim::LatencyModel::Uniform {
+                lo: Duration::from_millis(10),
+                hi: Duration::from_millis(200),
+            });
+        let mut w = World::new(cfg, peers);
+        w.start();
+        w.run_to_quiescence();
+        let h = BuildProtocol::snapshot(root, w.peers());
+        // The strictly-better rule still yields true shortest-path depths.
+        h.check_invariants(Some(&topo));
+        assert_eq!(h.member_count(), 100);
+    }
+
+    #[test]
+    fn build_on_line_matches_instant_bfs() {
+        let topo = Topology::line(10);
+        let mut w = build_world(&topo, PeerId::new(0), 3);
+        w.start();
+        w.run_to_quiescence();
+        let h = BuildProtocol::snapshot(PeerId::new(0), w.peers());
+        assert_eq!(h, Hierarchy::bfs(&topo, PeerId::new(0)));
+    }
+
+    fn maintain_world(
+        topo: &Topology,
+        h: &Hierarchy,
+        seed: u64,
+    ) -> World<MaintainProtocol> {
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_millis(1600),
+            bytes: 8,
+        };
+        let peers: Vec<MaintainProtocol> = topo
+            .peers()
+            .map(|p| MaintainProtocol::new(h, p, topo.neighbors(p).to_vec(), cfg))
+            .collect();
+        World::new(
+            SimConfig::default()
+                .with_seed(seed)
+                .with_latency(ifi_sim::LatencyModel::Constant(Duration::from_millis(20))),
+            peers,
+        )
+    }
+
+    #[test]
+    fn maintain_is_stable_without_failures() {
+        let topo = Topology::random_regular(60, 4, &mut DetRng::new(6));
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let mut w = maintain_world(&topo, &h, 7);
+        w.start();
+        w.run_until(SimTime::from_micros(10_000_000));
+        let snap = MaintainProtocol::snapshot(
+            PeerId::new(0),
+            (0..60).map(|i| (w.peer(PeerId::new(i)), true)),
+        );
+        assert_eq!(snap, h, "tree changed without any failure");
+        assert!(w.peers().all(|p| p.detach_count() == 0));
+    }
+
+    #[test]
+    fn repair_reattaches_orphans_after_internal_failure() {
+        let topo = Topology::random_regular(60, 4, &mut DetRng::new(8));
+        let root = PeerId::new(0);
+        let h = Hierarchy::bfs(&topo, root);
+        // Kill an internal (non-root) node with children.
+        let victim = *h
+            .internal_nodes()
+            .first()
+            .expect("random graph tree must have internal nodes");
+        let orphan_count = h.children(victim).len();
+        assert!(orphan_count > 0);
+
+        let mut w = maintain_world(&topo, &h, 11);
+        w.start();
+        w.schedule_kill(SimTime::from_micros(2_000_000), victim);
+        w.run_until(SimTime::from_micros(30_000_000));
+
+        let snap = MaintainProtocol::snapshot(
+            root,
+            (0..60).map(|i| (w.peer(PeerId::new(i)), w.is_up(PeerId::new(i)))),
+        );
+        snap.check_invariants(None);
+        // All alive peers are members again.
+        assert_eq!(snap.member_count(), 59);
+        assert!(!snap.is_member(victim));
+        // At least the orphans detached once.
+        let total_detaches: u32 = w.peers().map(|p| p.detach_count()).sum();
+        assert!(total_detaches as usize >= orphan_count);
+    }
+
+    #[test]
+    fn repair_cascades_through_subtree() {
+        // Line topology: killing peer 1 detaches the entire tail 2..n,
+        // which can never re-attach (no alternative path) — they stay at
+        // depth ∞, exactly as the paper's scheme implies for a partitioned
+        // overlay.
+        let topo = Topology::line(6);
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let mut w = maintain_world(&topo, &h, 13);
+        w.start();
+        w.schedule_kill(SimTime::from_micros(1_000_000), PeerId::new(1));
+        w.run_until(SimTime::from_micros(20_000_000));
+        for i in 2..6 {
+            assert!(
+                w.peer(PeerId::new(i)).is_detached(),
+                "P{i} should remain detached in a partitioned overlay"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_finds_alternative_path_on_ring() {
+        // Ring: 0-1-2-3-4-5-0. Tree from 0. Kill peer 1; peer 2 (and its
+        // subtree) must re-attach the other way around the ring.
+        let topo = Topology::ring(6);
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let mut w = maintain_world(&topo, &h, 17);
+        w.start();
+        w.schedule_kill(SimTime::from_micros(1_000_000), PeerId::new(1));
+        w.run_until(SimTime::from_micros(40_000_000));
+        let snap = MaintainProtocol::snapshot(
+            PeerId::new(0),
+            (0..6).map(|i| (w.peer(PeerId::new(i)), w.is_up(PeerId::new(i)))),
+        );
+        snap.check_invariants(None);
+        assert_eq!(snap.member_count(), 5);
+        assert!(snap.is_member(PeerId::new(2)));
+    }
+
+    #[test]
+    fn heartbeat_bytes_are_metered() {
+        let topo = Topology::ring(4);
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let mut w = maintain_world(&topo, &h, 19);
+        w.start();
+        w.run_until(SimTime::from_micros(5_000_000));
+        let hb = w.metrics().class_bytes(MsgClass::HEARTBEAT);
+        // 4 peers × 2 neighbors × 10 ticks × 8 bytes = 640.
+        assert_eq!(hb, 640);
+    }
+
+    #[test]
+    fn revived_peer_rejoins_the_tree() {
+        // Kill a leaf, let the tree settle, revive it: §III-A.3 join
+        // handling must re-attach it (as a fresh detached participant).
+        let topo = Topology::random_regular(40, 4, &mut DetRng::new(23));
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let victim = *h.leaves().first().expect("trees have leaves");
+        let mut w = maintain_world(&topo, &h, 29);
+        w.start();
+        w.schedule_kill(SimTime::from_micros(2_000_000), victim);
+        w.schedule_revive(SimTime::from_micros(12_000_000), victim);
+        w.run_until(SimTime::from_micros(40_000_000));
+
+        let snap = MaintainProtocol::snapshot(
+            PeerId::new(0),
+            (0..40).map(|i| (w.peer(PeerId::new(i)), w.is_up(PeerId::new(i)))),
+        );
+        snap.check_invariants(None);
+        assert_eq!(snap.member_count(), 40, "revived peer must rejoin");
+        assert!(snap.is_member(victim));
+        assert!(!w.peer(victim).is_detached());
+    }
+
+    #[test]
+    fn brand_new_peer_joins_via_heartbeats() {
+        // A peer constructed outside the hierarchy (depth ∞ from the
+        // start) attaches to the first finite-depth neighbor it hears —
+        // the paper's new-peer accommodation.
+        let topo = Topology::ring(6);
+        let h = Hierarchy::bfs_filtered(&topo, PeerId::new(0), |p| p.index() != 3);
+        assert!(!h.is_member(PeerId::new(3)));
+        let mut w = maintain_world(&topo, &h, 31);
+        w.start();
+        w.run_until(SimTime::from_micros(20_000_000));
+        let snap = MaintainProtocol::snapshot(
+            PeerId::new(0),
+            (0..6).map(|i| (w.peer(PeerId::new(i)), true)),
+        );
+        snap.check_invariants(None);
+        assert!(snap.is_member(PeerId::new(3)), "new peer must join");
+    }
+}

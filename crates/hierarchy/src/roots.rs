@@ -1,0 +1,146 @@
+//! Root selection strategies — §III-A.1.
+//!
+//! *"A designated peer is first chosen as the root node of the hierarchy
+//! … This designated peer could be a randomly selected peer, the most
+//! stable peer, or a peer that is close to the center of the network. In
+//! this study, we choose a peer randomly as the root node and leave other
+//! options for future exploration."*
+//!
+//! All three options are implemented here, plus the `root_selection`
+//! ablation in `ifi-bench` measuring their effect on hierarchy height
+//! (and hence aggregation latency — the byte cost is height-insensitive).
+
+use ifi_overlay::churn::ChurnSchedule;
+use ifi_overlay::Topology;
+use ifi_sim::{DetRng, PeerId};
+
+/// How the hierarchy root is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootSelection {
+    /// A uniformly random peer (the paper's evaluation choice).
+    Random,
+    /// The peer with the longest online time (requires a churn history).
+    MostStable,
+    /// The peer with the smallest BFS eccentricity among `samples` random
+    /// candidates (exact center when `samples ≥ N`). Minimizes hierarchy
+    /// height, and therefore the leaf-to-root propagation latency.
+    Center {
+        /// Number of random candidates whose eccentricity is evaluated.
+        samples: usize,
+    },
+}
+
+/// Selects a hierarchy root from `topology` under `selection`.
+///
+/// `stability` supplies online-time scores; it is required for
+/// [`RootSelection::MostStable`] and ignored otherwise.
+///
+/// # Panics
+///
+/// Panics if the topology is empty, if `MostStable` is requested without
+/// a stability history, or if `Center { samples: 0 }` is given.
+pub fn select_root(
+    topology: &Topology,
+    stability: Option<&ChurnSchedule>,
+    selection: RootSelection,
+    rng: &mut DetRng,
+) -> PeerId {
+    let n = topology.peer_count();
+    assert!(n > 0, "cannot pick a root in an empty topology");
+    match selection {
+        RootSelection::Random => PeerId::new(rng.below(n as u64) as usize),
+        RootSelection::MostStable => {
+            let sched = stability.expect("MostStable requires a churn history");
+            sched.most_stable(1)[0]
+        }
+        RootSelection::Center { samples } => {
+            assert!(samples > 0, "Center requires at least one sample");
+            let candidates: Vec<usize> = if samples >= n {
+                (0..n).collect()
+            } else {
+                rng.sample_indices(n, samples)
+            };
+            candidates
+                .into_iter()
+                .map(PeerId::new)
+                .min_by_key(|&p| (topology.eccentricity(p), p))
+                .expect("at least one candidate")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Hierarchy;
+    use ifi_overlay::churn::SessionModel;
+    use ifi_sim::{Duration, SimTime};
+
+    #[test]
+    fn random_root_is_in_range_and_seed_stable() {
+        let topo = Topology::ring(20);
+        let a = select_root(&topo, None, RootSelection::Random, &mut DetRng::new(3));
+        let b = select_root(&topo, None, RootSelection::Random, &mut DetRng::new(3));
+        assert_eq!(a, b);
+        assert!(a.index() < 20);
+    }
+
+    #[test]
+    fn most_stable_picks_the_top_scored_peer() {
+        let topo = Topology::ring(15);
+        let sched = ChurnSchedule::generate(
+            15,
+            SessionModel::Exponential {
+                mean_on: Duration::from_secs(100),
+                mean_off: Duration::from_secs(100),
+            },
+            SimTime::from_micros(1_000_000_000),
+            &mut DetRng::new(4),
+        );
+        let root = select_root(&topo, Some(&sched), RootSelection::MostStable, &mut DetRng::new(5));
+        assert_eq!(root, sched.most_stable(1)[0]);
+    }
+
+    #[test]
+    fn exact_center_minimizes_height_on_a_line() {
+        // Line of 21: the center peer (10) has eccentricity 10; the ends
+        // have 20. An exact Center pick must find peer 10.
+        let topo = Topology::line(21);
+        let root = select_root(
+            &topo,
+            None,
+            RootSelection::Center { samples: 100 },
+            &mut DetRng::new(6),
+        );
+        assert_eq!(root, PeerId::new(10));
+        let centered = Hierarchy::bfs(&topo, root);
+        let cornered = Hierarchy::bfs(&topo, PeerId::new(0));
+        assert!(centered.height() < cornered.height());
+        assert_eq!(centered.height(), 11);
+    }
+
+    #[test]
+    fn sampled_center_beats_random_on_average() {
+        let topo = Topology::random_regular(300, 3, &mut DetRng::new(7));
+        let mut rng = DetRng::new(8);
+        let mut center_sum = 0u32;
+        let mut random_sum = 0u32;
+        for _ in 0..10 {
+            let c = select_root(&topo, None, RootSelection::Center { samples: 20 }, &mut rng);
+            let r = select_root(&topo, None, RootSelection::Random, &mut rng);
+            center_sum += Hierarchy::bfs(&topo, c).height();
+            random_sum += Hierarchy::bfs(&topo, r).height();
+        }
+        assert!(
+            center_sum <= random_sum,
+            "sampled center ({center_sum}) should not be taller than random ({random_sum})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a churn history")]
+    fn most_stable_without_history_panics() {
+        let topo = Topology::ring(5);
+        let _ = select_root(&topo, None, RootSelection::MostStable, &mut DetRng::new(1));
+    }
+}

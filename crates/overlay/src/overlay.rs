@@ -1,0 +1,363 @@
+//! The full membership view: topology + stable participants + attachment.
+//!
+//! §III-A: *"we only recruit peers that are more stable (e.g., being online
+//! for a longer time) to perform netFilter where other peers forward their
+//! local item sets to one of these peers participating in netFilter."*
+//!
+//! An [`Overlay`] records which peers participate and, for every
+//! non-participant, the participant it reports its local item set to.
+
+use ifi_sim::{DetRng, PeerId};
+
+use crate::churn::ChurnSchedule;
+use crate::topology::Topology;
+
+/// How the set of netFilter participants is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StableSelection {
+    /// Every peer participates (the paper's evaluation setting: all `N`
+    /// simulated peers run netFilter).
+    All,
+    /// The `fraction ∈ (0, 1]` most stable peers by online time.
+    TopFraction(f64),
+    /// Exactly `k` most stable peers.
+    TopK(usize),
+}
+
+/// An unstructured P2P overlay with participant recruitment.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    topology: Topology,
+    participant: Vec<bool>,
+    /// For non-participants, the participant that aggregates on their
+    /// behalf; `None` for participants themselves.
+    attachment: Vec<Option<PeerId>>,
+}
+
+impl Overlay {
+    /// An overlay where every peer participates.
+    pub fn all_participants(topology: Topology) -> Self {
+        let n = topology.peer_count();
+        Overlay {
+            topology,
+            participant: vec![true; n],
+            attachment: vec![None; n],
+        }
+    }
+
+    /// Builds an overlay by recruiting stable peers according to
+    /// `selection`, scored by total online time in `schedule`. Every
+    /// non-participant is attached to its BFS-nearest participant (ties
+    /// broken by smallest peer id, matching deterministic BFS order);
+    /// unreachable non-participants are attached to a uniformly random
+    /// participant (modelling an out-of-band introduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection yields zero participants, or if `schedule`
+    /// covers a different number of peers than `topology`.
+    pub fn recruit(
+        topology: Topology,
+        schedule: &ChurnSchedule,
+        selection: StableSelection,
+        rng: &mut DetRng,
+    ) -> Self {
+        let n = topology.peer_count();
+        let stable: Vec<PeerId> = match selection {
+            StableSelection::All => (0..n).map(PeerId::new).collect(),
+            StableSelection::TopFraction(f) => {
+                assert!(f > 0.0 && f <= 1.0, "fraction out of (0, 1]");
+                let k = ((n as f64 * f).ceil() as usize).clamp(1, n);
+                schedule.most_stable(k)
+            }
+            StableSelection::TopK(k) => schedule.most_stable(k),
+        };
+        assert!(!stable.is_empty(), "no participants recruited");
+
+        let mut participant = vec![false; n];
+        for &p in &stable {
+            participant[p.index()] = true;
+        }
+
+        // Multi-source BFS from all participants to find each
+        // non-participant's nearest participant.
+        let mut attachment: Vec<Option<PeerId>> = vec![None; n];
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &p in &stable {
+            dist[p.index()] = 0;
+            attachment[p.index()] = None;
+            queue.push_back((p, p));
+        }
+        // `origin` = the participant this BFS frontier grew from.
+        while let Some((u, origin)) = queue.pop_front() {
+            for &v in topology.neighbors(u) {
+                if participant[v.index()] {
+                    continue;
+                }
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    attachment[v.index()] = Some(origin);
+                    queue.push_back((v, origin));
+                }
+            }
+        }
+        // Anyone still unattached is disconnected from all participants.
+        for i in 0..n {
+            if !participant[i] && attachment[i].is_none() {
+                let pick = stable[rng.below(stable.len() as u64) as usize];
+                attachment[i] = Some(pick);
+            }
+        }
+
+        Overlay {
+            topology,
+            participant,
+            attachment,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of peers (participants + non-participants).
+    pub fn peer_count(&self) -> usize {
+        self.topology.peer_count()
+    }
+
+    /// Whether `peer` participates in netFilter.
+    pub fn is_participant(&self, peer: PeerId) -> bool {
+        self.participant[peer.index()]
+    }
+
+    /// All participants, sorted.
+    pub fn participants(&self) -> Vec<PeerId> {
+        (0..self.peer_count())
+            .map(PeerId::new)
+            .filter(|&p| self.is_participant(p))
+            .collect()
+    }
+
+    /// The participant a non-participant reports to (`None` for
+    /// participants).
+    pub fn attachment(&self, peer: PeerId) -> Option<PeerId> {
+        self.attachment[peer.index()]
+    }
+
+    /// For each participant, the non-participants that report to it.
+    pub fn attached_to(&self, participant: PeerId) -> Vec<PeerId> {
+        assert!(
+            self.is_participant(participant),
+            "attached_to called on non-participant {participant}"
+        );
+        (0..self.peer_count())
+            .map(PeerId::new)
+            .filter(|&p| self.attachment[p.index()] == Some(participant))
+            .collect()
+    }
+
+    /// Adds overlay links between participants until the participant-
+    /// induced subgraph is connected, returning the number of edges added.
+    ///
+    /// The hierarchy of §III-A is formed *among the netFilter
+    /// participants*, so they must be mutually reachable without passing
+    /// through transient peers; deployed systems achieve this by having
+    /// stable peers maintain links to other stable peers, which this
+    /// models.
+    pub fn connect_participants(&mut self, rng: &mut DetRng) -> usize {
+        let members: Vec<PeerId> = self.participants();
+        if members.is_empty() {
+            return 0;
+        }
+        let mut added = 0;
+        loop {
+            // Components of the participant-induced subgraph.
+            let depths = self
+                .topology
+                .bfs_depths_filtered(members[0], |p| self.participant[p.index()]);
+            let unreachable: Vec<PeerId> = members
+                .iter()
+                .copied()
+                .filter(|p| depths[p.index()].is_none())
+                .collect();
+            let Some(&orphan) = unreachable.first() else {
+                return added;
+            };
+            let reachable: Vec<PeerId> = members
+                .iter()
+                .copied()
+                .filter(|p| depths[p.index()].is_some())
+                .collect();
+            let anchor = reachable[rng.below(reachable.len() as u64) as usize];
+            if self.topology.add_edge(orphan, anchor) {
+                added += 1;
+            }
+        }
+    }
+
+    /// Checks structural invariants; used by tests.
+    pub fn check_invariants(&self) {
+        for i in 0..self.peer_count() {
+            let p = PeerId::new(i);
+            match (self.is_participant(p), self.attachment(p)) {
+                (true, Some(a)) => panic!("participant {p} attached to {a}"),
+                (false, None) => panic!("non-participant {p} unattached"),
+                (false, Some(a)) => assert!(
+                    self.is_participant(a),
+                    "{p} attached to non-participant {a}"
+                ),
+                (true, None) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::SessionModel;
+    use ifi_sim::{Duration, SimTime};
+
+    fn schedule(n: usize, seed: u64) -> ChurnSchedule {
+        ChurnSchedule::generate(
+            n,
+            SessionModel::Exponential {
+                mean_on: Duration::from_secs(100),
+                mean_off: Duration::from_secs(100),
+            },
+            SimTime::from_micros(1_000_000_000),
+            &mut DetRng::new(seed),
+        )
+    }
+
+    #[test]
+    fn all_participants_has_no_attachments() {
+        let ov = Overlay::all_participants(Topology::ring(5));
+        ov.check_invariants();
+        assert_eq!(ov.participants().len(), 5);
+        assert_eq!(ov.attachment(PeerId::new(3)), None);
+    }
+
+    #[test]
+    fn top_k_recruits_exactly_k() {
+        let topo = Topology::random_regular(40, 4, &mut DetRng::new(1));
+        let ov = Overlay::recruit(
+            topo,
+            &schedule(40, 2),
+            StableSelection::TopK(10),
+            &mut DetRng::new(3),
+        );
+        ov.check_invariants();
+        assert_eq!(ov.participants().len(), 10);
+    }
+
+    #[test]
+    fn top_fraction_rounds_up_and_clamps() {
+        let topo = Topology::random_regular(10, 3, &mut DetRng::new(1));
+        let ov = Overlay::recruit(
+            topo,
+            &schedule(10, 2),
+            StableSelection::TopFraction(0.25),
+            &mut DetRng::new(3),
+        );
+        assert_eq!(ov.participants().len(), 3); // ceil(2.5)
+    }
+
+    #[test]
+    fn attachment_prefers_nearest_participant() {
+        // Line 0-1-2-3-4 with participants {0, 4}: peer 1 → 0, peer 3 → 4.
+        let topo = Topology::line(5);
+        // Build by hand through recruit's invariants: craft a schedule where
+        // peers 0 and 4 have the most online time is awkward; instead test
+        // the multi-source BFS directly through a TopK-like construction.
+        let mut ov = Overlay::all_participants(topo);
+        ov.participant = vec![true, false, false, false, true];
+        ov.attachment = vec![None; 5];
+        // Re-run the attachment logic by rebuilding via recruit-equivalent:
+        // simplest is to recompute here with the same algorithm.
+        let stable = vec![PeerId::new(0), PeerId::new(4)];
+        let mut dist = [u32::MAX; 5];
+        let mut queue = std::collections::VecDeque::new();
+        for &p in &stable {
+            dist[p.index()] = 0;
+            queue.push_back((p, p));
+        }
+        while let Some((u, origin)) = queue.pop_front() {
+            for &v in ov.topology.neighbors(u) {
+                if ov.participant[v.index()] || dist[v.index()] != u32::MAX {
+                    continue;
+                }
+                dist[v.index()] = dist[u.index()] + 1;
+                ov.attachment[v.index()] = Some(origin);
+                queue.push_back((v, origin));
+            }
+        }
+        ov.check_invariants();
+        assert_eq!(ov.attachment(PeerId::new(1)), Some(PeerId::new(0)));
+        assert_eq!(ov.attachment(PeerId::new(3)), Some(PeerId::new(4)));
+        // Peer 2 is equidistant; the frontier from peer 0 reaches it first
+        // under deterministic BFS order.
+        assert_eq!(
+            ov.attached_to(PeerId::new(0)),
+            vec![PeerId::new(1), PeerId::new(2)]
+        );
+    }
+
+    #[test]
+    fn disconnected_non_participants_get_random_attachment() {
+        // Two components: {0,1} and {2,3}; participants only in {0,1}.
+        let mut topo = Topology::empty(4);
+        topo.add_edge(PeerId::new(0), PeerId::new(1));
+        topo.add_edge(PeerId::new(2), PeerId::new(3));
+        // Force participants {0} via TopK(1) regardless of schedule by using
+        // a quiet schedule (all equal online time → ties by id → peer 0).
+        let sched = ChurnSchedule::quiet(4, SimTime::from_micros(1_000));
+        let ov = Overlay::recruit(
+            topo,
+            &sched,
+            StableSelection::TopK(1),
+            &mut DetRng::new(9),
+        );
+        ov.check_invariants();
+        assert_eq!(ov.participants(), vec![PeerId::new(0)]);
+        assert_eq!(ov.attachment(PeerId::new(2)), Some(PeerId::new(0)));
+    }
+
+    #[test]
+    fn connect_participants_makes_backbone_connected() {
+        // Line 0-1-2-3-4 with participants {0, 4}: induced subgraph is
+        // disconnected until a backbone edge is added.
+        let topo = Topology::line(5);
+        let sched = ChurnSchedule::quiet(5, SimTime::from_micros(1_000));
+        let mut ov = Overlay::recruit(
+            topo,
+            &sched,
+            StableSelection::TopK(2), // quiet schedule → ties by id → {0, 1}
+            &mut DetRng::new(4),
+        );
+        // Force a disconnected participant set for the test.
+        ov.participant = vec![true, false, false, false, true];
+        ov.attachment = vec![None, Some(PeerId::new(0)), Some(PeerId::new(0)), Some(PeerId::new(4)), None];
+        let added = ov.connect_participants(&mut DetRng::new(5));
+        assert_eq!(added, 1);
+        assert!(ov.topology().has_edge(PeerId::new(0), PeerId::new(4)));
+        // Idempotent.
+        assert_eq!(ov.connect_participants(&mut DetRng::new(6)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-participant")]
+    fn attached_to_rejects_non_participant() {
+        let topo = Topology::line(4);
+        let sched = ChurnSchedule::quiet(4, SimTime::from_micros(1_000));
+        let ov = Overlay::recruit(
+            topo,
+            &sched,
+            StableSelection::TopK(1),
+            &mut DetRng::new(9),
+        );
+        let _ = ov.attached_to(PeerId::new(3));
+    }
+}

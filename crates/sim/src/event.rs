@@ -1,0 +1,146 @@
+//! Internal event-queue plumbing.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::id::PeerId;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M, T> {
+    /// Deliver a message to `to`. (Bytes and class were charged and
+    /// recorded at send time.)
+    Deliver { from: PeerId, to: PeerId, msg: M },
+    /// Fire a timer at a peer. The event's `seq` doubles as the timer id
+    /// for cancellation.
+    Timer { peer: PeerId, tag: T },
+    /// Run `Protocol::on_start` for a peer (initial boot or revival).
+    Start { peer: PeerId },
+    /// Administrative: take a peer down.
+    Kill { peer: PeerId },
+    /// Administrative: bring a peer back up (also re-runs `on_start`).
+    Revive { peer: PeerId },
+}
+
+/// A scheduled event. Ordered by `(time, seq)` so that simultaneous events
+/// fire in scheduling order — this is what makes runs deterministic.
+#[derive(Debug)]
+pub(crate) struct Event<M, T> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M, T>,
+}
+
+impl<M, T> PartialEq for Event<M, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M, T> Eq for Event<M, T> {}
+
+impl<M, T> PartialOrd for Event<M, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M, T> Ord for Event<M, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of events keyed by `(time, seq)`.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M, T> {
+    heap: BinaryHeap<Event<M, T>>,
+    next_seq: u64,
+}
+
+impl<M, T> EventQueue<M, T> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind<M, T>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+        seq
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M, T>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    #[allow(dead_code)] // used by tests and kept for driver-side introspection
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)] // used by tests and kept for driver-side introspection
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(q: &mut EventQueue<u8, ()>, t: u64) {
+        q.push(SimTime::from_micros(t), EventKind::Start { peer: PeerId::new(0) });
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u8, ()> = EventQueue::new();
+        ev(&mut q, 30);
+        ev(&mut q, 10);
+        ev(&mut q, 20);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros())
+            .collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<u8, ()> = EventQueue::new();
+        let s1 = q.push(
+            SimTime::from_micros(5),
+            EventKind::Kill { peer: PeerId::new(1) },
+        );
+        let s2 = q.push(
+            SimTime::from_micros(5),
+            EventKind::Kill { peer: PeerId::new(2) },
+        );
+        assert!(s1 < s2);
+        let first = q.pop().unwrap();
+        assert_eq!(first.seq, s1);
+        let second = q.pop().unwrap();
+        assert_eq!(second.seq, s2);
+    }
+
+    #[test]
+    fn peek_time_and_len() {
+        let mut q: EventQueue<u8, ()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        ev(&mut q, 42);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(42)));
+    }
+}

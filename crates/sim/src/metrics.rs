@@ -1,0 +1,272 @@
+//! Communication metering.
+//!
+//! The paper's performance metric is **communication cost: the average
+//! number of bytes propagated per peer** (§IV). The kernel meters every
+//! message send with a byte size and a [`MsgClass`], so experiments can
+//! report both the lumped total and the per-phase breakdown the paper plots
+//! (candidate filtering / candidate dissemination / candidate aggregation).
+
+use crate::id::PeerId;
+
+/// A small message classification tag used to break communication cost down
+/// by protocol phase.
+///
+/// Classes are dense `u8` indices below [`MsgClass::COUNT`]; crates define
+/// their own semantic constants (the netFilter crate uses
+/// `FILTERING`/`DISSEMINATION`/`AGGREGATION`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgClass(pub u8);
+
+impl MsgClass {
+    /// Number of distinct classes tracked by [`Metrics`].
+    pub const COUNT: usize = 8;
+
+    /// Generic payload traffic.
+    pub const DATA: MsgClass = MsgClass(0);
+    /// Control-plane traffic (tree construction, membership).
+    pub const CONTROL: MsgClass = MsgClass(1);
+    /// Periodic heartbeats.
+    pub const HEARTBEAT: MsgClass = MsgClass(2);
+    /// Phase 1 of netFilter: item-group aggregate vectors.
+    pub const FILTERING: MsgClass = MsgClass(3);
+    /// Phase 2a of netFilter: heavy item-group identifier dissemination.
+    pub const DISSEMINATION: MsgClass = MsgClass(4);
+    /// Phase 2b of netFilter: candidate `(id, value)` aggregation.
+    pub const AGGREGATION: MsgClass = MsgClass(5);
+    /// Gossip rounds.
+    pub const GOSSIP: MsgClass = MsgClass(6);
+    /// Sampling traffic for parameter estimation.
+    pub const SAMPLING: MsgClass = MsgClass(7);
+
+    /// Dense index of this class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class value is `>= MsgClass::COUNT`.
+    pub fn index(self) -> usize {
+        let i = self.0 as usize;
+        assert!(i < Self::COUNT, "message class {i} out of range");
+        i
+    }
+
+    /// A short human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self.0 {
+            0 => "data",
+            1 => "control",
+            2 => "heartbeat",
+            3 => "filtering",
+            4 => "dissemination",
+            5 => "aggregation",
+            6 => "gossip",
+            7 => "sampling",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Bytes and message counts accumulated for one class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassTotals {
+    /// Total bytes sent in this class.
+    pub bytes: u64,
+    /// Total messages sent in this class.
+    pub messages: u64,
+}
+
+/// Per-peer, per-class communication accounting.
+///
+/// Senders are charged at send time (whether or not the message is later
+/// dropped by the network — the bytes were still put on the wire, matching
+/// the paper's "bytes propagated" notion).
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// `per_peer[p][c]` = totals for peer `p`, class `c`.
+    per_peer: Vec<[ClassTotals; MsgClass::COUNT]>,
+    dropped_messages: u64,
+    delivered_messages: u64,
+}
+
+impl Metrics {
+    /// Creates metrics for `n` peers, all zeroed.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            per_peer: vec![[ClassTotals::default(); MsgClass::COUNT]; n],
+            dropped_messages: 0,
+            delivered_messages: 0,
+        }
+    }
+
+    /// Number of peers tracked.
+    pub fn peer_count(&self) -> usize {
+        self.per_peer.len()
+    }
+
+    /// Charges `bytes` sent by `peer` in `class`.
+    pub fn record_send(&mut self, peer: PeerId, class: MsgClass, bytes: u64) {
+        let t = &mut self.per_peer[peer.index()][class.index()];
+        t.bytes += bytes;
+        t.messages += 1;
+    }
+
+    /// Records a message dropped by the network.
+    pub fn record_drop(&mut self) {
+        self.dropped_messages += 1;
+    }
+
+    /// Records a successful delivery.
+    pub fn record_delivery(&mut self) {
+        self.delivered_messages += 1;
+    }
+
+    /// Totals for one peer and class.
+    pub fn peer_class(&self, peer: PeerId, class: MsgClass) -> ClassTotals {
+        self.per_peer[peer.index()][class.index()]
+    }
+
+    /// Total bytes sent by one peer across all classes.
+    pub fn peer_bytes(&self, peer: PeerId) -> u64 {
+        self.per_peer[peer.index()].iter().map(|t| t.bytes).sum()
+    }
+
+    /// Total bytes sent across all peers in one class.
+    pub fn class_bytes(&self, class: MsgClass) -> u64 {
+        let c = class.index();
+        self.per_peer.iter().map(|row| row[c].bytes).sum()
+    }
+
+    /// Total bytes sent across all peers and classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_peer
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Total messages sent across all peers and classes.
+    pub fn total_messages(&self) -> u64 {
+        self.per_peer
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|t| t.messages)
+            .sum()
+    }
+
+    /// The paper's metric: average bytes propagated per peer, for one class.
+    pub fn avg_bytes_per_peer_class(&self, class: MsgClass) -> f64 {
+        if self.per_peer.is_empty() {
+            0.0
+        } else {
+            self.class_bytes(class) as f64 / self.per_peer.len() as f64
+        }
+    }
+
+    /// The paper's metric: average bytes propagated per peer, all classes.
+    pub fn avg_bytes_per_peer(&self) -> f64 {
+        if self.per_peer.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.per_peer.len() as f64
+        }
+    }
+
+    /// The peer that sent the most bytes, with its byte total.
+    ///
+    /// Used to verify the paper's claim that netFilter "does not impose a
+    /// performance bottleneck at the root of the hierarchy" (§IV-A).
+    pub fn max_bytes_peer(&self) -> Option<(PeerId, u64)> {
+        (0..self.per_peer.len())
+            .map(|i| (PeerId::new(i), self.peer_bytes(PeerId::new(i))))
+            .max_by_key(|&(_, b)| b)
+    }
+
+    /// Messages dropped by the network so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered_messages(&self) -> u64 {
+        self.delivered_messages
+    }
+
+    /// Resets all counters to zero, keeping the peer count.
+    pub fn reset(&mut self) {
+        for row in &mut self.per_peer {
+            *row = [ClassTotals::default(); MsgClass::COUNT];
+        }
+        self.dropped_messages = 0;
+        self.delivered_messages = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut m = Metrics::new(3);
+        m.record_send(PeerId::new(0), MsgClass::DATA, 10);
+        m.record_send(PeerId::new(0), MsgClass::DATA, 5);
+        m.record_send(PeerId::new(2), MsgClass::FILTERING, 100);
+
+        assert_eq!(m.peer_class(PeerId::new(0), MsgClass::DATA).bytes, 15);
+        assert_eq!(m.peer_class(PeerId::new(0), MsgClass::DATA).messages, 2);
+        assert_eq!(m.peer_bytes(PeerId::new(2)), 100);
+        assert_eq!(m.class_bytes(MsgClass::FILTERING), 100);
+        assert_eq!(m.total_bytes(), 115);
+        assert_eq!(m.total_messages(), 3);
+    }
+
+    #[test]
+    fn averages_divide_by_all_peers() {
+        let mut m = Metrics::new(4);
+        m.record_send(PeerId::new(1), MsgClass::DATA, 8);
+        assert_eq!(m.avg_bytes_per_peer(), 2.0);
+        assert_eq!(m.avg_bytes_per_peer_class(MsgClass::DATA), 2.0);
+        assert_eq!(m.avg_bytes_per_peer_class(MsgClass::CONTROL), 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_average_is_zero() {
+        let m = Metrics::new(0);
+        assert_eq!(m.avg_bytes_per_peer(), 0.0);
+    }
+
+    #[test]
+    fn max_bytes_peer_finds_heaviest() {
+        let mut m = Metrics::new(3);
+        m.record_send(PeerId::new(1), MsgClass::DATA, 8);
+        m.record_send(PeerId::new(2), MsgClass::DATA, 80);
+        assert_eq!(m.max_bytes_peer(), Some((PeerId::new(2), 80)));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut m = Metrics::new(2);
+        m.record_send(PeerId::new(0), MsgClass::DATA, 8);
+        m.record_drop();
+        m.record_delivery();
+        m.reset();
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.dropped_messages(), 0);
+        assert_eq!(m.delivered_messages(), 0);
+        assert_eq!(m.peer_count(), 2);
+    }
+
+    #[test]
+    fn class_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            (0..MsgClass::COUNT as u8).map(|c| MsgClass(c).label()).collect();
+        assert_eq!(labels.len(), MsgClass::COUNT);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_class_panics() {
+        let mut m = Metrics::new(1);
+        m.record_send(PeerId::new(0), MsgClass(99), 1);
+    }
+}

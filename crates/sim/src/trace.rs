@@ -1,0 +1,261 @@
+//! Execution tracing for protocol debugging.
+//!
+//! A [`Trace`] is an optional, bounded ring buffer of simulation events
+//! (sends, deliveries, timers, kills, revivals) that the [`World`] fills
+//! when tracing is enabled. Protocol bugs in asynchronous systems are
+//! ordering bugs; being able to ask "what did peer 14 see between t=40 s
+//! and t=41 s" turns hours of printf archaeology into one query. The
+//! buffer is bounded so long simulations cannot exhaust memory — when
+//! full, the oldest entries are evicted.
+//!
+//! [`World`]: crate::World
+
+use std::collections::VecDeque;
+
+use crate::id::PeerId;
+use crate::metrics::MsgClass;
+use crate::time::SimTime;
+
+/// What happened, without the payload (payloads are protocol-typed; the
+/// trace stays monomorphic so it can live in the kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// `from` put a message for `to` on the wire.
+    Send {
+        /// Sender.
+        from: PeerId,
+        /// Recipient.
+        to: PeerId,
+        /// Message class.
+        class: MsgClass,
+        /// Charged bytes.
+        bytes: u64,
+    },
+    /// A message from `from` was delivered to `to`.
+    Deliver {
+        /// Original sender.
+        from: PeerId,
+        /// Recipient whose handler ran.
+        to: PeerId,
+    },
+    /// A timer fired at `peer`.
+    Timer {
+        /// The peer whose timer fired.
+        peer: PeerId,
+    },
+    /// `peer` went down.
+    Kill {
+        /// The peer taken down.
+        peer: PeerId,
+    },
+    /// `peer` came back up.
+    Revive {
+        /// The revived peer.
+        peer: PeerId,
+    },
+}
+
+impl TraceKind {
+    /// The peer this event is *about* (recipient for messages, subject for
+    /// timers and churn) — the key used by [`Trace::involving`].
+    pub fn subject(&self) -> PeerId {
+        match *self {
+            TraceKind::Send { to, .. } => to,
+            TraceKind::Deliver { to, .. } => to,
+            TraceKind::Timer { peer } => peer,
+            TraceKind::Kill { peer } => peer,
+            TraceKind::Revive { peer } => peer,
+        }
+    }
+}
+
+/// One trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened (send time for sends, fire time otherwise).
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded ring buffer of [`TraceEntry`] values.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest when full.
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(TraceEntry { at, kind });
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted due to the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Entries whose subject (recipient / timer owner / churn subject) or
+    /// message sender is `peer`, oldest first.
+    pub fn involving(&self, peer: PeerId) -> Vec<TraceEntry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                e.kind.subject() == peer
+                    || matches!(
+                        e.kind,
+                        TraceKind::Send { from, .. } | TraceKind::Deliver { from, .. }
+                        if from == peer
+                    )
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Entries in the half-open window `[from, to)`, oldest first.
+    pub fn between(&self, from: SimTime, to: SimTime) -> Vec<TraceEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.at >= from && e.at < to)
+            .copied()
+            .collect()
+    }
+
+    /// Renders the trace as one event per line, for logs and bug reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let line = match e.kind {
+                TraceKind::Send {
+                    from,
+                    to,
+                    class,
+                    bytes,
+                } => format!("{} SEND {from}->{to} {} {bytes}B", e.at, class.label()),
+                TraceKind::Deliver { from, to } => {
+                    format!("{} DELIVER {from}->{to}", e.at)
+                }
+                TraceKind::Timer { peer } => format!("{} TIMER {peer}", e.at),
+                TraceKind::Kill { peer } => format!("{} KILL {peer}", e.at),
+                TraceKind::Revive { peer } => format!("{} REVIVE {peer}", e.at),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn send(from: usize, to: usize) -> TraceKind {
+        TraceKind::Send {
+            from: PeerId::new(from),
+            to: PeerId::new(to),
+            class: MsgClass::DATA,
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::new(10);
+        tr.record(t(1), send(0, 1));
+        tr.record(t(2), TraceKind::Timer { peer: PeerId::new(1) });
+        assert_eq!(tr.len(), 2);
+        let ats: Vec<u64> = tr.entries().map(|e| e.at.as_micros()).collect();
+        assert_eq!(ats, vec![1, 2]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut tr = Trace::new(3);
+        for i in 0..5 {
+            tr.record(t(i), send(0, 1));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.evicted(), 2);
+        assert_eq!(tr.entries().next().unwrap().at, t(2));
+    }
+
+    #[test]
+    fn involving_matches_sender_and_subject() {
+        let mut tr = Trace::new(10);
+        tr.record(t(1), send(0, 1)); // involves 0 and 1
+        tr.record(t(2), send(2, 3)); // involves 2 and 3
+        tr.record(t(3), TraceKind::Kill { peer: PeerId::new(1) });
+        assert_eq!(tr.involving(PeerId::new(1)).len(), 2);
+        assert_eq!(tr.involving(PeerId::new(0)).len(), 1);
+        assert_eq!(tr.involving(PeerId::new(9)).len(), 0);
+    }
+
+    #[test]
+    fn between_is_half_open() {
+        let mut tr = Trace::new(10);
+        for i in 0..5 {
+            tr.record(t(i * 10), send(0, 1));
+        }
+        let window = tr.between(t(10), t(30));
+        assert_eq!(window.len(), 2);
+        assert_eq!(window[0].at, t(10));
+        assert_eq!(window[1].at, t(20));
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut tr = Trace::new(4);
+        tr.record(t(1), send(0, 1));
+        tr.record(t(2), TraceKind::Revive { peer: PeerId::new(5) });
+        let s = tr.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("SEND P0->P1 data 8B"));
+        assert!(s.contains("REVIVE P5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::new(0);
+    }
+}

@@ -1,0 +1,678 @@
+//! The simulation driver: [`World`], [`Protocol`], and the handler context
+//! [`Ctx`].
+
+use std::collections::HashSet;
+
+use crate::event::{EventKind, EventQueue};
+use crate::id::PeerId;
+use crate::metrics::{Metrics, MsgClass};
+use crate::network::LatencyModel;
+use crate::rng::DetRng;
+use crate::time::{Duration, SimTime};
+use crate::trace::{Trace, TraceKind};
+
+/// A per-peer protocol state machine.
+///
+/// One value of the implementing type exists per peer; the [`World`] invokes
+/// its handlers as events fire. Handlers receive a [`Ctx`] through which they
+/// send messages, set timers, and draw randomness.
+pub trait Protocol: Sized {
+    /// The message type exchanged between peers.
+    type Msg: std::fmt::Debug;
+    /// The tag type carried by timers.
+    type Timer: std::fmt::Debug;
+
+    /// Called once when the peer boots (and again on revival after a crash).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered to this peer.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: Self::Msg);
+
+    /// Called when a timer set by this peer fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Self::Timer);
+
+    /// Called when the peer is taken down (crash or departure). The state is
+    /// retained and will be observed again if the peer revives.
+    fn on_stop(&mut self) {}
+}
+
+/// Handle to a pending timer, usable with [`Ctx::cancel_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; all kernel randomness derives from it.
+    pub seed: u64,
+    /// One-way message delay model.
+    pub latency: LatencyModel,
+    /// Probability that any given message is silently lost in transit.
+    pub drop_probability: f64,
+    /// Upper bound on processed events, as a runaway-protocol backstop.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            latency: LatencyModel::default(),
+            drop_probability: 0.0,
+            max_events: 500_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns the config with the given master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with the given latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Returns the config with the given message-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of [0,1]");
+        self.drop_probability = p;
+        self
+    }
+}
+
+/// Kernel state shared by the world and handler contexts.
+#[derive(Debug)]
+struct Kernel<M, T> {
+    now: SimTime,
+    queue: EventQueue<M, T>,
+    metrics: Metrics,
+    rng: DetRng,
+    config: SimConfig,
+    up: Vec<bool>,
+    cancelled_timers: HashSet<u64>,
+    events_processed: u64,
+    trace: Option<Trace>,
+}
+
+impl<M: std::fmt::Debug, T: std::fmt::Debug> Kernel<M, T> {
+    fn send(&mut self, from: PeerId, to: PeerId, msg: M, bytes: u64, class: MsgClass) {
+        // Senders are charged when bytes hit the wire, even if the message
+        // is later lost: that is what "bytes propagated" measures.
+        self.metrics.record_send(from, class, bytes);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(self.now, TraceKind::Send { from, to, class, bytes });
+        }
+        if self.config.drop_probability > 0.0 && self.rng.chance(self.config.drop_probability) {
+            self.metrics.record_drop();
+            return;
+        }
+        let delay = self.config.latency.sample(&mut self.rng);
+        self.queue.push(
+            self.now + delay,
+            EventKind::Deliver { from, to, msg },
+        );
+    }
+
+    fn set_timer(&mut self, peer: PeerId, delay: Duration, tag: T) -> TimerId {
+        // The queue's monotone `seq` doubles as the timer id; cancellation
+        // records the seq and the fire path checks it.
+        let seq = self
+            .queue
+            .push(self.now + delay, EventKind::Timer { peer, tag });
+        TimerId(seq)
+    }
+
+    fn is_up(&self, peer: PeerId) -> bool {
+        self.up[peer.index()]
+    }
+}
+
+/// Context passed to protocol handlers.
+///
+/// Grants access to the clock, the network (sends), timers, the kernel PRNG,
+/// and liveness queries — everything a handler may touch besides its own
+/// peer state.
+#[derive(Debug)]
+pub struct Ctx<'a, P: Protocol> {
+    kernel: &'a mut Kernel<P::Msg, P::Timer>,
+    self_id: PeerId,
+}
+
+impl<'a, P: Protocol> Ctx<'a, P> {
+    /// The peer whose handler is executing.
+    pub fn self_id(&self) -> PeerId {
+        self.self_id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Number of peers in the world.
+    pub fn peer_count(&self) -> usize {
+        self.kernel.up.len()
+    }
+
+    /// Whether `peer` is currently up. Real peers cannot query remote
+    /// liveness instantaneously — protocols in this workspace only use this
+    /// for assertions and tracing, never for decisions.
+    pub fn is_up(&self, peer: PeerId) -> bool {
+        self.kernel.is_up(peer)
+    }
+
+    /// Sends `msg` to `to`, charging `bytes` to this peer in `class`.
+    pub fn send(&mut self, to: PeerId, msg: P::Msg, bytes: u64, class: MsgClass) {
+        self.kernel.send(self.self_id, to, msg, bytes, class);
+    }
+
+    /// Schedules `tag` to fire at this peer after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, tag: P::Timer) -> TimerId {
+        self.kernel.set_timer(self.self_id, delay, tag)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.kernel.cancelled_timers.insert(id.0);
+    }
+
+    /// The kernel's deterministic PRNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.kernel.rng
+    }
+}
+
+/// The simulation world: peers plus kernel, driven to completion by the
+/// test or experiment harness.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug)]
+pub struct World<P: Protocol> {
+    kernel: Kernel<P::Msg, P::Timer>,
+    peers: Vec<Option<P>>,
+}
+
+impl<P: Protocol> World<P> {
+    /// Creates a world with one protocol instance per peer, all up.
+    pub fn new(config: SimConfig, peers: Vec<P>) -> Self {
+        let n = peers.len();
+        let rng = DetRng::new(config.seed).derive(0x5157_0a11);
+        World {
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                metrics: Metrics::new(n),
+                rng,
+                config,
+                up: vec![true; n],
+                cancelled_timers: HashSet::new(),
+                events_processed: 0,
+                trace: None,
+            },
+            peers: peers.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Schedules `on_start` for every up peer at the current time.
+    pub fn start(&mut self) {
+        for i in 0..self.peers.len() {
+            if self.kernel.up[i] {
+                self.kernel
+                    .queue
+                    .push(self.kernel.now, EventKind::Start { peer: PeerId::new(i) });
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Immutable view of a peer's protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from inside that peer's own handler.
+    pub fn peer(&self, id: PeerId) -> &P {
+        self.peers[id.index()]
+            .as_ref()
+            .expect("peer state is checked out (re-entrant access)")
+    }
+
+    /// Mutable view of a peer's protocol state (driver-side mutation).
+    pub fn peer_mut(&mut self, id: PeerId) -> &mut P {
+        self.peers[id.index()]
+            .as_mut()
+            .expect("peer state is checked out (re-entrant access)")
+    }
+
+    /// Iterates over all peer states.
+    pub fn peers(&self) -> impl Iterator<Item = &P> {
+        self.peers.iter().map(|p| {
+            p.as_ref()
+                .expect("peer state is checked out (re-entrant access)")
+        })
+    }
+
+    /// Whether `peer` is currently up.
+    pub fn is_up(&self, peer: PeerId) -> bool {
+        self.kernel.is_up(peer)
+    }
+
+    /// Communication metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.kernel.metrics
+    }
+
+    /// Enables execution tracing with a bounded ring buffer of `capacity`
+    /// entries. Tracing is off by default (zero overhead).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.kernel.trace = Some(Trace::new(capacity));
+    }
+
+    /// The execution trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.kernel.trace.as_ref()
+    }
+
+    /// Resets communication metrics (e.g. after a warm-up phase), keeping
+    /// protocol and clock state.
+    pub fn reset_metrics(&mut self) {
+        self.kernel.metrics.reset();
+    }
+
+    /// Schedules a crash of `peer` at absolute time `at`.
+    pub fn schedule_kill(&mut self, at: SimTime, peer: PeerId) {
+        self.kernel.queue.push(at, EventKind::Kill { peer });
+    }
+
+    /// Schedules a revival of `peer` at absolute time `at`.
+    pub fn schedule_revive(&mut self, at: SimTime, peer: PeerId) {
+        self.kernel.queue.push(at, EventKind::Revive { peer });
+    }
+
+    /// Takes `peer` down immediately.
+    pub fn kill_now(&mut self, peer: PeerId) {
+        self.apply_kill(peer);
+    }
+
+    /// Injects a message from the driver into the world, as if sent by
+    /// `from`. Useful for kicking off request/response protocols without a
+    /// dedicated timer.
+    pub fn inject(&mut self, from: PeerId, to: PeerId, msg: P::Msg, bytes: u64, class: MsgClass) {
+        self.kernel.send(from, to, msg, bytes, class);
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.kernel.events_processed
+    }
+
+    /// Runs until the event queue is empty. Returns the final time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SimConfig::max_events`] is exceeded (runaway protocol).
+    pub fn run_to_quiescence(&mut self) -> SimTime {
+        while self.step() {}
+        self.kernel.now
+    }
+
+    /// Runs all events with `time <= until`, then advances the clock to
+    /// exactly `until`. Suitable for protocols with periodic timers that
+    /// never quiesce (heartbeats).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.kernel.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        if self.kernel.now < until {
+            self.kernel.now = until;
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.kernel.queue.pop() else {
+            return false;
+        };
+        self.kernel.events_processed += 1;
+        assert!(
+            self.kernel.events_processed <= self.kernel.config.max_events,
+            "simulation exceeded max_events = {} (runaway protocol?)",
+            self.kernel.config.max_events
+        );
+        debug_assert!(ev.time >= self.kernel.now, "time went backwards");
+        self.kernel.now = ev.time;
+
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.kernel.is_up(to) {
+                    self.kernel.metrics.record_delivery();
+                    if let Some(trace) = self.kernel.trace.as_mut() {
+                        trace.record(ev.time, TraceKind::Deliver { from, to });
+                    }
+                    self.with_peer(to, |peer, ctx| peer.on_message(ctx, from, msg));
+                } else {
+                    self.kernel.metrics.record_drop();
+                }
+            }
+            EventKind::Timer { peer, tag } => {
+                if self.kernel.cancelled_timers.remove(&ev.seq) {
+                    // cancelled before firing
+                } else if self.kernel.is_up(peer) {
+                    if let Some(trace) = self.kernel.trace.as_mut() {
+                        trace.record(ev.time, TraceKind::Timer { peer });
+                    }
+                    self.with_peer(peer, |p, ctx| p.on_timer(ctx, tag));
+                }
+            }
+            EventKind::Start { peer } => {
+                if self.kernel.is_up(peer) {
+                    self.with_peer(peer, |p, ctx| p.on_start(ctx));
+                }
+            }
+            EventKind::Kill { peer } => self.apply_kill(peer),
+            EventKind::Revive { peer } => {
+                if !self.kernel.is_up(peer) {
+                    if let Some(trace) = self.kernel.trace.as_mut() {
+                        trace.record(ev.time, TraceKind::Revive { peer });
+                    }
+                    self.kernel.up[peer.index()] = true;
+                    self.kernel
+                        .queue
+                        .push(self.kernel.now, EventKind::Start { peer });
+                }
+            }
+        }
+        true
+    }
+
+    fn apply_kill(&mut self, peer: PeerId) {
+        if self.kernel.up[peer.index()] {
+            if let Some(trace) = self.kernel.trace.as_mut() {
+                trace.record(self.kernel.now, TraceKind::Kill { peer });
+            }
+            self.kernel.up[peer.index()] = false;
+            if let Some(p) = self.peers[peer.index()].as_mut() {
+                p.on_stop();
+            }
+        }
+    }
+
+    fn with_peer(&mut self, id: PeerId, f: impl FnOnce(&mut P, &mut Ctx<'_, P>)) {
+        let mut state = self.peers[id.index()]
+            .take()
+            .expect("re-entrant handler execution");
+        {
+            let mut ctx = Ctx {
+                kernel: &mut self.kernel,
+                self_id: id,
+            };
+            f(&mut state, &mut ctx);
+        }
+        self.peers[id.index()] = Some(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood protocol: peer 0 broadcasts; everyone re-broadcasts once.
+    #[derive(Debug, Default)]
+    struct Flood {
+        neighbors: Vec<PeerId>,
+        seen: bool,
+        stops: u32,
+    }
+
+    impl Protocol for Flood {
+        type Msg = ();
+        type Timer = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+            if ctx.self_id().index() == 0 && !self.seen {
+                self.seen = true;
+                for &nb in &self.neighbors.clone() {
+                    ctx.send(nb, (), 4, MsgClass::DATA);
+                }
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, _from: PeerId, _msg: ()) {
+            if !self.seen {
+                self.seen = true;
+                for &nb in &self.neighbors.clone() {
+                    ctx.send(nb, (), 4, MsgClass::DATA);
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _t: ()) {}
+
+        fn on_stop(&mut self) {
+            self.stops += 1;
+        }
+    }
+
+    fn line_world(n: usize) -> World<Flood> {
+        let peers = (0..n)
+            .map(|i| {
+                let mut nb = Vec::new();
+                if i > 0 {
+                    nb.push(PeerId::new(i - 1));
+                }
+                if i + 1 < n {
+                    nb.push(PeerId::new(i + 1));
+                }
+                Flood {
+                    neighbors: nb,
+                    ..Default::default()
+                }
+            })
+            .collect();
+        World::new(SimConfig::default().with_seed(1), peers)
+    }
+
+    #[test]
+    fn flood_reaches_everyone() {
+        let mut w = line_world(10);
+        w.start();
+        w.run_to_quiescence();
+        assert!(w.peers().all(|p| p.seen));
+        // 10 peers each broadcast once to their neighbors: 2*(n-1) directed
+        // messages along the line.
+        assert_eq!(w.metrics().total_messages(), 18);
+    }
+
+    #[test]
+    fn time_advances_with_latency() {
+        let mut w = line_world(5);
+        w.start();
+        let t = w.run_to_quiescence();
+        // Line of 5: the flood reaches the end at 4 hops; the final event is
+        // the end peer's redundant echo back to its predecessor (5 hops).
+        assert_eq!(t, SimTime::from_micros(5 * 50_000));
+    }
+
+    #[test]
+    fn killed_peer_blocks_flood() {
+        let mut w = line_world(10);
+        w.kill_now(PeerId::new(5));
+        w.start();
+        w.run_to_quiescence();
+        assert!(w.peer(PeerId::new(4)).seen);
+        assert!(!w.peer(PeerId::new(6)).seen, "flood crossed a dead peer");
+        assert_eq!(w.peer(PeerId::new(5)).stops, 1);
+    }
+
+    #[test]
+    fn revive_restarts_peer() {
+        let mut w = line_world(3);
+        w.kill_now(PeerId::new(0));
+        w.schedule_revive(SimTime::from_micros(1000), PeerId::new(0));
+        w.start();
+        w.run_to_quiescence();
+        // Peer 0 revives at t=1000 and floods from its on_start.
+        assert!(w.peers().all(|p| p.seen));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = || {
+            let mut w = line_world(8);
+            w.start();
+            w.run_to_quiescence();
+            (w.metrics().total_bytes(), w.now(), w.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn drop_probability_one_loses_everything() {
+        let peers = vec![
+            Flood {
+                neighbors: vec![PeerId::new(1)],
+                ..Default::default()
+            },
+            Flood {
+                neighbors: vec![PeerId::new(0)],
+                ..Default::default()
+            },
+        ];
+        let mut w = World::new(
+            SimConfig::default().with_seed(2).with_drop_probability(1.0),
+            peers,
+        );
+        w.start();
+        w.run_to_quiescence();
+        assert!(!w.peer(PeerId::new(1)).seen);
+        // Sender is still charged for the dropped message.
+        assert_eq!(w.metrics().total_bytes(), 4);
+        assert_eq!(w.metrics().dropped_messages(), 1);
+    }
+
+    /// Ticker protocol used to exercise timers and cancellation.
+    #[derive(Debug, Default)]
+    struct Ticker {
+        fired: Vec<u32>,
+        cancel_next: Option<TimerId>,
+    }
+
+    impl Protocol for Ticker {
+        type Msg = ();
+        type Timer = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+            ctx.set_timer(Duration::from_millis(1), 1);
+            let id = ctx.set_timer(Duration::from_millis(2), 2);
+            ctx.set_timer(Duration::from_millis(3), 3);
+            self.cancel_next = Some(id);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Self>, _f: PeerId, _m: ()) {}
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, tag: u32) {
+            if tag == 1 {
+                if let Some(id) = self.cancel_next.take() {
+                    ctx.cancel_timer(id);
+                }
+            }
+            self.fired.push(tag);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut w = World::new(SimConfig::default().with_seed(3), vec![Ticker::default()]);
+        w.start();
+        w.run_to_quiescence();
+        assert_eq!(w.peer(PeerId::new(0)).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_exactly() {
+        let mut w = World::new(SimConfig::default().with_seed(4), vec![Ticker::default()]);
+        w.start();
+        w.run_until(SimTime::from_micros(1_500));
+        assert_eq!(w.now(), SimTime::from_micros(1_500));
+        assert_eq!(w.peer(PeerId::new(0)).fired, vec![1]);
+        w.run_until(SimTime::from_micros(10_000));
+        assert_eq!(w.peer(PeerId::new(0)).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn trace_captures_the_execution() {
+        let mut w = line_world(4);
+        w.enable_trace(1024);
+        w.kill_now(PeerId::new(3));
+        w.schedule_revive(SimTime::from_micros(500_000), PeerId::new(3));
+        w.start();
+        w.run_to_quiescence();
+        let trace = w.trace().expect("tracing enabled");
+        assert!(!trace.is_empty());
+        // The kill and revival are on record ...
+        assert!(trace
+            .entries()
+            .any(|e| matches!(e.kind, TraceKind::Kill { peer } if peer == PeerId::new(3))));
+        assert!(trace
+            .entries()
+            .any(|e| matches!(e.kind, TraceKind::Revive { peer } if peer == PeerId::new(3))));
+        // ... and every delivery has a matching earlier send.
+        let sends = trace
+            .entries()
+            .filter(|e| matches!(e.kind, TraceKind::Send { .. }))
+            .count();
+        let delivers = trace
+            .entries()
+            .filter(|e| matches!(e.kind, TraceKind::Deliver { .. }))
+            .count();
+        assert!(delivers <= sends);
+        // Rendering mentions the peers.
+        assert!(trace.render().contains("P3"));
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut w = line_world(3);
+        w.start();
+        w.run_to_quiescence();
+        assert!(w.trace().is_none());
+    }
+
+    #[test]
+    fn inject_delivers_like_a_send() {
+        let peers = vec![
+            Flood::default(),
+            Flood {
+                neighbors: vec![],
+                ..Default::default()
+            },
+        ];
+        let mut w = World::new(SimConfig::default().with_seed(5), peers);
+        w.inject(PeerId::new(0), PeerId::new(1), (), 16, MsgClass::CONTROL);
+        w.run_to_quiescence();
+        assert!(w.peer(PeerId::new(1)).seen);
+        assert_eq!(w.metrics().class_bytes(MsgClass::CONTROL), 16);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ifi-workload — workloads for the IFI problem
+//!
+//! Generates the data sets the netFilter paper evaluates on (§V, Table
+//! III): `n` distinct items whose frequencies follow a Zipf distribution
+//! with skew `θ`; `10·n` item *instances* are drawn and scattered uniformly
+//! over the `N` peers, so each peer holds about `o = 10·n/N` distinct local
+//! items. Ground-truth global values (and hence the exact answer to any
+//! `IFI(A, t)` query) are computed centrally for verification.
+//!
+//! The crate also models the application scenarios of Table I (frequent
+//! keywords, document replicas, co-occurring keyword pairs, popular peers,
+//! flow/DoS traffic, worm byte sequences) as generators that all produce
+//! the same [`SystemData`] shape, so every application reduces to IFI
+//! exactly as the paper describes.
+//!
+//! ```
+//! use ifi_workload::{WorkloadParams, SystemData, GroundTruth};
+//!
+//! let params = WorkloadParams { peers: 50, items: 1_000, ..WorkloadParams::default() };
+//! let data = SystemData::generate(&params, 42);
+//! let truth = GroundTruth::compute(&data);
+//! let t = truth.threshold_for_ratio(0.01);
+//! let frequent = truth.frequent_items(t);
+//! assert!(frequent.iter().all(|&(_, v)| v >= t));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+pub mod scenarios;
+mod stats;
+mod zipf;
+
+pub use generator::{ItemId, SystemData, WorkloadParams};
+pub use stats::GroundTruth;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,34 @@
+//! # netfilter-p2p — exact frequent items in P2P systems
+//!
+//! Umbrella crate re-exporting the whole workspace: the netFilter algorithm
+//! (ICDCS 2008) and every substrate it runs on. See the `netfilter` crate
+//! for the algorithm itself and the repository README for the tour.
+//!
+//! ```
+//! use netfilter_p2p::prelude::*;
+//!
+//! let params = WorkloadParams { peers: 50, items: 1_000, ..WorkloadParams::default() };
+//! let data = SystemData::generate(&params, 1);
+//! let hierarchy = Hierarchy::balanced(50, 3);
+//! let run = NetFilter::new(NetFilterConfig::default()).run(&hierarchy, &data);
+//! assert!(run.frequent_items().iter().all(|&(_, v)| v >= run.threshold()));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ifi_agg as agg;
+pub use ifi_hierarchy as hierarchy;
+pub use ifi_overlay as overlay;
+pub use ifi_sim as sim;
+pub use ifi_workload as workload;
+pub use netfilter as core;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use ifi_agg::WireSizes;
+    pub use ifi_hierarchy::Hierarchy;
+    pub use ifi_overlay::Topology;
+    pub use ifi_sim::{DetRng, PeerId};
+    pub use ifi_workload::{GroundTruth, ItemId, SystemData, WorkloadParams};
+    pub use netfilter::{NetFilter, NetFilterConfig, NetFilterRun, Threshold};
+}

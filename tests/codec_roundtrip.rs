@@ -1,0 +1,113 @@
+//! Property tests for the wire codec: encode/decode round-trips for
+//! arbitrary protocol messages, and the payload-length ≡ engine-charge
+//! identity that grounds the paper's cost accounting.
+
+use ifi_agg::{Aggregate, MapSum, VecSum, WireSizes};
+use netfilter::codec::{Codec, CodecError};
+use netfilter::protocol::NfMsg;
+use netfilter::ItemId;
+use proptest::prelude::*;
+
+fn arb_sizes() -> impl Strategy<Value = WireSizes> {
+    (1u64..=8, 1u64..=8, 1u64..=8).prop_map(|(sa, sg, si)| WireSizes { sa, sg, si })
+}
+
+/// Values that fit the narrowest field width we generate.
+fn arb_group_vec() -> impl Strategy<Value = VecSum> {
+    prop::collection::vec(0u64..=255, 0..64).prop_map(VecSum)
+}
+
+fn arb_heavy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..=255, 0..16), 0..6)
+}
+
+fn arb_candidates() -> impl Strategy<Value = MapSum> {
+    // Distinct keys: duplicate keys would sum past the 1-byte field bound.
+    prop::collection::btree_map(0u64..=255, 1u64..=255, 0..32).prop_map(|pairs| {
+        MapSum::from_pairs(pairs.into_iter().map(|(k, v)| (ItemId(k), v)))
+    })
+}
+
+fn arb_msg() -> impl Strategy<Value = NfMsg> {
+    prop_oneof![
+        arb_group_vec().prop_map(NfMsg::GroupAgg),
+        arb_heavy().prop_map(NfMsg::Heavy),
+        arb_candidates().prop_map(NfMsg::CandidateAgg),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(m)) reproduces m, at any field widths.
+    #[test]
+    fn round_trip(msg in arb_msg(), sizes in arb_sizes()) {
+        let codec = Codec::new(sizes);
+        let encoded = codec.encode(&msg).expect("small values fit all widths");
+        let decoded = codec.decode(&encoded).expect("decodes");
+        // Compare via re-encoding (NfMsg intentionally carries no PartialEq).
+        prop_assert_eq!(codec.encode(&decoded).unwrap(), encoded.clone());
+        // Length identity.
+        prop_assert_eq!(
+            encoded.len() as u64,
+            codec.frame_len(&msg) + codec.payload_len(&msg)
+        );
+    }
+
+    /// The codec's payload length equals what the aggregation engines
+    /// charge for the same value.
+    #[test]
+    fn payload_equals_engine_charge(
+        v in arb_group_vec(),
+        m in arb_candidates(),
+        sizes in arb_sizes(),
+    ) {
+        let codec = Codec::new(sizes);
+        prop_assert_eq!(
+            codec.payload_len(&NfMsg::GroupAgg(v.clone())),
+            v.encoded_bytes(&sizes)
+        );
+        prop_assert_eq!(
+            codec.payload_len(&NfMsg::CandidateAgg(m.clone())),
+            m.encoded_bytes(&sizes)
+        );
+    }
+
+    /// Any strict prefix of a nonempty encoding fails to decode (no silent
+    /// truncation).
+    #[test]
+    fn prefixes_never_decode(msg in arb_msg()) {
+        let codec = Codec::new(WireSizes::default());
+        let encoded = codec.encode(&msg).unwrap();
+        for cut in 0..encoded.len() {
+            prop_assert!(
+                codec.decode(&encoded[..cut]).is_err(),
+                "prefix of {} bytes decoded",
+                cut
+            );
+        }
+    }
+
+    /// Appending garbage is always detected.
+    #[test]
+    fn trailing_bytes_rejected(msg in arb_msg(), junk in 1usize..8) {
+        let codec = Codec::new(WireSizes::default());
+        let mut bytes = codec.encode(&msg).unwrap().to_vec();
+        bytes.extend(std::iter::repeat_n(0xAB, junk));
+        prop_assert!(matches!(
+            codec.decode(&bytes),
+            Err(CodecError::TrailingBytes(_))
+        ));
+    }
+
+    /// Values exceeding the field width are rejected at encode time.
+    #[test]
+    fn overflow_rejected(extra in 1u64..1_000_000) {
+        let sizes = WireSizes { sa: 2, sg: 4, si: 4 };
+        let codec = Codec::new(sizes);
+        let too_big = (1u64 << 16) - 1 + extra;
+        let msg = NfMsg::GroupAgg(VecSum(vec![too_big]));
+        let overflowed = matches!(codec.encode(&msg), Err(CodecError::ValueOverflow { .. }));
+        prop_assert!(overflowed);
+    }
+}

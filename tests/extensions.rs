@@ -1,0 +1,136 @@
+//! Property tests for the extension modules: sliding-window IFI and exact
+//! top-k, checked against brute-force oracles on random inputs.
+
+use ifi_hierarchy::Hierarchy;
+use ifi_sim::PeerId;
+use ifi_workload::{GroundTruth, ItemId, SystemData, WorkloadParams};
+use netfilter::windowed::{SlidingWindow, WindowedMonitor};
+use netfilter::{topk, NetFilterConfig, Threshold};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A sliding window's totals equal a brute-force sum over the last
+    /// `buckets` slices, for any record/advance interleaving.
+    #[test]
+    fn window_equals_bruteforce(
+        buckets in 1usize..6,
+        ops in prop::collection::vec(
+            // (advance?, item, value)
+            (prop::bool::weighted(0.2), 0u64..10, 1u64..50),
+            1..120,
+        ),
+    ) {
+        let mut w = SlidingWindow::new(buckets);
+        // Oracle: a list of slices, the live window being the last
+        // `buckets` of them.
+        let mut slices: Vec<std::collections::BTreeMap<u64, u64>> =
+            vec![Default::default()];
+        for (advance, item, value) in ops {
+            if advance {
+                w.advance();
+                slices.push(Default::default());
+            } else {
+                w.record(ItemId(item), value);
+                *slices.last_mut().unwrap().entry(item).or_insert(0) += value;
+            }
+        }
+        let live = &slices[slices.len().saturating_sub(buckets)..];
+        for item in 0..10u64 {
+            let expect: u64 = live.iter().filter_map(|s| s.get(&item)).sum();
+            prop_assert_eq!(w.value(ItemId(item)), expect, "item {}", item);
+        }
+        // local_items agrees with per-item values and omits zeros.
+        for (id, v) in w.local_items() {
+            prop_assert!(v > 0);
+            prop_assert_eq!(w.value(id), v);
+        }
+    }
+
+    /// Exact top-k equals the oracle prefix for random workloads and k.
+    #[test]
+    fn top_k_equals_oracle(
+        peers in 2usize..30,
+        items in 10u64..300,
+        theta in 0.0f64..2.0,
+        k in 1usize..40,
+        seed in 0u64..300,
+    ) {
+        let data = SystemData::generate(
+            &WorkloadParams { peers, items, instances_per_item: 8, theta },
+            seed,
+        );
+        let h = Hierarchy::balanced(peers, 3);
+        let truth = GroundTruth::compute(&data);
+        let run = topk::top_k(
+            &h,
+            &data,
+            k,
+            &NetFilterConfig::builder().filter_size(30).filters(2).build(),
+        );
+        let expect: Vec<(ItemId, u64)> = truth.globals().iter().copied().take(k).collect();
+        prop_assert_eq!(run.items, expect);
+    }
+
+    /// A windowed query over any recording pattern equals a one-shot IFI
+    /// over the materialized windows.
+    #[test]
+    fn windowed_query_equals_materialized_ifi(
+        records in prop::collection::vec((0usize..20, 0u64..50, 1u64..20), 1..200),
+        advances in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let _ = seed;
+        let config = NetFilterConfig::builder()
+            .filter_size(10)
+            .filters(2)
+            .threshold(Threshold::Absolute(25))
+            .build();
+        let mut m = WindowedMonitor::new(20, 3, 100, config);
+        for (i, &(p, item, v)) in records.iter().enumerate() {
+            m.record(PeerId::new(p), ItemId(item), v);
+            if advances > 0 && i % (records.len() / advances + 1) == 0 {
+                m.advance();
+            }
+        }
+        let h = Hierarchy::balanced(20, 3);
+        let run = m.query(&h);
+
+        let data = SystemData::from_local_sets(
+            (0..20).map(|p| m.window(PeerId::new(p)).local_items()).collect(),
+            100,
+        );
+        let truth = GroundTruth::compute(&data);
+        prop_assert_eq!(run.frequent_items(), &truth.frequent_items(25)[..]);
+    }
+}
+
+#[test]
+fn search_driven_popularity_feeds_ifi() {
+    // Table I row 4, mechanistically: searches generate the workload, IFI
+    // finds the de-facto content servers exactly.
+    use ifi_overlay::Topology;
+    use ifi_sim::DetRng;
+    use ifi_workload::scenarios;
+    use netfilter::NetFilter;
+
+    let topo = Topology::random_regular(100, 4, &mut DetRng::new(21));
+    let data = scenarios::popular_peers_by_search(&topo, 500, 10, 60, 1.3, 22);
+    let truth = GroundTruth::compute(&data);
+    let t = truth.threshold_for_ratio(0.02);
+    let h = Hierarchy::balanced(100, 3);
+    let run = NetFilter::new(
+        NetFilterConfig::builder()
+            .filter_size(30)
+            .filters(3)
+            .threshold(Threshold::Ratio(0.02))
+            .build(),
+    )
+    .run(&h, &data);
+    assert_eq!(run.frequent_items(), &truth.frequent_items(t)[..]);
+    // The flagged "popular peers" are actual peer ids.
+    for &(peer_item, _) in run.frequent_items() {
+        assert!(peer_item.0 < 100);
+    }
+}
