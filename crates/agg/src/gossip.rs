@@ -17,7 +17,7 @@
 //! estimate is `N · s/w`.
 
 use ifi_overlay::Topology;
-use ifi_sim::{DetRng, PeerId};
+use ifi_sim::{DetRng, EventSink, MsgClass, PeerId};
 
 use crate::wire::WireSizes;
 
@@ -74,6 +74,27 @@ pub fn push_sum(
     sizes: &WireSizes,
     rng: &mut DetRng,
 ) -> GossipOutcome {
+    push_sum_with_sink(
+        topology,
+        values,
+        rounds,
+        sizes,
+        rng,
+        &mut EventSink::disabled(),
+    )
+}
+
+/// [`push_sum`] that additionally charges each round's sends into `sink`
+/// (class [`MsgClass::GOSSIP`], one event per sender per round). Recording
+/// draws no randomness, so the outcome is identical to the plain variant.
+pub fn push_sum_with_sink(
+    topology: &Topology,
+    values: &[f64],
+    rounds: usize,
+    sizes: &WireSizes,
+    rng: &mut DetRng,
+    sink: &mut EventSink,
+) -> GossipOutcome {
     let n = topology.peer_count();
     assert_eq!(values.len(), n, "one value per peer required");
     for p in topology.peers() {
@@ -103,6 +124,7 @@ pub fn push_sum(
             inbox_s[target.index()] += half_s;
             inbox_w[target.index()] += half_w;
             total_bytes += msg_bytes;
+            sink.record(p, MsgClass::GOSSIP, msg_bytes);
         }
         sums = inbox_s;
         weights = inbox_w;
@@ -183,6 +205,27 @@ pub fn push_sum_vec(
     sizes: &WireSizes,
     rng: &mut DetRng,
 ) -> GossipVecOutcome {
+    push_sum_vec_with_sink(
+        topology,
+        values,
+        rounds,
+        sizes,
+        rng,
+        &mut EventSink::disabled(),
+    )
+}
+
+/// [`push_sum_vec`] that additionally charges each round's sends into
+/// `sink` (class [`MsgClass::GOSSIP`]). Recording draws no randomness, so
+/// the outcome is identical to the plain variant.
+pub fn push_sum_vec_with_sink(
+    topology: &Topology,
+    values: &[Vec<f64>],
+    rounds: usize,
+    sizes: &WireSizes,
+    rng: &mut DetRng,
+    sink: &mut EventSink,
+) -> GossipVecOutcome {
     let n = topology.peer_count();
     assert_eq!(values.len(), n, "one vector per peer required");
     let dim = values.first().map(Vec::len).unwrap_or(0);
@@ -220,6 +263,7 @@ pub fn push_sum_vec(
             }
             inbox_w[target] += half_w;
             total_bytes += msg_bytes;
+            sink.record(p, MsgClass::GOSSIP, msg_bytes);
         }
         sums = inbox_s;
         weights = inbox_w;
@@ -283,10 +327,7 @@ mod tests {
             .max_relative_error(true_sum);
         let e_long = push_sum(&topo, &vals, 60, &WireSizes::default(), &mut DetRng::new(7))
             .max_relative_error(true_sum);
-        assert!(
-            e_long < e_short / 4.0,
-            "short {e_short} vs long {e_long}"
-        );
+        assert!(e_long < e_short / 4.0, "short {e_short} vs long {e_long}");
     }
 
     #[test]
@@ -410,6 +451,49 @@ mod tests {
             &WireSizes::default(),
             &mut DetRng::new(1),
         );
+    }
+
+    #[test]
+    fn sink_variant_matches_plain_and_reconciles_bytes() {
+        let topo = Topology::ring(12);
+        let vals = values(12);
+        let plain = push_sum(&topo, &vals, 6, &WireSizes::default(), &mut DetRng::new(31));
+        let mut sink = EventSink::new(12);
+        sink.enter("gossip-filtering");
+        let sunk = push_sum_with_sink(
+            &topo,
+            &vals,
+            6,
+            &WireSizes::default(),
+            &mut DetRng::new(31),
+            &mut sink,
+        );
+        sink.exit();
+        assert_eq!(sunk.avg_estimates, plain.avg_estimates);
+        assert_eq!(sunk.total_bytes, plain.total_bytes);
+        let report = sink.report();
+        assert_eq!(report.phase_bytes("gossip-filtering"), plain.total_bytes);
+        // Every peer sends exactly once per round.
+        let per_peer = report.phase_peer_bytes("gossip-filtering").unwrap();
+        assert!(per_peer.iter().all(|&b| b == 6 * 8));
+    }
+
+    #[test]
+    fn vec_sink_variant_falls_back_to_gossip_class_phase() {
+        let topo = Topology::ring(5);
+        let values = vec![vec![2.0; 3]; 5];
+        let mut sink = EventSink::new(5);
+        let out = push_sum_vec_with_sink(
+            &topo,
+            &values,
+            2,
+            &WireSizes::default(),
+            &mut DetRng::new(33),
+            &mut sink,
+        );
+        let report = sink.report();
+        assert_eq!(report.phase_bytes("gossip"), out.total_bytes);
+        assert_eq!(report.total_messages(), 2 * 5);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ifi_hierarchy::Hierarchy;
-use ifi_sim::{DetRng, PeerId};
+use ifi_sim::{DetRng, EventSink, MsgClass, PeerId};
 use ifi_workload::{ItemId, SystemData};
 
 use crate::wire::WireSizes;
@@ -94,6 +94,36 @@ pub fn estimate(
     sizes: &WireSizes,
     rng: &mut DetRng,
 ) -> SampledStats {
+    estimate_with_sink(
+        hierarchy,
+        data,
+        t,
+        config,
+        sizes,
+        rng,
+        &mut EventSink::disabled(),
+    )
+}
+
+/// [`estimate`] that additionally charges each sampled peer's `(id,
+/// value)` pairs into `sink` (class [`MsgClass::SAMPLING`]). Recording
+/// draws no randomness, so the estimates are identical to the plain
+/// variant.
+///
+/// # Panics
+///
+/// As [`estimate`]; additionally if an enabled `sink` was sized for a
+/// different peer universe.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_with_sink(
+    hierarchy: &Hierarchy,
+    data: &SystemData,
+    t: u64,
+    config: &SamplingConfig,
+    sizes: &WireSizes,
+    rng: &mut DetRng,
+    sink: &mut EventSink,
+) -> SampledStats {
     assert!(config.branches > 0, "need at least one branch");
     assert!(config.items_per_peer > 0, "need at least one item per peer");
     let v = data.total_value();
@@ -118,6 +148,7 @@ pub fn estimate(
             selected.insert(items[idx].0);
         }
         bytes += sizes.pair() * k as u64;
+        sink.record(p, MsgClass::SAMPLING, sizes.pair() * k as u64);
     }
 
     // 3. Aggregates for X over the sampled peers only: v'_i.
@@ -240,7 +271,14 @@ mod tests {
             branches: 24,
             items_per_peer: 250,
         };
-        let stats = estimate(&h, &data, t, &cfg, &WireSizes::default(), &mut DetRng::new(5));
+        let stats = estimate(
+            &h,
+            &data,
+            t,
+            &cfg,
+            &WireSizes::default(),
+            &mut DetRng::new(5),
+        );
 
         // r̂ within a factor of two of the true heavy count.
         let r = truth.heavy_count(t) as f64;
@@ -283,7 +321,10 @@ mod tests {
         );
         let vb = stats.v_bar_universe(truth.total_value());
         let true_vb = truth.avg_value();
-        assert!(vb > true_vb / 3.0 && vb < true_vb * 3.0, "{vb} vs {true_vb}");
+        assert!(
+            vb > true_vb / 3.0 && vb < true_vb * 3.0,
+            "{vb} vs {true_vb}"
+        );
     }
 
     #[test]
@@ -294,7 +335,10 @@ mod tests {
             &h,
             &data,
             t,
-            &SamplingConfig { branches: 2, items_per_peer: 50 },
+            &SamplingConfig {
+                branches: 2,
+                items_per_peer: 50,
+            },
             &WireSizes::default(),
             &mut DetRng::new(7),
         );
@@ -302,7 +346,10 @@ mod tests {
             &h,
             &data,
             t,
-            &SamplingConfig { branches: 16, items_per_peer: 50 },
+            &SamplingConfig {
+                branches: 16,
+                items_per_peer: 50,
+            },
             &WireSizes::default(),
             &mut DetRng::new(7),
         );
@@ -343,9 +390,58 @@ mod tests {
         let (h, data, truth) = setup(0.8, 24);
         let t = truth.threshold_for_ratio(0.01);
         let cfg = SamplingConfig::default();
-        let a = estimate(&h, &data, t, &cfg, &WireSizes::default(), &mut DetRng::new(9));
-        let b = estimate(&h, &data, t, &cfg, &WireSizes::default(), &mut DetRng::new(9));
+        let a = estimate(
+            &h,
+            &data,
+            t,
+            &cfg,
+            &WireSizes::default(),
+            &mut DetRng::new(9),
+        );
+        let b = estimate(
+            &h,
+            &data,
+            t,
+            &cfg,
+            &WireSizes::default(),
+            &mut DetRng::new(9),
+        );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sink_variant_matches_plain_and_accounts_traffic() {
+        let (h, data, truth) = setup(1.0, 26);
+        let t = truth.threshold_for_ratio(0.01);
+        let cfg = SamplingConfig {
+            branches: 6,
+            items_per_peer: 80,
+        };
+        let plain = estimate(
+            &h,
+            &data,
+            t,
+            &cfg,
+            &WireSizes::default(),
+            &mut DetRng::new(12),
+        );
+        let mut sink = EventSink::new(data.peer_count());
+        let sunk = estimate_with_sink(
+            &h,
+            &data,
+            t,
+            &cfg,
+            &WireSizes::default(),
+            &mut DetRng::new(12),
+            &mut sink,
+        );
+        assert_eq!(sunk, plain);
+        let report = sink.report();
+        assert_eq!(report.phase_bytes("sampling"), plain.bytes);
+        assert_eq!(
+            report.phase("sampling").unwrap().active_peers(),
+            plain.sampled_peers
+        );
     }
 
     #[test]
@@ -356,7 +452,10 @@ mod tests {
             &h,
             &data,
             10,
-            &SamplingConfig { branches: 0, items_per_peer: 1 },
+            &SamplingConfig {
+                branches: 0,
+                items_per_peer: 1,
+            },
             &WireSizes::default(),
             &mut DetRng::new(1),
         );

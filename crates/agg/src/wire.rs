@@ -21,7 +21,11 @@ pub struct WireSizes {
 
 impl Default for WireSizes {
     fn default() -> Self {
-        WireSizes { sa: 4, sg: 4, si: 4 }
+        WireSizes {
+            sa: 4,
+            sg: 4,
+            si: 4,
+        }
     }
 }
 

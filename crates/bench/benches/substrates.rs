@@ -17,16 +17,12 @@ fn bench_topology(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology");
     group.sample_size(10);
     for &n in &[1000usize, 10_000] {
-        group.bench_with_input(
-            BenchmarkId::new("random_regular", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut rng = DetRng::new(1);
-                    Topology::random_regular(n, 4, &mut rng)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("random_regular", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = DetRng::new(1);
+                Topology::random_regular(n, 4, &mut rng)
+            })
+        });
     }
     group.finish();
 }
@@ -43,10 +39,8 @@ fn bench_aggregation(c: &mut Criterion) {
     let h = Hierarchy::balanced(1000, 3);
     c.bench_function("aggregation/scalar_1k_peers", |b| {
         b.iter(|| {
-            hierarchical::aggregate(&h, &WireSizes::default(), |p| {
-                ScalarSum(p.index() as u64)
-            })
-            .root_value
+            hierarchical::aggregate(&h, &WireSizes::default(), |p| ScalarSum(p.index() as u64))
+                .root_value
         })
     });
 }

@@ -79,12 +79,7 @@ pub fn run(scale: Scale, seed: u64) -> Ablation {
     }
 
     // --- Eq. 6: analytic f_opt vs empirical sweep (g = 100). ---
-    let f_analytic = analysis::optimal_f(
-        &sizes,
-        data.universe(),
-        truth.heavy_count(t) as u64,
-        100,
-    );
+    let f_analytic = analysis::optimal_f(&sizes, data.universe(), truth.heavy_count(t) as u64, 100);
     let mut best_f = (0u32, f64::INFINITY);
     let mut cost_at_analytic_f = f64::NAN;
     for f in 1..=10 {
@@ -118,8 +113,7 @@ pub fn run(scale: Scale, seed: u64) -> Ablation {
     let gossip_bytes = g_out.avg_bytes_per_peer();
     let gossip_err = g_out.max_relative_error(true_sum);
     // Hierarchy: one scalar per non-root peer.
-    let hierarchy_bytes =
-        sizes.sa as f64 * (n_peers as f64 - 1.0) / n_peers as f64;
+    let hierarchy_bytes = sizes.sa as f64 * (n_peers as f64 - 1.0) / n_peers as f64;
 
     // --- §IV-E tuning vs oracle. ---
     let tuned = tuning::tune(
@@ -233,7 +227,10 @@ impl Ablation {
             "gossip-filtered netFilter (§VI)".into(),
             format!("{} B/peer, exact", f1(self.gossip_filter_gap.0)),
             format!("{} B/peer (tree phase 1)", f1(self.gossip_filter_gap.1)),
-            format!("{:.1}x", self.gossip_filter_gap.0 / self.gossip_filter_gap.1),
+            format!(
+                "{:.1}x",
+                self.gossip_filter_gap.0 / self.gossip_filter_gap.1
+            ),
         ]);
         t.row(vec![
             "count-min approx, eps=5e-4".into(),
@@ -308,7 +305,10 @@ impl Ablation {
             ShapeCheck::new(
                 "sampling-tuned (g, f) costs within 3x of oracle",
                 self.tuning_gap.0 <= 3.0 * self.tuning_gap.1,
-                format!("{:.0} vs {:.0} B/peer", self.tuning_gap.0, self.tuning_gap.1),
+                format!(
+                    "{:.0} vs {:.0} B/peer",
+                    self.tuning_gap.0, self.tuning_gap.1
+                ),
             ),
         ]
     }

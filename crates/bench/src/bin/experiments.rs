@@ -1,21 +1,25 @@
-//! Regenerates the paper's figures.
+//! Regenerates the paper's figures and manages metrics baselines.
 //!
 //! ```text
 //! cargo run -p ifi-bench --release --bin experiments -- all
 //! cargo run -p ifi-bench --release --bin experiments -- fig5 fig7 --quick
 //! cargo run -p ifi-bench --release --bin experiments -- all --seed 7
+//! cargo run -p ifi-bench --release --bin experiments -- write-baselines
+//! cargo run -p ifi-bench --release --bin experiments -- check-baselines --tolerance 0.01
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ifi_bench::output::DataFile;
-use ifi_bench::{ablation, depth, fig5, fig6, fig7, fig8, report_checks, Scale};
+use ifi_bench::{ablation, baseline, depth, fig5, fig6, fig7, fig8, report_checks, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all] \
-         [--quick] [--seed <u64>] [--out <dir>]"
+        "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all]\n\
+         \x20                  [check-baselines] [write-baselines]\n\
+         \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
+         \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]"
     );
     std::process::exit(2);
 }
@@ -29,11 +33,33 @@ fn dump(out: &Option<PathBuf>, data: &DataFile) {
     }
 }
 
+/// Writes each baseline scenario's *full* report (wall-clock included) as
+/// `<dir>/<name>.metrics.json` — the CI artifact.
+fn dump_metrics(dir: &PathBuf) -> bool {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        return false;
+    }
+    for run in baseline::run_all() {
+        let path = dir.join(format!("{}.metrics.json", run.name));
+        if let Err(e) = std::fs::write(&path, run.report.to_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return false;
+        }
+        println!("wrote {}", path.display());
+        println!("{}", run.report.render_table());
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut seed = 20080617u64; // ICDCS 2008
     let mut out: Option<PathBuf> = None;
+    let mut baselines_dir = PathBuf::from("baselines");
+    let mut tolerance = 0.01f64;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut which: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -48,7 +74,21 @@ fn main() -> ExitCode {
                 let Some(dir) = it.next() else { usage() };
                 out = Some(PathBuf::from(dir));
             }
-            "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all" => {
+            "--baselines" => {
+                let Some(dir) = it.next() else { usage() };
+                baselines_dir = PathBuf::from(dir);
+            }
+            "--tolerance" => {
+                let Some(s) = it.next() else { usage() };
+                let Ok(v) = s.parse() else { usage() };
+                tolerance = v;
+            }
+            "--metrics-out" => {
+                let Some(dir) = it.next() else { usage() };
+                metrics_out = Some(PathBuf::from(dir));
+            }
+            "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
+            | "check-baselines" | "write-baselines" => {
                 which.push(Box::leak(arg.clone().into_boxed_str()))
             }
             _ => usage(),
@@ -58,7 +98,58 @@ fn main() -> ExitCode {
         which.push("all");
     }
     let all = which.contains(&"all");
+    // Baseline modes are explicit-only: `all` regenerates figures, it does
+    // not silently rewrite committed snapshots.
     let want = |name: &str| all || which.contains(&name);
+    let mut all_ok = true;
+
+    if which.contains(&"write-baselines") {
+        match baseline::write_baselines(&baselines_dir) {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing baselines failed: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    if which.contains(&"check-baselines") {
+        println!(
+            "checking metrics baselines in {} (byte tolerance {:.2}%)",
+            baselines_dir.display(),
+            tolerance * 100.0
+        );
+        let problems = baseline::check_baselines(&baselines_dir, tolerance);
+        if problems.is_empty() {
+            println!(
+                "  [PASS] all {} baseline scenarios match",
+                baseline::run_all().len()
+            );
+        } else {
+            for p in &problems {
+                println!("  [FAIL] {p}");
+            }
+            all_ok = false;
+        }
+    }
+    if let Some(dir) = &metrics_out {
+        all_ok &= dump_metrics(dir);
+    }
+    if which
+        .iter()
+        .all(|m| *m == "check-baselines" || *m == "write-baselines")
+    {
+        return if all_ok {
+            println!("\nbaselines OK");
+            ExitCode::SUCCESS
+        } else {
+            println!("\nbaseline check FAILED");
+            ExitCode::FAILURE
+        };
+    }
 
     println!(
         "netFilter experiment harness — scale: {:?}, seed: {seed}",
@@ -70,8 +161,6 @@ fn main() -> ExitCode {
         scale.items_small(),
         scale.items_large()
     );
-
-    let mut all_ok = true;
 
     if want("fig5") {
         let fig = fig5::run(scale, seed);

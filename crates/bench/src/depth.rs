@@ -108,12 +108,7 @@ impl DepthProfile {
     pub fn to_data(&self) -> DataFile {
         let mut d = DataFile::new("depth_profile", &["depth", "peers", "netfilter", "naive"]);
         for r in &self.rows {
-            d.row(vec![
-                r.depth as f64,
-                r.peers as f64,
-                r.netfilter,
-                r.naive,
-            ]);
+            d.row(vec![r.depth as f64, r.peers as f64, r.netfilter, r.naive]);
         }
         d
     }

@@ -45,7 +45,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig5 {
 impl Fig5 {
     /// Prints both panels as one table.
     pub fn print(&self) {
-        println!("\n== Figure 5: effect of filter size (f = {}, phi = 0.01) ==", self.f);
+        println!(
+            "\n== Figure 5: effect of filter size (f = {}, phi = 0.01) ==",
+            self.f
+        );
         let mut t = Table::new(&[
             "g",
             "cand/peer",
@@ -74,7 +77,15 @@ impl Fig5 {
     pub fn to_data(&self) -> crate::output::DataFile {
         let mut d = crate::output::DataFile::new(
             "fig5",
-            &["g", "candidates_per_peer", "heavy_groups", "total", "filtering", "dissemination", "aggregation"],
+            &[
+                "g",
+                "candidates_per_peer",
+                "heavy_groups",
+                "total",
+                "filtering",
+                "dissemination",
+                "aggregation",
+            ],
         );
         for r in &self.rows {
             let s = r.summary;
@@ -109,12 +120,16 @@ impl Fig5 {
         let interior = min_idx > 0 && min_idx + 1 < totals.len();
         let g_at_min = self.rows[min_idx].g;
 
-        let candidates_shrink = cands.first().copied().unwrap_or(0.0)
-            > cands.last().copied().unwrap_or(0.0);
+        let candidates_shrink =
+            cands.first().copied().unwrap_or(0.0) > cands.last().copied().unwrap_or(0.0);
 
         // Filtering cost grows linearly in g: check the slope ratio of the
         // last and first points matches g's ratio.
-        let filt_first = self.rows.first().map(|r| r.summary.filtering).unwrap_or(0.0);
+        let filt_first = self
+            .rows
+            .first()
+            .map(|r| r.summary.filtering)
+            .unwrap_or(0.0);
         let filt_last = self.rows.last().map(|r| r.summary.filtering).unwrap_or(0.0);
         let g_first = self.rows.first().map(|r| r.g).unwrap_or(1) as f64;
         let g_last = self.rows.last().map(|r| r.g).unwrap_or(1) as f64;

@@ -41,7 +41,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig6 {
 impl Fig6 {
     /// Prints both panels as one table.
     pub fn print(&self) {
-        println!("\n== Figure 6: effect of number of filters (g = {}, phi = 0.01) ==", self.g);
+        println!(
+            "\n== Figure 6: effect of number of filters (g = {}, phi = 0.01) ==",
+            self.g
+        );
         let mut t = Table::new(&[
             "f",
             "cand/peer",
@@ -70,7 +73,15 @@ impl Fig6 {
     pub fn to_data(&self) -> crate::output::DataFile {
         let mut d = crate::output::DataFile::new(
             "fig6",
-            &["f", "candidates_per_peer", "heavy_groups", "total", "filtering", "dissemination", "aggregation"],
+            &[
+                "f",
+                "candidates_per_peer",
+                "heavy_groups",
+                "total",
+                "filtering",
+                "dissemination",
+                "aggregation",
+            ],
         );
         for r in &self.rows {
             let s = r.summary;

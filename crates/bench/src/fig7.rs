@@ -116,11 +116,7 @@ impl Fig7Panel {
     /// The qualitative claims of §V-C.
     pub fn checks(&self) -> Vec<ShapeCheck> {
         let always_cheaper = self.rows.iter().all(|r| r.netfilter < r.naive);
-        let worst_ratio = self
-            .rows
-            .iter()
-            .map(Fig7Row::ratio)
-            .fold(0.0f64, f64::max);
+        let worst_ratio = self.rows.iter().map(Fig7Row::ratio).fold(0.0f64, f64::max);
 
         let first = &self.rows[0];
         let last = &self.rows[self.rows.len() - 1];

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod baseline;
 pub mod depth;
 pub mod fig5;
 pub mod fig6;
@@ -29,7 +30,7 @@ pub mod par;
 mod runner;
 pub mod table;
 
-pub use runner::{RunSummary, Scale, summarize_netfilter};
+pub use runner::{instrumented_summary, summarize_netfilter, RunSummary, Scale};
 
 /// Outcome of one qualitative shape check.
 #[derive(Debug, Clone)]

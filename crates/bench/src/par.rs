@@ -62,6 +62,23 @@ where
         .collect()
 }
 
+/// [`par_map`] that additionally measures each sweep point's wall-clock
+/// duration on its worker thread, returning `(output, duration)` pairs in
+/// input order. Used to profile figure sweeps without perturbing their
+/// deterministic outputs.
+pub fn par_map_timed<T, U, F>(items: Vec<T>, f: F) -> Vec<(U, std::time::Duration)>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    par_map(items, |item| {
+        let t0 = std::time::Instant::now();
+        let out = f(item);
+        (out, t0.elapsed())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +117,30 @@ mod tests {
             })
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timed_map_preserves_outputs_and_measures() {
+        let out = par_map_timed((0..8).collect(), |x: u64| {
+            let mut acc = x;
+            for _ in 0..1000 {
+                acc = ifi_sim::mix64(acc);
+            }
+            acc
+        });
+        let plain: Vec<u64> = out.iter().map(|&(v, _)| v).collect();
+        assert_eq!(
+            plain,
+            par_map((0..8).collect(), |x: u64| {
+                let mut acc = x;
+                for _ in 0..1000 {
+                    acc = ifi_sim::mix64(acc);
+                }
+                acc
+            })
+        );
+        // Durations are measured (non-negative by type; at least present).
+        assert_eq!(out.len(), 8);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use ifi_hierarchy::Hierarchy;
 use ifi_workload::{SystemData, WorkloadParams};
-use netfilter::{NetFilter, NetFilterConfig, Threshold, WireSizes};
+use netfilter::{MetricsReport, NetFilter, NetFilterConfig, Threshold, WireSizes};
 
 /// Experiment scale: the paper's full setting or a fast smoke setting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +81,11 @@ pub struct RunSummary {
 }
 
 /// Runs netFilter once and flattens the result for table printing.
+///
+/// Every figure run goes through the instrumented engine path, so the
+/// sink's [`MetricsReport`] is reconciled byte-for-byte against the
+/// engine's `CostBreakdown` on *every* sweep point of *every* figure (the
+/// reconciliation assert lives in `NetFilter::run_instrumented`).
 pub fn summarize_netfilter(
     hierarchy: &Hierarchy,
     data: &SystemData,
@@ -88,15 +93,27 @@ pub fn summarize_netfilter(
     f: u32,
     phi: f64,
 ) -> RunSummary {
+    instrumented_summary(hierarchy, data, g, f, phi).0
+}
+
+/// [`summarize_netfilter`] that also returns the run's [`MetricsReport`]
+/// (richer per-phase/per-peer/wall-clock view of the same bytes).
+pub fn instrumented_summary(
+    hierarchy: &Hierarchy,
+    data: &SystemData,
+    g: u32,
+    f: u32,
+    phi: f64,
+) -> (RunSummary, MetricsReport) {
     let config = NetFilterConfig::builder()
         .filter_size(g)
         .filters(f)
         .threshold(Threshold::Ratio(phi))
         .build();
-    let run = NetFilter::new(config).run(hierarchy, data);
+    let (run, report) = NetFilter::new(config).run_instrumented(hierarchy, data);
     let cost = run.cost();
     let counts = run.counts();
-    RunSummary {
+    let summary = RunSummary {
         candidates_per_peer: counts
             .candidates_per_peer(&WireSizes::default(), hierarchy.universe()),
         heavy_groups: counts.heavy_groups_total,
@@ -106,7 +123,8 @@ pub fn summarize_netfilter(
         filtering: cost.avg_filtering(),
         dissemination: cost.avg_dissemination(),
         aggregation: cost.avg_aggregation(),
-    }
+    };
+    (summary, report)
 }
 
 #[cfg(test)]
@@ -129,5 +147,18 @@ mod tests {
         assert!((s.filtering + s.dissemination + s.aggregation - s.total).abs() < 1e-9);
         assert!(s.candidates_per_peer >= 0.0);
         assert!(s.heavy_items + s.false_positives >= s.heavy_items);
+    }
+
+    #[test]
+    fn instrumented_summary_report_matches_the_flat_view() {
+        let scale = Scale::Quick;
+        let data = scale.workload(2_000, 1.0, 2);
+        let h = scale.hierarchy();
+        let (s, report) = instrumented_summary(&h, &data, 50, 3, 0.01);
+        assert!((report.avg_bytes_per_peer() - s.total).abs() < 1e-9);
+        let n = h.universe() as f64;
+        assert!((report.phase_bytes("filtering") as f64 / n - s.filtering).abs() < 1e-9);
+        assert!((report.phase_bytes("dissemination") as f64 / n - s.dissemination).abs() < 1e-9);
+        assert!((report.phase_bytes("aggregation") as f64 / n - s.aggregation).abs() < 1e-9);
     }
 }

@@ -327,7 +327,11 @@ mod tests {
             })
         );
         // 8-byte aggregates accept the same value.
-        let wide = Codec::new(WireSizes { sa: 8, sg: 4, si: 4 });
+        let wide = Codec::new(WireSizes {
+            sa: 8,
+            sg: 4,
+            si: 4,
+        });
         assert!(wide.encode(&too_big).is_ok());
     }
 
@@ -357,7 +361,11 @@ mod tests {
 
     #[test]
     fn non_default_widths_round_trip() {
-        let c = Codec::new(WireSizes { sa: 2, sg: 1, si: 3 });
+        let c = Codec::new(WireSizes {
+            sa: 2,
+            sg: 1,
+            si: 3,
+        });
         let msg = NfMsg::CandidateAgg(MapSum::from_pairs([(ItemId(0xFFFFFF), 0xFFFF)]));
         let enc = c.encode(&msg).unwrap();
         assert_eq!(enc.len() as u64, c.frame_len(&msg) + 5);
@@ -375,12 +383,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of 1..=8")]
     fn zero_width_panics() {
-        let _ = Codec::new(WireSizes { sa: 0, sg: 4, si: 4 });
+        let _ = Codec::new(WireSizes {
+            sa: 0,
+            sg: 4,
+            si: 4,
+        });
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = CodecError::ValueOverflow { value: 300, width: 1 };
+        let e = CodecError::ValueOverflow {
+            value: 300,
+            width: 1,
+        };
         assert_eq!(e.to_string(), "value 300 does not fit in 1 bytes");
         assert!(!CodecError::Truncated.to_string().is_empty());
     }

@@ -10,12 +10,13 @@
 
 use ifi_agg::{hierarchical, MapSum, WireSizes};
 use ifi_hierarchy::Hierarchy;
-use ifi_sim::PeerId;
+use ifi_sim::{EventSink, MetricsReport, MsgClass, PeerId};
 use ifi_workload::{ItemId, SystemData};
 
 use crate::config::NetFilterConfig;
 use crate::filter::{HeavyGroups, LocalFilter};
 use crate::hashing::HashFamily;
+use crate::phases;
 
 /// The netFilter query engine.
 ///
@@ -47,6 +48,24 @@ impl NetFilter {
     ///
     /// Panics if `hierarchy` and `data` cover different peer universes.
     pub fn run(&self, hierarchy: &Hierarchy, data: &SystemData) -> NetFilterRun {
+        self.run_with_sink(hierarchy, data, &mut EventSink::disabled())
+    }
+
+    /// Like [`run`](Self::run), but also charges each phase's per-peer
+    /// byte vector into `sink` (under the [`phases`] labels), so the
+    /// sink's [`MetricsReport`] reconciles byte-for-byte with the returned
+    /// [`CostBreakdown`]. With a disabled sink this *is* `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ, or if an enabled `sink` was sized
+    /// for a different peer universe.
+    pub fn run_with_sink(
+        &self,
+        hierarchy: &Hierarchy,
+        data: &SystemData,
+        sink: &mut EventSink,
+    ) -> NetFilterRun {
         assert_eq!(
             hierarchy.universe(),
             data.peer_count(),
@@ -97,6 +116,22 @@ impl NetFilter {
 
         let counts = Self::classify(&family, candidate_map, &heavy, threshold, &phase2);
 
+        sink.record_vec(
+            phases::FILTERING,
+            MsgClass::FILTERING,
+            &phase1.bytes_per_peer,
+        );
+        sink.record_vec(
+            phases::DISSEMINATION,
+            MsgClass::DISSEMINATION,
+            &dissemination,
+        );
+        sink.record_vec(
+            phases::AGGREGATION,
+            MsgClass::AGGREGATION,
+            &phase2.bytes_per_peer,
+        );
+
         NetFilterRun {
             frequent,
             threshold,
@@ -108,6 +143,27 @@ impl NetFilter {
             counts,
             heavy,
         }
+    }
+
+    /// Runs the engine with a fresh enabled sink, asserts that the
+    /// resulting [`MetricsReport`] reconciles byte-for-byte with the
+    /// [`CostBreakdown`], and returns both. The report additionally
+    /// carries the engine's wall-clock time under the
+    /// [`phases::ENGINE`] label.
+    pub fn run_instrumented(
+        &self,
+        hierarchy: &Hierarchy,
+        data: &SystemData,
+    ) -> (NetFilterRun, MetricsReport) {
+        let mut sink = EventSink::new(hierarchy.universe());
+        let t0 = std::time::Instant::now();
+        let run = self.run_with_sink(hierarchy, data, &mut sink);
+        sink.record_wall(phases::ENGINE, t0.elapsed());
+        let report = sink.report();
+        run.cost()
+            .reconcile(&report)
+            .expect("MetricsReport must reconcile with CostBreakdown");
+        (run, report)
     }
 
     /// Classifies the candidate set at the root into heavy items, and
@@ -157,10 +213,7 @@ impl NetFilter {
             candidates_at_root: candidates.len(),
             fp_homogeneous,
             fp_heterogeneous,
-            candidate_pairs_sent: phase2
-                .bytes_per_peer
-                .iter()
-                .sum::<u64>(),
+            candidate_pairs_sent: phase2.bytes_per_peer.iter().sum::<u64>(),
         }
     }
 }
@@ -226,7 +279,8 @@ impl CostBreakdown {
     /// Panics if `hierarchy` covers a different universe.
     pub fn by_depth(&self, hierarchy: &ifi_hierarchy::Hierarchy) -> Vec<(u32, f64, usize)> {
         assert_eq!(hierarchy.universe(), self.peer_count(), "universe mismatch");
-        let mut sums: std::collections::BTreeMap<u32, (u64, usize)> = std::collections::BTreeMap::new();
+        let mut sums: std::collections::BTreeMap<u32, (u64, usize)> =
+            std::collections::BTreeMap::new();
         for p in hierarchy.members() {
             let d = hierarchy.depth(p).expect("member has a depth");
             let e = sums.entry(d).or_insert((0, 0));
@@ -236,6 +290,52 @@ impl CostBreakdown {
         sums.into_iter()
             .map(|(d, (bytes, count))| (d, bytes as f64 / count as f64, count))
             .collect()
+    }
+
+    /// Checks that `report` is byte-identical to this breakdown: each of
+    /// the three netFilter phases must carry exactly this breakdown's
+    /// per-peer byte vector (a phase absent from the report counts as
+    /// all-zero), and the report must contain no bytes beyond those three
+    /// phases. Returns a description of the first discrepancy.
+    ///
+    /// This is the bridge between the richer [`MetricsReport`] and the
+    /// engine's own accounting; it holds for both the instant engine
+    /// ([`NetFilter::run_instrumented`]) and DES protocol runs, whose
+    /// untagged sends land in the same class-label phases.
+    pub fn reconcile(&self, report: &MetricsReport) -> Result<(), String> {
+        fn check(report: &MetricsReport, label: &str, expect: &[u64]) -> Result<(), String> {
+            match report.phase_peer_bytes(label) {
+                Some(got) => {
+                    if got.len() != expect.len() {
+                        return Err(format!(
+                            "phase {label:?}: report covers {} peers, breakdown {}",
+                            got.len(),
+                            expect.len()
+                        ));
+                    }
+                    for (i, (&g, &e)) in got.iter().zip(expect).enumerate() {
+                        if g != e {
+                            return Err(format!(
+                                "phase {label:?}, peer {i}: report has {g} B, breakdown {e} B"
+                            ));
+                        }
+                    }
+                    Ok(())
+                }
+                None if expect.iter().all(|&b| b == 0) => Ok(()),
+                None => Err(format!("phase {label:?} missing from the report")),
+            }
+        }
+        check(report, phases::FILTERING, &self.filtering)?;
+        check(report, phases::DISSEMINATION, &self.dissemination)?;
+        check(report, phases::AGGREGATION, &self.aggregation)?;
+        let (rt, bt) = (report.total_bytes(), self.total_bytes());
+        if rt != bt {
+            return Err(format!(
+                "report total {rt} B != breakdown total {bt} B (extra bytes outside the three netFilter phases)"
+            ));
+        }
+        Ok(())
     }
 
     /// The heaviest-loaded peer and its bytes — used to check the paper's
@@ -511,6 +611,70 @@ mod tests {
         assert_eq!(manual, c.total_bytes());
         let sum_avgs = c.avg_filtering() + c.avg_dissemination() + c.avg_aggregation();
         assert!((sum_avgs - c.avg_total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instrumented_report_reconciles_and_matches_plain_run() {
+        let data = workload(60, 1_200, 1.0, 53);
+        let h = Hierarchy::balanced(60, 3);
+        let config = NetFilterConfig::builder()
+            .filter_size(30)
+            .filters(3)
+            .threshold(Threshold::Ratio(0.01))
+            .build();
+        let engine = NetFilter::new(config);
+        let plain = engine.run(&h, &data);
+        let (run, report) = engine.run_instrumented(&h, &data);
+        // Instrumentation changes nothing about the answer or the cost.
+        assert_eq!(run.frequent_items(), plain.frequent_items());
+        assert_eq!(run.cost(), plain.cost());
+        // The report is the richer view of the same bytes.
+        assert_eq!(report.total_bytes(), run.cost().total_bytes());
+        assert_eq!(
+            report.phase_peer_bytes(phases::FILTERING).unwrap(),
+            &run.cost().filtering[..]
+        );
+        assert_eq!(
+            report.phase_peer_bytes(phases::DISSEMINATION).unwrap(),
+            &run.cost().dissemination[..]
+        );
+        assert_eq!(
+            report.phase_peer_bytes(phases::AGGREGATION).unwrap(),
+            &run.cost().aggregation[..]
+        );
+        assert!((report.avg_bytes_per_peer() - run.cost().avg_total()).abs() < 1e-9);
+        // Wall-clock profiling is attached to the engine phase.
+        assert!(report.phase(phases::ENGINE).is_some());
+    }
+
+    #[test]
+    fn reconcile_rejects_drifted_reports() {
+        let data = workload(20, 200, 1.0, 61);
+        let h = Hierarchy::balanced(20, 3);
+        let run = run_with(10, 2, &data, &h);
+        let mut sink = EventSink::new(20);
+        sink.record_vec(
+            phases::FILTERING,
+            MsgClass::FILTERING,
+            &run.cost().filtering,
+        );
+        // Missing phases with nonzero expected bytes are discrepancies.
+        assert!(run.cost().reconcile(&sink.report()).is_err());
+        sink.record_vec(
+            phases::DISSEMINATION,
+            MsgClass::DISSEMINATION,
+            &run.cost().dissemination,
+        );
+        sink.record_vec(
+            phases::AGGREGATION,
+            MsgClass::AGGREGATION,
+            &run.cost().aggregation,
+        );
+        assert!(run.cost().reconcile(&sink.report()).is_ok());
+        // Any extra byte anywhere breaks reconciliation.
+        sink.record(PeerId::new(0), MsgClass::CONTROL, 1);
+        let err = run.cost().reconcile(&sink.report()).unwrap_err();
+        assert!(err.contains("total"), "unexpected error: {err}");
     }
 
     #[test]

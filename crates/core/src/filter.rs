@@ -30,9 +30,7 @@ impl LocalFilter {
 
     /// The peer's local contribution to the `f·g` group-aggregate vector.
     pub fn group_vector(&self, local_items: &[(ItemId, u64)]) -> VecSum {
-        let mut v = VecSum::zeros(
-            self.family.filters() as usize * self.family.groups() as usize,
-        );
+        let mut v = VecSum::zeros(self.family.filters() as usize * self.family.groups() as usize);
         for &(item, value) in local_items {
             for slot in self.family.slots_of(item) {
                 v.0[slot] += value;
@@ -44,11 +42,7 @@ impl LocalFilter {
     /// §III-C: given the heavy groups, materializes the peer's **partial
     /// candidate set** — the local items all of whose `f` groups are heavy
     /// — with their local values.
-    pub fn partial_candidates(
-        &self,
-        local_items: &[(ItemId, u64)],
-        heavy: &HeavyGroups,
-    ) -> MapSum {
+    pub fn partial_candidates(&self, local_items: &[(ItemId, u64)], heavy: &HeavyGroups) -> MapSum {
         MapSum::from_pairs(
             local_items
                 .iter()

@@ -41,12 +41,13 @@
 use ifi_agg::{gossip, hierarchical, MapSum};
 use ifi_hierarchy::Hierarchy;
 use ifi_overlay::Topology;
-use ifi_sim::{DetRng, PeerId};
+use ifi_sim::{DetRng, EventSink, MsgClass, PeerId};
 use ifi_workload::{ItemId, SystemData};
 
 use crate::config::NetFilterConfig;
 use crate::filter::{HeavyGroups, LocalFilter};
 use crate::hashing::HashFamily;
+use crate::phases;
 
 /// Configuration of the gossip-filtered variant.
 #[derive(Debug, Clone)]
@@ -122,7 +123,38 @@ pub fn run(
     config: &GossipFilterConfig,
     rng: &mut DetRng,
 ) -> GossipFilterRun {
-    assert_eq!(topology.peer_count(), data.peer_count(), "universe mismatch");
+    run_with_sink(
+        topology,
+        hierarchy,
+        data,
+        config,
+        rng,
+        &mut EventSink::disabled(),
+    )
+}
+
+/// [`run`] that additionally charges phase 1 into `sink` under
+/// [`phases::GOSSIP_FILTERING`] (per sender per round) and phase 2 under
+/// [`phases::AGGREGATION`] (bulk per-peer vector). Recording draws no
+/// randomness, so the outcome is identical to the plain variant.
+///
+/// # Panics
+///
+/// As [`run`]; additionally if an enabled `sink` was sized for a
+/// different peer universe.
+pub fn run_with_sink(
+    topology: &Topology,
+    hierarchy: &Hierarchy,
+    data: &SystemData,
+    config: &GossipFilterConfig,
+    rng: &mut DetRng,
+    sink: &mut EventSink,
+) -> GossipFilterRun {
+    assert_eq!(
+        topology.peer_count(),
+        data.peer_count(),
+        "universe mismatch"
+    );
     assert_eq!(hierarchy.universe(), data.peer_count(), "universe mismatch");
     assert!(
         (0.0..1.0).contains(&config.margin),
@@ -152,7 +184,9 @@ pub fn run(
             true_sums[k] += x;
         }
     }
-    let out = gossip::push_sum_vec(topology, &vectors, config.rounds, &sizes, rng);
+    sink.enter(phases::GOSSIP_FILTERING);
+    let out = gossip::push_sum_vec_with_sink(topology, &vectors, config.rounds, &sizes, rng, sink);
+    sink.exit();
     let gossip_error = out.max_relative_error(&true_sums);
 
     // --- Each peer derives heavy groups from its own estimate. ---
@@ -178,6 +212,11 @@ pub fn run(
     let phase2 = hierarchical::aggregate(hierarchy, &sizes, |p| {
         local_filter.partial_candidates(data.local_items(p), &heavy_at[p.index()])
     });
+    sink.record_vec(
+        phases::AGGREGATION,
+        MsgClass::AGGREGATION,
+        &phase2.bytes_per_peer,
+    );
     let candidate_map: &MapSum = &phase2.root_value;
     let mut frequent: Vec<(ItemId, u64)> = candidate_map
         .0
@@ -276,6 +315,24 @@ mod tests {
         );
         // Same exact answer either way.
         assert_eq!(gossip_run.frequent_items(), tree_run.frequent_items());
+    }
+
+    #[test]
+    fn sink_variant_matches_plain_and_splits_phases() {
+        let (topo, h, data, _) = setup(111);
+        let cfg = GossipFilterConfig::conservative(base(), 120);
+        let plain = run(&topo, &h, &data, &cfg, &mut DetRng::new(11));
+        let mut sink = EventSink::new(120);
+        let sunk = run_with_sink(&topo, &h, &data, &cfg, &mut DetRng::new(11), &mut sink);
+        assert_eq!(sunk.frequent_items(), plain.frequent_items());
+        assert_eq!(sunk.candidates, plain.candidates);
+        let report = sink.report();
+        // Per-phase averages reconcile with the run's own accounting.
+        let gossip_avg = report.phase_bytes(phases::GOSSIP_FILTERING) as f64 / 120.0;
+        let verify_avg = report.phase_bytes(phases::AGGREGATION) as f64 / 120.0;
+        assert!((gossip_avg - plain.gossip_bytes_per_peer).abs() < 1e-9);
+        assert!((verify_avg - plain.verification_bytes_per_peer).abs() < 1e-9);
+        assert!((report.avg_bytes_per_peer() - plain.avg_bytes_per_peer()).abs() < 1e-9);
     }
 
     #[test]

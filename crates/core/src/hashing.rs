@@ -33,7 +33,9 @@ impl HashFamily {
         assert!(groups > 0, "need at least one item group");
         HashFamily {
             group_count: groups,
-            seeds: (0..filters as u64).map(|i| mix64(seed ^ mix64(i + 1))).collect(),
+            seeds: (0..filters as u64)
+                .map(|i| mix64(seed ^ mix64(i + 1)))
+                .collect(),
         }
     }
 

@@ -85,9 +85,10 @@ pub mod codec;
 mod config;
 mod engine;
 mod filter;
-mod hashing;
 pub mod gossip_filter;
+mod hashing;
 pub mod naive;
+pub mod phases;
 pub mod protocol;
 pub mod recruitment;
 pub mod requests;
@@ -103,4 +104,5 @@ pub use hashing::HashFamily;
 
 // Re-export the vocabulary types users need alongside this crate.
 pub use ifi_agg::WireSizes;
+pub use ifi_sim::{EventSink, MetricsReport};
 pub use ifi_workload::ItemId;

@@ -165,7 +165,12 @@ mod tests {
         let flat = run(
             &h,
             &SystemData::generate(
-                &WorkloadParams { peers: 100, items: 20_000, instances_per_item: 10, theta: 0.0 },
+                &WorkloadParams {
+                    peers: 100,
+                    items: 20_000,
+                    instances_per_item: 10,
+                    theta: 0.0,
+                },
                 9,
             ),
             Threshold::Ratio(0.01),
@@ -174,7 +179,12 @@ mod tests {
         let skewed = run(
             &h,
             &SystemData::generate(
-                &WorkloadParams { peers: 100, items: 20_000, instances_per_item: 10, theta: 2.0 },
+                &WorkloadParams {
+                    peers: 100,
+                    items: 20_000,
+                    instances_per_item: 10,
+                    theta: 2.0,
+                },
                 9,
             ),
             Threshold::Ratio(0.01),

@@ -1,0 +1,30 @@
+//! Canonical phase labels for [`MetricsReport`](ifi_sim::MetricsReport)s.
+//!
+//! The three netFilter phase labels deliberately equal the
+//! [`MsgClass`](ifi_sim::MsgClass) labels of the classes those phases send
+//! in: a DES run of [`protocol`](crate::protocol) with an enabled sink and
+//! *no* explicit span markers attributes each send to its class-label
+//! fallback phase — and therefore produces the same phase names as the
+//! instant engine's bulk charges, so the two reports can be compared
+//! directly (see the `metrics_report` integration tests).
+
+/// Phase 1: candidate filtering (group-vector convergecast).
+pub const FILTERING: &str = "filtering";
+/// Phase 2a: heavy-group identifier dissemination.
+pub const DISSEMINATION: &str = "dissemination";
+/// Phase 2b: candidate `(id, value)` aggregation.
+pub const AGGREGATION: &str = "aggregation";
+/// Gossip-based candidate filtering (the `gossip_filter` variant).
+pub const GOSSIP_FILTERING: &str = "gossip-filtering";
+/// Sampling traffic for parameter estimation (§IV-E).
+pub const SAMPLING: &str = "sampling";
+/// Hierarchy construction / repair control traffic.
+pub const CONSTRUCTION: &str = "construction";
+/// Hierarchy maintenance (heartbeats, repair) control traffic.
+pub const MAINTENANCE: &str = "maintenance";
+/// One epoch of the resilient re-querying protocol.
+pub const EPOCH: &str = "epoch";
+/// Wall-clock phase for the instant engine's whole run.
+pub const ENGINE: &str = "engine";
+/// Wall-clock phase for the DES scheduler loop (charged by `ifi-sim`).
+pub const SCHEDULER: &str = "scheduler";

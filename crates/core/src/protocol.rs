@@ -146,11 +146,8 @@ impl NetFilterProtocol {
             .take()
             .expect("phase-1 accumulator present until completion");
         if self.is_root {
-            let heavy = HeavyGroups::from_aggregate(
-                self.local_filter.family(),
-                &acc,
-                self.threshold,
-            );
+            let heavy =
+                HeavyGroups::from_aggregate(self.local_filter.family(), &acc, self.threshold);
             self.start_phase2(ctx, heavy);
         } else {
             let parent = self.parent.expect("non-root has a parent");
@@ -198,7 +195,12 @@ impl NetFilterProtocol {
         } else {
             let parent = self.parent.expect("non-root has a parent");
             let bytes = acc.encoded_bytes(&self.sizes);
-            ctx.send(parent, NfMsg::CandidateAgg(acc), bytes, MsgClass::AGGREGATION);
+            ctx.send(
+                parent,
+                NfMsg::CandidateAgg(acc),
+                bytes,
+                MsgClass::AGGREGATION,
+            );
         }
     }
 }
@@ -232,8 +234,7 @@ impl Protocol for NetFilterProtocol {
             }
             NfMsg::Heavy(lists) => {
                 assert_eq!(Some(from), self.parent, "heavy lists must come from parent");
-                let heavy =
-                    HeavyGroups::from_lists(lists, self.local_filter.family().groups());
+                let heavy = HeavyGroups::from_lists(lists, self.local_filter.family().groups());
                 self.start_phase2(ctx, heavy);
             }
             NfMsg::CandidateAgg(m) => {
@@ -290,12 +291,8 @@ mod tests {
 
         let instant = NetFilter::new(cfg.clone()).run(&h, &data);
 
-        let mut w = NetFilterProtocol::build_world(
-            &cfg,
-            &h,
-            &data,
-            SimConfig::default().with_seed(4),
-        );
+        let mut w =
+            NetFilterProtocol::build_world(&cfg, &h, &data, SimConfig::default().with_seed(4));
         w.start();
         w.run_to_quiescence();
 
@@ -356,8 +353,7 @@ mod tests {
     fn non_root_peers_hold_no_result() {
         let data = workload(20, 300, 85);
         let h = Hierarchy::balanced(20, 3);
-        let mut w =
-            NetFilterProtocol::build_world(&config(10, 2), &h, &data, SimConfig::default());
+        let mut w = NetFilterProtocol::build_world(&config(10, 2), &h, &data, SimConfig::default());
         w.start();
         w.run_to_quiescence();
         for i in 1..20 {
@@ -371,8 +367,7 @@ mod tests {
         let data = workload(50, 1_500, 87);
         let truth = GroundTruth::compute(&data);
         let h = Hierarchy::balanced(50, 3);
-        let mut w =
-            NetFilterProtocol::build_world(&config(40, 3), &h, &data, SimConfig::default());
+        let mut w = NetFilterProtocol::build_world(&config(40, 3), &h, &data, SimConfig::default());
         w.start();
         w.run_to_quiescence();
         let t = truth.threshold_for_ratio(0.01);
@@ -394,10 +389,7 @@ mod tests {
         let mut w = NetFilterProtocol::build_world(&cfg, &h, &data, SimConfig::default());
         w.start();
         w.run_to_quiescence();
-        assert_eq!(
-            w.peer(PeerId::new(0)).result().unwrap(),
-            &[(ItemId(1), 10)]
-        );
+        assert_eq!(w.peer(PeerId::new(0)).result().unwrap(), &[(ItemId(1), 10)]);
         assert_eq!(w.metrics().total_bytes(), 0, "no peers, no traffic");
     }
 }

@@ -185,7 +185,7 @@ mod tests {
     fn hierarchy_spans_exactly_the_participants() {
         let (sys, data) = build(407, 0.3);
         assert_eq!(sys.hierarchy.member_count(), 36); // ceil(120 · 0.3)
-        // Non-members hold no folded data.
+                                                      // Non-members hold no folded data.
         for i in 0..data.peer_count() {
             let p = PeerId::new(i);
             if !sys.hierarchy.is_member(p) {

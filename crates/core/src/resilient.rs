@@ -33,6 +33,7 @@ use ifi_workload::{ItemId, SystemData};
 use crate::config::NetFilterConfig;
 use crate::filter::{HeavyGroups, LocalFilter};
 use crate::hashing::HashFamily;
+use crate::phases;
 
 /// Wire size of a `Start{epoch}` control message.
 const START_BYTES: u64 = 12;
@@ -184,7 +185,11 @@ impl ResilientProtocol {
         data: &SystemData,
         sim: SimConfig,
     ) -> World<ResilientProtocol> {
-        assert_eq!(topology.peer_count(), data.peer_count(), "universe mismatch");
+        assert_eq!(
+            topology.peer_count(),
+            data.peer_count(),
+            "universe mismatch"
+        );
         assert_eq!(hierarchy.universe(), data.peer_count(), "universe mismatch");
         let threshold = config.threshold.resolve(data.total_value());
         let peers = (0..data.peer_count())
@@ -220,6 +225,9 @@ impl ResilientProtocol {
     }
 
     fn flush_maintain(&mut self, ctx: &mut Ctx<'_, Self>, out: ifi_hierarchy::Outbox) {
+        // Handlers interleave repair and query traffic, so each send site
+        // re-marks its phase just before sending.
+        ctx.mark_phase(phases::MAINTENANCE);
         let hb = self.rc.heartbeat.bytes;
         for (to, msg) in out {
             let (bytes, class) = match msg {
@@ -247,7 +255,9 @@ impl ResilientProtocol {
     }
 
     fn check_p1(&mut self, ctx: &mut Ctx<'_, Self>) {
-        if self.p1_sent || self.p1_acc.is_none() || !self.children_covered(&self.p1_received.clone())
+        if self.p1_sent
+            || self.p1_acc.is_none()
+            || !self.children_covered(&self.p1_received.clone())
         {
             return;
         }
@@ -259,6 +269,7 @@ impl ResilientProtocol {
             self.enter_phase2(ctx, heavy);
         } else if let Some(parent) = self.epoch_parent {
             let bytes = acc.encoded_bytes(&self.sizes);
+            ctx.mark_phase(phases::FILTERING);
             ctx.send(
                 parent,
                 RMsg::GroupAgg {
@@ -273,6 +284,7 @@ impl ResilientProtocol {
 
     fn enter_phase2(&mut self, ctx: &mut Ctx<'_, Self>, heavy: HeavyGroups) {
         let list_bytes = self.sizes.sg * heavy.total_heavy() as u64;
+        ctx.mark_phase(phases::DISSEMINATION);
         for c in self.core.children() {
             ctx.send(
                 c,
@@ -313,6 +325,7 @@ impl ResilientProtocol {
             self.completed.push((self.epoch, frequent));
         } else if let Some(parent) = self.epoch_parent {
             let bytes = acc.encoded_bytes(&self.sizes);
+            ctx.mark_phase(phases::AGGREGATION);
             ctx.send(
                 parent,
                 RMsg::CandidateAgg {
@@ -354,6 +367,7 @@ impl Protocol for ResilientProtocol {
             RMsg::Start { epoch } => {
                 if epoch > self.epoch {
                     self.reset_epoch(epoch, Some(from));
+                    ctx.mark_phase(phases::EPOCH);
                     for c in self.core.children() {
                         ctx.send(c, RMsg::Start { epoch }, START_BYTES, MsgClass::CONTROL);
                     }
@@ -371,8 +385,7 @@ impl Protocol for ResilientProtocol {
             }
             RMsg::Heavy { epoch, lists } => {
                 if epoch == self.epoch && self.heavy.is_none() && Some(from) == self.epoch_parent {
-                    let heavy =
-                        HeavyGroups::from_lists(lists, self.local_filter.family().groups());
+                    let heavy = HeavyGroups::from_lists(lists, self.local_filter.family().groups());
                     self.enter_phase2(ctx, heavy);
                 }
             }
@@ -404,19 +417,21 @@ impl Protocol for ResilientProtocol {
                 // Root: start the next epoch if the current one finished
                 // (or never started); supersede it only once it has been
                 // in flight longer than `epoch_timeout`.
-                let current_done = self.epoch == 0
-                    || self
-                        .completed
-                        .last()
-                        .is_some_and(|&(e, _)| e == self.epoch);
-                let timed_out = ctx.now()
-                    >= self.epoch_started_at + self.rc.epoch_timeout;
+                let current_done =
+                    self.epoch == 0 || self.completed.last().is_some_and(|&(e, _)| e == self.epoch);
+                let timed_out = ctx.now() >= self.epoch_started_at + self.rc.epoch_timeout;
                 if current_done || timed_out {
                     let next = self.epoch + 1;
                     self.reset_epoch(next, None);
                     self.epoch_started_at = ctx.now();
+                    ctx.mark_phase(phases::EPOCH);
                     for c in self.core.children() {
-                        ctx.send(c, RMsg::Start { epoch: next }, START_BYTES, MsgClass::CONTROL);
+                        ctx.send(
+                            c,
+                            RMsg::Start { epoch: next },
+                            START_BYTES,
+                            MsgClass::CONTROL,
+                        );
                     }
                     self.check_p1(ctx);
                 }
@@ -585,7 +600,10 @@ mod tests {
 
         let victim = *h.leaves().first().expect("leaves exist");
         let victim_mass: u64 = data.local_items(victim).iter().map(|&(_, v)| v).sum();
-        assert!(victim_mass > 0, "victim must hold data for the test to bite");
+        assert!(
+            victim_mass > 0,
+            "victim must hold data for the test to bite"
+        );
 
         let mut w = ResilientProtocol::build_world(
             &cfg,

@@ -110,7 +110,10 @@ mod tests {
     }
 
     fn base() -> NetFilterConfig {
-        NetFilterConfig::builder().filter_size(40).filters(3).build()
+        NetFilterConfig::builder()
+            .filter_size(40)
+            .filters(3)
+            .build()
     }
 
     #[test]
@@ -118,8 +121,7 @@ mod tests {
         let (h, data, truth) = setup(301);
         for k in [1usize, 5, 20, 100] {
             let run = top_k(&h, &data, k, &base());
-            let expect: Vec<(ItemId, u64)> =
-                truth.globals().iter().copied().take(k).collect();
+            let expect: Vec<(ItemId, u64)> = truth.globals().iter().copied().take(k).collect();
             assert_eq!(run.items, expect, "k = {k}");
         }
     }

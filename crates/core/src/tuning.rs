@@ -66,7 +66,9 @@ pub fn tune(
 
     // Eq. 3 with sampled v̄_light and the universe average v / n̂. Guard the
     // degenerate all-heavy sample (v̄_light = 0).
-    let v_bar = stats.v_bar_universe(data.total_value()).max(f64::MIN_POSITIVE);
+    let v_bar = stats
+        .v_bar_universe(data.total_value())
+        .max(f64::MIN_POSITIVE);
     let phi = t as f64 / data.total_value().max(1) as f64;
     let g = if stats.v_light_bar > 0.0 {
         analysis::optimal_g(stats.v_light_bar, phi, v_bar, G_SLACK)
@@ -110,7 +112,10 @@ mod tests {
             &h,
             &data,
             Threshold::Ratio(0.01),
-            &SamplingConfig { branches: 16, items_per_peer: 200 },
+            &SamplingConfig {
+                branches: 16,
+                items_per_peer: 200,
+            },
             &WireSizes::default(),
             &mut DetRng::new(3),
         );
@@ -133,7 +138,10 @@ mod tests {
             &h,
             &data,
             Threshold::Ratio(0.01),
-            &SamplingConfig { branches: 16, items_per_peer: 200 },
+            &SamplingConfig {
+                branches: 16,
+                items_per_peer: 200,
+            },
             &WireSizes::default(),
             &mut DetRng::new(5),
         );
@@ -177,8 +185,22 @@ mod tests {
     fn tuning_is_deterministic_per_seed() {
         let (h, data, _) = setup();
         let cfg = SamplingConfig::default();
-        let a = tune(&h, &data, Threshold::Ratio(0.01), &cfg, &WireSizes::default(), &mut DetRng::new(9));
-        let b = tune(&h, &data, Threshold::Ratio(0.01), &cfg, &WireSizes::default(), &mut DetRng::new(9));
+        let a = tune(
+            &h,
+            &data,
+            Threshold::Ratio(0.01),
+            &cfg,
+            &WireSizes::default(),
+            &mut DetRng::new(9),
+        );
+        let b = tune(
+            &h,
+            &data,
+            Threshold::Ratio(0.01),
+            &cfg,
+            &WireSizes::default(),
+            &mut DetRng::new(9),
+        );
         assert_eq!((a.filter_size, a.filters), (b.filter_size, b.filters));
     }
 }

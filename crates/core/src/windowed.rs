@@ -136,7 +136,10 @@ impl WindowedMonitor {
     /// exact frequent items **of the current window**.
     pub fn query(&self, hierarchy: &Hierarchy) -> NetFilterRun {
         let data = SystemData::from_local_sets(
-            self.windows.iter().map(SlidingWindow::local_items).collect(),
+            self.windows
+                .iter()
+                .map(SlidingWindow::local_items)
+                .collect(),
             self.universe,
         );
         NetFilter::new(self.config.clone()).run(hierarchy, &data)
@@ -181,7 +184,10 @@ mod tests {
             .filters(2)
             .threshold(Threshold::Absolute(50))
             .build();
-        (WindowedMonitor::new(30, 3, 1_000, config), Hierarchy::balanced(30, 3))
+        (
+            WindowedMonitor::new(30, 3, 1_000, config),
+            Hierarchy::balanced(30, 3),
+        )
     }
 
     #[test]
@@ -197,7 +203,9 @@ mod tests {
 
         // The answer matches an oracle over the materialized window.
         let data = SystemData::from_local_sets(
-            (0..30).map(|p| m.window(PeerId::new(p)).local_items()).collect(),
+            (0..30)
+                .map(|p| m.window(PeerId::new(p)).local_items())
+                .collect(),
             1_000,
         );
         let truth = GroundTruth::compute(&data);

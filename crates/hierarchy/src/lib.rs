@@ -39,6 +39,6 @@ mod tree;
 
 pub use maintain_core::{MaintainCore, Outbox};
 pub use multi::MultiHierarchy;
-pub use roots::{select_root, RootSelection};
 pub use protocol::{BuildMsg, BuildProtocol, MaintainMsg, MaintainProtocol, MaintainTimer};
+pub use roots::{select_root, RootSelection};
 pub use tree::Hierarchy;

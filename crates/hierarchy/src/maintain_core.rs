@@ -182,9 +182,8 @@ impl MaintainCore {
         let suspected = self.tracker.suspected(now);
         let timeout = self.tracker.config().timeout;
         let before = self.children.len();
-        self.children.retain(|c, &mut stamp| {
-            !suspected.contains(c) && now.duration_since(stamp) <= timeout
-        });
+        self.children
+            .retain(|c, &mut stamp| !suspected.contains(c) && now.duration_since(stamp) <= timeout);
         changed |= self.children.len() != before;
         // Re-assert the parent link every tick. Attach is idempotent at
         // the parent, and without the refresh a single lost Attach leaves

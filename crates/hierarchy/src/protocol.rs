@@ -83,6 +83,7 @@ impl BuildProtocol {
     }
 
     fn settle(&mut self, ctx: &mut Ctx<'_, Self>, depth: u32, parent: Option<PeerId>) {
+        ctx.mark_phase("construction");
         if let Some(old) = self.parent {
             ctx.send(old, BuildMsg::Detach, CTRL_BYTES, MsgClass::CONTROL);
         }
@@ -111,7 +112,10 @@ impl BuildProtocol {
     ///
     /// Panics if the recorded parents do not form a tree rooted at `root`
     /// (construction has not converged).
-    pub fn snapshot<'a>(root: PeerId, states: impl Iterator<Item = &'a BuildProtocol>) -> Hierarchy {
+    pub fn snapshot<'a>(
+        root: PeerId,
+        states: impl Iterator<Item = &'a BuildProtocol>,
+    ) -> Hierarchy {
         let parents: Vec<Option<PeerId>> = states.map(|s| s.parent).collect();
         Hierarchy::from_parents(root, &parents)
     }
@@ -229,6 +233,7 @@ impl MaintainProtocol {
     }
 
     fn flush(&mut self, ctx: &mut Ctx<'_, Self>, out: crate::maintain_core::Outbox) {
+        ctx.mark_phase("maintenance");
         let hb_bytes = self.core.config().bytes;
         for (to, msg) in out {
             let bytes = match msg {
@@ -348,11 +353,7 @@ mod tests {
         assert_eq!(h, Hierarchy::bfs(&topo, PeerId::new(0)));
     }
 
-    fn maintain_world(
-        topo: &Topology,
-        h: &Hierarchy,
-        seed: u64,
-    ) -> World<MaintainProtocol> {
+    fn maintain_world(topo: &Topology, h: &Hierarchy, seed: u64) -> World<MaintainProtocol> {
         let cfg = HeartbeatConfig {
             interval: Duration::from_millis(500),
             timeout: Duration::from_millis(1600),

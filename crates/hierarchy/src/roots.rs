@@ -97,7 +97,12 @@ mod tests {
             SimTime::from_micros(1_000_000_000),
             &mut DetRng::new(4),
         );
-        let root = select_root(&topo, Some(&sched), RootSelection::MostStable, &mut DetRng::new(5));
+        let root = select_root(
+            &topo,
+            Some(&sched),
+            RootSelection::MostStable,
+            &mut DetRng::new(5),
+        );
         assert_eq!(root, sched.most_stable(1)[0]);
     }
 

@@ -374,8 +374,12 @@ mod tests {
         let order = h.post_order();
         assert_eq!(order.len(), 13);
         assert_eq!(*order.last().unwrap(), h.root());
-        let pos: std::collections::HashMap<PeerId, usize> =
-            order.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        let pos: std::collections::HashMap<PeerId, usize> = order
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
         for p in h.members() {
             for &c in h.children(p) {
                 assert!(pos[&c] < pos[&p], "{c} not before parent {p}");

@@ -91,12 +91,7 @@ pub struct ChurnSchedule {
 impl ChurnSchedule {
     /// Simulates on/off alternation for every peer up to `horizon`.
     /// All peers start online at `t = 0`.
-    pub fn generate(
-        n: usize,
-        model: SessionModel,
-        horizon: SimTime,
-        rng: &mut DetRng,
-    ) -> Self {
+    pub fn generate(n: usize, model: SessionModel, horizon: SimTime, rng: &mut DetRng) -> Self {
         let mut events = Vec::new();
         let mut online_time = vec![Duration::ZERO; n];
         #[allow(clippy::needless_range_loop)] // i indexes both peer ids and online_time
@@ -216,7 +211,8 @@ mod tests {
 
     #[test]
     fn events_are_ordered_and_alternate_per_peer() {
-        let sched = ChurnSchedule::generate(20, model(), SimTime::from_micros(1_000_000_000), &mut rng());
+        let sched =
+            ChurnSchedule::generate(20, model(), SimTime::from_micros(1_000_000_000), &mut rng());
         let ts: Vec<_> = sched.events().iter().map(|e| e.time()).collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]), "events out of order");
 
@@ -256,19 +252,11 @@ mod tests {
 
     #[test]
     fn most_stable_returns_highest_online_time() {
-        let sched = ChurnSchedule::generate(
-            30,
-            model(),
-            SimTime::from_micros(2_000_000_000),
-            &mut rng(),
-        );
+        let sched =
+            ChurnSchedule::generate(30, model(), SimTime::from_micros(2_000_000_000), &mut rng());
         let top = sched.most_stable(5);
         assert_eq!(top.len(), 5);
-        let worst_top = top
-            .iter()
-            .map(|&p| sched.online_time(p))
-            .min()
-            .unwrap();
+        let worst_top = top.iter().map(|&p| sched.online_time(p)).min().unwrap();
         let rest_best = (0..30)
             .map(PeerId::new)
             .filter(|p| !top.contains(p))
@@ -295,7 +283,8 @@ mod tests {
 
     #[test]
     fn install_replays_all_events() {
-        let sched = ChurnSchedule::generate(10, model(), SimTime::from_micros(800_000_000), &mut rng());
+        let sched =
+            ChurnSchedule::generate(10, model(), SimTime::from_micros(800_000_000), &mut rng());
         let mut downs = 0;
         let mut ups = 0;
         sched.install(|_, _| downs += 1, |_, _| ups += 1);
@@ -306,8 +295,18 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = ChurnSchedule::generate(15, model(), SimTime::from_micros(1e9 as u64), &mut DetRng::new(5));
-        let b = ChurnSchedule::generate(15, model(), SimTime::from_micros(1e9 as u64), &mut DetRng::new(5));
+        let a = ChurnSchedule::generate(
+            15,
+            model(),
+            SimTime::from_micros(1e9 as u64),
+            &mut DetRng::new(5),
+        );
+        let b = ChurnSchedule::generate(
+            15,
+            model(),
+            SimTime::from_micros(1e9 as u64),
+            &mut DetRng::new(5),
+        );
         assert_eq!(a.events(), b.events());
     }
 }

@@ -63,7 +63,10 @@ impl HeartbeatTracker {
     pub fn new(config: HeartbeatConfig, neighbors: impl IntoIterator<Item = PeerId>) -> Self {
         HeartbeatTracker {
             config,
-            last: neighbors.into_iter().map(|p| (p, (SimTime::ZERO, None))).collect(),
+            last: neighbors
+                .into_iter()
+                .map(|p| (p, (SimTime::ZERO, None)))
+                .collect(),
             started: None,
         }
     }
@@ -172,14 +175,20 @@ mod tests {
     fn alive_within_timeout_then_suspected() {
         let mut hb = tracker();
         hb.on_heartbeat(PeerId::new(1), 2, t(100));
-        assert_eq!(hb.status(PeerId::new(1), t(350)), NeighborStatus::Alive(Some(2)));
+        assert_eq!(
+            hb.status(PeerId::new(1), t(350)),
+            NeighborStatus::Alive(Some(2))
+        );
         assert_eq!(hb.status(PeerId::new(1), t(401)), NeighborStatus::Suspected);
     }
 
     #[test]
     fn grace_period_before_first_heartbeat() {
         let hb = tracker();
-        assert_eq!(hb.status(PeerId::new(2), t(300)), NeighborStatus::Alive(None));
+        assert_eq!(
+            hb.status(PeerId::new(2), t(300)),
+            NeighborStatus::Alive(None)
+        );
         assert_eq!(hb.status(PeerId::new(2), t(301)), NeighborStatus::Suspected);
     }
 
@@ -194,7 +203,10 @@ mod tests {
     #[test]
     fn heartbeat_revives_suspected_neighbor() {
         let mut hb = tracker();
-        assert_eq!(hb.status(PeerId::new(1), t(1000)), NeighborStatus::Suspected);
+        assert_eq!(
+            hb.status(PeerId::new(1), t(1000)),
+            NeighborStatus::Suspected
+        );
         hb.on_heartbeat(PeerId::new(1), 7, t(1000));
         assert_eq!(
             hb.status(PeerId::new(1), t(1100)),
@@ -208,7 +220,10 @@ mod tests {
         let mut hb = tracker();
         hb.on_heartbeat(PeerId::new(9), 4, t(50));
         assert!(hb.tracked().contains(&PeerId::new(9)));
-        assert_eq!(hb.status(PeerId::new(9), t(60)), NeighborStatus::Alive(Some(4)));
+        assert_eq!(
+            hb.status(PeerId::new(9), t(60)),
+            NeighborStatus::Alive(Some(4))
+        );
     }
 
     #[test]
@@ -225,7 +240,10 @@ mod tests {
         );
         // Touching an untracked peer starts tracking it with unknown depth.
         hb.touch(PeerId::new(9), t(500));
-        assert_eq!(hb.status(PeerId::new(9), t(600)), NeighborStatus::Alive(None));
+        assert_eq!(
+            hb.status(PeerId::new(9), t(600)),
+            NeighborStatus::Alive(None)
+        );
     }
 
     #[test]

@@ -314,12 +314,7 @@ mod tests {
         // Force participants {0} via TopK(1) regardless of schedule by using
         // a quiet schedule (all equal online time → ties by id → peer 0).
         let sched = ChurnSchedule::quiet(4, SimTime::from_micros(1_000));
-        let ov = Overlay::recruit(
-            topo,
-            &sched,
-            StableSelection::TopK(1),
-            &mut DetRng::new(9),
-        );
+        let ov = Overlay::recruit(topo, &sched, StableSelection::TopK(1), &mut DetRng::new(9));
         ov.check_invariants();
         assert_eq!(ov.participants(), vec![PeerId::new(0)]);
         assert_eq!(ov.attachment(PeerId::new(2)), Some(PeerId::new(0)));
@@ -339,7 +334,13 @@ mod tests {
         );
         // Force a disconnected participant set for the test.
         ov.participant = vec![true, false, false, false, true];
-        ov.attachment = vec![None, Some(PeerId::new(0)), Some(PeerId::new(0)), Some(PeerId::new(4)), None];
+        ov.attachment = vec![
+            None,
+            Some(PeerId::new(0)),
+            Some(PeerId::new(0)),
+            Some(PeerId::new(4)),
+            None,
+        ];
         let added = ov.connect_participants(&mut DetRng::new(5));
         assert_eq!(added, 1);
         assert!(ov.topology().has_edge(PeerId::new(0), PeerId::new(4)));
@@ -352,12 +353,7 @@ mod tests {
     fn attached_to_rejects_non_participant() {
         let topo = Topology::line(4);
         let sched = ChurnSchedule::quiet(4, SimTime::from_micros(1_000));
-        let ov = Overlay::recruit(
-            topo,
-            &sched,
-            StableSelection::TopK(1),
-            &mut DetRng::new(9),
-        );
+        let ov = Overlay::recruit(topo, &sched, StableSelection::TopK(1), &mut DetRng::new(9));
         let _ = ov.attached_to(PeerId::new(3));
     }
 }

@@ -161,7 +161,14 @@ mod tests {
         assert_eq!(out.hops_to_first, Some(0));
         assert_eq!(out.messages, 0);
 
-        let out = random_walk(&topo, PeerId::new(3), 4, 10, |p| p == PeerId::new(3), &mut DetRng::new(2));
+        let out = random_walk(
+            &topo,
+            PeerId::new(3),
+            4,
+            10,
+            |p| p == PeerId::new(3),
+            &mut DetRng::new(2),
+        );
         assert_eq!(out.messages, 0);
         assert_eq!(out.hops_to_first, Some(0));
     }
@@ -212,9 +219,16 @@ mod tests {
         assert_eq!(out.found, vec![holder]);
         let mut hits = 0;
         for seed in 0..10 {
-            if !random_walk(&topo, PeerId::new(0), 2, 16, |p| p == holder, &mut DetRng::new(seed))
-                .found
-                .is_empty()
+            if !random_walk(
+                &topo,
+                PeerId::new(0),
+                2,
+                16,
+                |p| p == holder,
+                &mut DetRng::new(seed),
+            )
+            .found
+            .is_empty()
             {
                 hits += 1;
             }

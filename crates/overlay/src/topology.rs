@@ -200,7 +200,10 @@ impl Topology {
     /// Panics if `k` is odd, zero, or `>= n`, or `beta ∉ [0, 1]`.
     pub fn small_world(n: usize, k: usize, beta: f64, rng: &mut DetRng) -> Self {
         assert!(k > 0 && k.is_multiple_of(2) && k < n, "small_world: bad k");
-        assert!((0.0..=1.0).contains(&beta), "small_world: beta out of range");
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "small_world: beta out of range"
+        );
         let mut t = Topology::empty(n);
         for i in 0..n {
             for j in 1..=(k / 2) {
@@ -458,8 +461,7 @@ mod tests {
             assert!(t.is_connected(), "n={n} d={d} disconnected");
             let min_deg = t.peers().map(|p| t.degree(p)).min().unwrap();
             assert!(min_deg >= 1, "isolated peer in n={n} d={d}");
-            let avg: f64 =
-                t.peers().map(|p| t.degree(p)).sum::<usize>() as f64 / n as f64;
+            let avg: f64 = t.peers().map(|p| t.degree(p)).sum::<usize>() as f64 / n as f64;
             assert!(
                 (avg - d as f64).abs() < 1.0,
                 "avg degree {avg} far from {d}"

@@ -101,7 +101,12 @@ mod tests {
     use super::*;
 
     fn ev(q: &mut EventQueue<u8, ()>, t: u64) {
-        q.push(SimTime::from_micros(t), EventKind::Start { peer: PeerId::new(0) });
+        q.push(
+            SimTime::from_micros(t),
+            EventKind::Start {
+                peer: PeerId::new(0),
+            },
+        );
     }
 
     #[test]
@@ -121,11 +126,15 @@ mod tests {
         let mut q: EventQueue<u8, ()> = EventQueue::new();
         let s1 = q.push(
             SimTime::from_micros(5),
-            EventKind::Kill { peer: PeerId::new(1) },
+            EventKind::Kill {
+                peer: PeerId::new(1),
+            },
         );
         let s2 = q.push(
             SimTime::from_micros(5),
-            EventKind::Kill { peer: PeerId::new(2) },
+            EventKind::Kill {
+                peer: PeerId::new(2),
+            },
         );
         assert!(s1 < s2);
         let first = q.pop().unwrap();

@@ -59,6 +59,7 @@ mod event;
 mod id;
 mod metrics;
 mod network;
+mod obs;
 mod rng;
 mod time;
 mod trace;
@@ -67,6 +68,7 @@ mod world;
 pub use id::PeerId;
 pub use metrics::{ClassTotals, Metrics, MsgClass};
 pub use network::LatencyModel;
+pub use obs::{EventSink, MetricsReport, PhaseMetrics};
 pub use rng::{mix64, DetRng};
 pub use time::{Duration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceKind};

@@ -258,8 +258,9 @@ mod tests {
 
     #[test]
     fn class_labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            (0..MsgClass::COUNT as u8).map(|c| MsgClass(c).label()).collect();
+        let labels: std::collections::HashSet<_> = (0..MsgClass::COUNT as u8)
+            .map(|c| MsgClass(c).label())
+            .collect();
         assert_eq!(labels.len(), MsgClass::COUNT);
     }
 

@@ -202,7 +202,12 @@ mod tests {
     fn records_in_order() {
         let mut tr = Trace::new(10);
         tr.record(t(1), send(0, 1));
-        tr.record(t(2), TraceKind::Timer { peer: PeerId::new(1) });
+        tr.record(
+            t(2),
+            TraceKind::Timer {
+                peer: PeerId::new(1),
+            },
+        );
         assert_eq!(tr.len(), 2);
         let ats: Vec<u64> = tr.entries().map(|e| e.at.as_micros()).collect();
         assert_eq!(ats, vec![1, 2]);
@@ -224,7 +229,12 @@ mod tests {
         let mut tr = Trace::new(10);
         tr.record(t(1), send(0, 1)); // involves 0 and 1
         tr.record(t(2), send(2, 3)); // involves 2 and 3
-        tr.record(t(3), TraceKind::Kill { peer: PeerId::new(1) });
+        tr.record(
+            t(3),
+            TraceKind::Kill {
+                peer: PeerId::new(1),
+            },
+        );
         assert_eq!(tr.involving(PeerId::new(1)).len(), 2);
         assert_eq!(tr.involving(PeerId::new(0)).len(), 1);
         assert_eq!(tr.involving(PeerId::new(9)).len(), 0);
@@ -246,7 +256,12 @@ mod tests {
     fn render_is_line_per_event() {
         let mut tr = Trace::new(4);
         tr.record(t(1), send(0, 1));
-        tr.record(t(2), TraceKind::Revive { peer: PeerId::new(5) });
+        tr.record(
+            t(2),
+            TraceKind::Revive {
+                peer: PeerId::new(5),
+            },
+        );
         let s = tr.render();
         assert_eq!(s.lines().count(), 2);
         assert!(s.contains("SEND P0->P1 data 8B"));

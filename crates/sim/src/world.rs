@@ -7,6 +7,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::id::PeerId;
 use crate::metrics::{Metrics, MsgClass};
 use crate::network::LatencyModel;
+use crate::obs::{EventSink, MetricsReport};
 use crate::rng::DetRng;
 use crate::time::{Duration, SimTime};
 use crate::trace::{Trace, TraceKind};
@@ -103,6 +104,7 @@ struct Kernel<M, T> {
     cancelled_timers: HashSet<u64>,
     events_processed: u64,
     trace: Option<Trace>,
+    sink: EventSink,
 }
 
 impl<M: std::fmt::Debug, T: std::fmt::Debug> Kernel<M, T> {
@@ -110,18 +112,25 @@ impl<M: std::fmt::Debug, T: std::fmt::Debug> Kernel<M, T> {
         // Senders are charged when bytes hit the wire, even if the message
         // is later lost: that is what "bytes propagated" measures.
         self.metrics.record_send(from, class, bytes);
+        self.sink.record(from, class, bytes);
         if let Some(trace) = self.trace.as_mut() {
-            trace.record(self.now, TraceKind::Send { from, to, class, bytes });
+            trace.record(
+                self.now,
+                TraceKind::Send {
+                    from,
+                    to,
+                    class,
+                    bytes,
+                },
+            );
         }
         if self.config.drop_probability > 0.0 && self.rng.chance(self.config.drop_probability) {
             self.metrics.record_drop();
             return;
         }
         let delay = self.config.latency.sample(&mut self.rng);
-        self.queue.push(
-            self.now + delay,
-            EventKind::Deliver { from, to, msg },
-        );
+        self.queue
+            .push(self.now + delay, EventKind::Deliver { from, to, msg });
     }
 
     fn set_timer(&mut self, peer: PeerId, delay: Duration, tag: T) -> TimerId {
@@ -191,6 +200,14 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     pub fn rng(&mut self) -> &mut DetRng {
         &mut self.kernel.rng
     }
+
+    /// Tags this handler activation with the phase `label` (see
+    /// [`EventSink::mark`]): every send until the handler returns is
+    /// attributed to that phase in the metrics report. A no-op unless the
+    /// world's event sink is enabled.
+    pub fn mark_phase(&mut self, label: &str) {
+        self.kernel.sink.mark(label);
+    }
 }
 
 /// The simulation world: peers plus kernel, driven to completion by the
@@ -219,6 +236,7 @@ impl<P: Protocol> World<P> {
                 cancelled_timers: HashSet::new(),
                 events_processed: 0,
                 trace: None,
+                sink: EventSink::disabled(),
             },
             peers: peers.into_iter().map(Some).collect(),
         }
@@ -228,9 +246,12 @@ impl<P: Protocol> World<P> {
     pub fn start(&mut self) {
         for i in 0..self.peers.len() {
             if self.kernel.up[i] {
-                self.kernel
-                    .queue
-                    .push(self.kernel.now, EventKind::Start { peer: PeerId::new(i) });
+                self.kernel.queue.push(
+                    self.kernel.now,
+                    EventKind::Start {
+                        peer: PeerId::new(i),
+                    },
+                );
             }
         }
     }
@@ -298,6 +319,34 @@ impl<P: Protocol> World<P> {
         self.kernel.metrics.reset();
     }
 
+    /// Enables the structured event sink: from now on every send is also
+    /// aggregated per protocol phase (see [`EventSink`]), and the scheduler
+    /// loop records wall-clock time under the `"scheduler"` phase. Off by
+    /// default (one branch of overhead per send).
+    pub fn enable_metrics_sink(&mut self) {
+        if !self.kernel.sink.is_enabled() {
+            self.kernel.sink = EventSink::new(self.peers.len());
+        }
+    }
+
+    /// The structured event sink (disabled unless
+    /// [`enable_metrics_sink`](Self::enable_metrics_sink) was called).
+    pub fn sink(&self) -> &EventSink {
+        &self.kernel.sink
+    }
+
+    /// Mutable access to the event sink, for driver-level phase spans
+    /// ([`EventSink::enter`]/[`EventSink::exit`]) and wall-clock charges.
+    pub fn sink_mut(&mut self) -> &mut EventSink {
+        &mut self.kernel.sink
+    }
+
+    /// Snapshot of the sink as a [`MetricsReport`]. Empty when the sink is
+    /// disabled.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.kernel.sink.report()
+    }
+
     /// Schedules a crash of `peer` at absolute time `at`.
     pub fn schedule_kill(&mut self, at: SimTime, peer: PeerId) {
         self.kernel.queue.push(at, EventKind::Kill { peer });
@@ -331,7 +380,13 @@ impl<P: Protocol> World<P> {
     ///
     /// Panics if [`SimConfig::max_events`] is exceeded (runaway protocol).
     pub fn run_to_quiescence(&mut self) -> SimTime {
-        while self.step() {}
+        if self.kernel.sink.is_enabled() {
+            let t0 = std::time::Instant::now();
+            while self.step() {}
+            self.kernel.sink.record_wall("scheduler", t0.elapsed());
+        } else {
+            while self.step() {}
+        }
         self.kernel.now
     }
 
@@ -339,6 +394,7 @@ impl<P: Protocol> World<P> {
     /// exactly `until`. Suitable for protocols with periodic timers that
     /// never quiesce (heartbeats).
     pub fn run_until(&mut self, until: SimTime) {
+        let t0 = self.kernel.sink.is_enabled().then(std::time::Instant::now);
         while let Some(t) = self.kernel.queue.peek_time() {
             if t > until {
                 break;
@@ -347,6 +403,9 @@ impl<P: Protocol> World<P> {
         }
         if self.kernel.now < until {
             self.kernel.now = until;
+        }
+        if let Some(t0) = t0 {
+            self.kernel.sink.record_wall("scheduler", t0.elapsed());
         }
     }
 
@@ -430,6 +489,8 @@ impl<P: Protocol> World<P> {
             };
             f(&mut state, &mut ctx);
         }
+        // A phase mark is scoped to one handler activation.
+        self.kernel.sink.clear_mark();
         self.peers[id.index()] = Some(state);
     }
 }
@@ -658,6 +719,78 @@ mod tests {
         w.start();
         w.run_to_quiescence();
         assert!(w.trace().is_none());
+    }
+
+    #[test]
+    fn sink_disabled_by_default_and_records_nothing() {
+        let mut w = line_world(4);
+        w.start();
+        w.run_to_quiescence();
+        assert!(!w.sink().is_enabled());
+        assert_eq!(w.sink().events_recorded(), 0);
+        assert!(w.metrics_report().phases.is_empty());
+    }
+
+    #[test]
+    fn sink_report_reconciles_with_metrics() {
+        let mut w = line_world(6);
+        w.enable_metrics_sink();
+        w.start();
+        w.run_to_quiescence();
+        let report = w.metrics_report();
+        // Every send was recorded, bytes match the always-on meter, and
+        // untagged flood traffic lands in the class-label phase.
+        assert_eq!(report.total_bytes(), w.metrics().total_bytes());
+        assert_eq!(report.total_messages(), w.metrics().total_messages());
+        assert_eq!(report.phase_bytes("data"), w.metrics().total_bytes());
+        // The scheduler loop contributed wall time.
+        let sched = report.phase("scheduler").expect("scheduler phase");
+        assert!(sched.wall > std::time::Duration::ZERO);
+        assert_eq!(sched.bytes(), 0);
+    }
+
+    /// Protocol that marks its handler phase before sending.
+    #[derive(Debug, Default)]
+    struct Marked {
+        got: bool,
+    }
+
+    impl Protocol for Marked {
+        type Msg = ();
+        type Timer = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+            if ctx.self_id().index() == 0 {
+                ctx.mark_phase("probe");
+                ctx.send(PeerId::new(1), (), 7, MsgClass::CONTROL);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, _f: PeerId, _m: ()) {
+            // The mark from peer 0's handler must not leak into this one.
+            if ctx.self_id().index() == 1 && !self.got {
+                self.got = true;
+                ctx.send(PeerId::new(0), (), 3, MsgClass::CONTROL);
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _t: ()) {}
+    }
+
+    #[test]
+    fn handler_marks_scope_to_one_activation() {
+        let mut w = World::new(
+            SimConfig::default().with_seed(9),
+            vec![Marked::default(), Marked::default()],
+        );
+        w.enable_metrics_sink();
+        w.start();
+        w.run_to_quiescence();
+        let report = w.metrics_report();
+        assert_eq!(report.phase_bytes("probe"), 7);
+        // Peer 1's unmarked reply fell back to the class label.
+        assert_eq!(report.phase_bytes("control"), 3);
+        assert!(w.peer(PeerId::new(1)).got);
     }
 
     #[test]

@@ -309,10 +309,7 @@ mod tests {
     #[test]
     fn local_value_lookup() {
         let data = SystemData::from_local_sets(
-            vec![
-                vec![(ItemId(5), 2), (ItemId(1), 3)],
-                vec![(ItemId(5), 7)],
-            ],
+            vec![vec![(ItemId(5), 2), (ItemId(1), 3)], vec![(ItemId(5), 7)]],
             10,
         );
         assert_eq!(data.local_value(PeerId::new(0), ItemId(1)), 3);
@@ -334,13 +331,7 @@ mod tests {
     #[test]
     fn paper_placement_keeps_all_items_present() {
         for &theta in &[0.0, 1.0, 3.0, 5.0] {
-            let data = SystemData::generate_paper(
-                &WorkloadParams {
-                    theta,
-                    ..small()
-                },
-                6,
-            );
+            let data = SystemData::generate_paper(&WorkloadParams { theta, ..small() }, 6);
             assert_eq!(
                 data.distinct_items(),
                 500,
@@ -385,7 +376,10 @@ mod tests {
             let holders = (0..20)
                 .filter(|&i| data.local_value(PeerId::new(i), ItemId(item)) > 0)
                 .count();
-            assert!((1..=10).contains(&holders), "item {item}: {holders} holders");
+            assert!(
+                (1..=10).contains(&holders),
+                "item {item}: {holders} holders"
+            );
         }
     }
 
@@ -397,8 +391,8 @@ mod tests {
             assert_eq!(a.local_items(PeerId::new(i)), b.local_items(PeerId::new(i)));
         }
         let c = SystemData::generate(&small(), 10);
-        let differs = (0..20)
-            .any(|i| a.local_items(PeerId::new(i)) != c.local_items(PeerId::new(i)));
+        let differs =
+            (0..20).any(|i| a.local_items(PeerId::new(i)) != c.local_items(PeerId::new(i)));
         assert!(differs, "different seeds produced identical data");
     }
 }

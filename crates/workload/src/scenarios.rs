@@ -27,7 +27,10 @@ use crate::zipf::ZipfSampler;
 /// Panics if `a == b` or either exceeds `vocabulary`.
 pub fn pair_item(a: u64, b: u64, vocabulary: u64) -> ItemId {
     assert!(a != b, "a keyword does not co-occur with itself");
-    assert!(a < vocabulary && b < vocabulary, "keyword out of vocabulary");
+    assert!(
+        a < vocabulary && b < vocabulary,
+        "keyword out of vocabulary"
+    );
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
     ItemId(lo * vocabulary + hi)
 }
@@ -182,12 +185,7 @@ pub fn flow_traffic(
 /// the input for "network topology optimization" and "social relationship
 /// analysis". Items encode unordered address pairs via [`pair_item`] over
 /// the peer-id space.
-pub fn contacted_pairs(
-    peers: usize,
-    packets_per_peer: usize,
-    theta: f64,
-    seed: u64,
-) -> SystemData {
+pub fn contacted_pairs(peers: usize, packets_per_peer: usize, theta: f64, seed: u64) -> SystemData {
     assert!(peers >= 3, "need at least 3 peers for src/dst/forwarder");
     let mut rng = DetRng::new(seed).derive(0x5EED_0008);
     // Each source's favourite destinations: a Zipf over a per-source
@@ -199,8 +197,7 @@ pub fn contacted_pairs(
         let src = rng.below(peers as u64);
         // Rank among the other peers, mapped to a concrete destination.
         let rank = zipf.sample(&mut rng) as u64;
-        let dst = (src + 1 + (rank + ifi_sim::mix64(src) % 7) % (peers as u64 - 1))
-            % peers as u64;
+        let dst = (src + 1 + (rank + ifi_sim::mix64(src) % 7) % (peers as u64 - 1)) % peers as u64;
         if src == dst {
             continue;
         }
@@ -414,11 +411,7 @@ mod tests {
 
     #[test]
     fn search_driven_popularity_credits_holders() {
-        let topo = ifi_overlay::Topology::random_regular(
-            80,
-            4,
-            &mut ifi_sim::DetRng::new(11),
-        );
+        let topo = ifi_overlay::Topology::random_regular(80, 4, &mut ifi_sim::DetRng::new(11));
         let data = popular_peers_by_search(&topo, 200, 8, 40, 1.2, 12);
         let truth = GroundTruth::compute(&data);
         // Some queries resolve; every credited item is a valid peer id.

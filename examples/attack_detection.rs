@@ -66,7 +66,11 @@ fn main() {
         run.threshold()
     );
     for &(dest, bytes) in run.frequent_items() {
-        let marker = if dest == victim { "  ← planted attack" } else { "" };
+        let marker = if dest == victim {
+            "  ← planted attack"
+        } else {
+            ""
+        };
         println!("  dest {:>8}: {:>12} bytes{marker}", dest.0, bytes);
     }
 

@@ -72,7 +72,12 @@ fn main() {
 
     let repaired = MaintainProtocol::snapshot(
         root,
-        (0..n).map(|i| (maintain.peer(PeerId::new(i)), maintain.is_up(PeerId::new(i)))),
+        (0..n).map(|i| {
+            (
+                maintain.peer(PeerId::new(i)),
+                maintain.is_up(PeerId::new(i)),
+            )
+        }),
     );
     repaired.check_invariants(None);
     let detaches: u32 = maintain.peers().map(|p| p.detach_count()).sum();
@@ -120,7 +125,11 @@ fn main() {
 
     let truth = GroundTruth::compute(&surviving);
     let t = truth.threshold_for_ratio(0.01);
-    assert_eq!(result, truth.frequent_items(t), "post-repair answer must be exact");
+    assert_eq!(
+        result,
+        truth.frequent_items(t),
+        "post-repair answer must be exact"
+    );
     println!(
         "\nquery on repaired tree: {} frequent items at t = {t}, exact — {} bytes/peer",
         result.len(),

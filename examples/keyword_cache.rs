@@ -41,7 +41,10 @@ fn main() {
     broker.submit(PeerId::new(17), Threshold::Ratio(0.02)); // small, hot cache
     broker.submit(PeerId::new(88), Threshold::Ratio(0.005)); // mid-size cache
     broker.submit(PeerId::new(311), Threshold::Ratio(0.001)); // large cache
-    println!("\nserving {} concurrent requests with one shared run …", broker.pending());
+    println!(
+        "\nserving {} concurrent requests with one shared run …",
+        broker.pending()
+    );
 
     let (results, run) = broker.serve(&config, &hierarchy, &data);
     println!(

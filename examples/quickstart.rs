@@ -69,7 +69,12 @@ fn main() {
     println!("\nverified: no false positives, no false negatives, exact values");
 
     // 5. Compare communication cost against the naive approach (§IV-B).
-    let nv = naive::run(&hierarchy, &data, Threshold::Ratio(0.01), &WireSizes::default());
+    let nv = naive::run(
+        &hierarchy,
+        &data,
+        Threshold::Ratio(0.01),
+        &WireSizes::default(),
+    );
     let cost = run.cost();
     println!("\ncommunication cost (average bytes per peer):");
     println!("  netFilter total   {:>10.1}", cost.avg_total());

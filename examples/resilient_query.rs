@@ -58,11 +58,7 @@ fn main() {
     w.start();
 
     // Two staggered crashes while queries are flowing.
-    let victims: Vec<PeerId> = hierarchy
-        .internal_nodes()
-        .into_iter()
-        .take(2)
-        .collect();
+    let victims: Vec<PeerId> = hierarchy.internal_nodes().into_iter().take(2).collect();
     for (k, &v) in victims.iter().enumerate() {
         let at = SimTime::from_micros(11_000_000 + 9_000_000 * k as u64);
         println!(

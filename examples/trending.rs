@@ -17,7 +17,7 @@ use ifi_hierarchy::Hierarchy;
 use ifi_sim::{DetRng, PeerId};
 use ifi_workload::{ItemId, ZipfSampler};
 use netfilter::windowed::WindowedMonitor;
-use netfilter::{NetFilterConfig, Threshold, topk};
+use netfilter::{topk, NetFilterConfig, Threshold};
 
 const PEERS: usize = 400;
 const SONGS: u64 = 50_000;
@@ -90,10 +90,21 @@ fn main() {
         &hierarchy,
         &data,
         5,
-        &NetFilterConfig::builder().filter_size(150).filters(3).build(),
+        &NetFilterConfig::builder()
+            .filter_size(150)
+            .filters(3)
+            .build(),
     );
-    println!("\nfinal-week top-5 chart ({} threshold probes):", chart.probes.len());
+    println!(
+        "\nfinal-week top-5 chart ({} threshold probes):",
+        chart.probes.len()
+    );
     for (rank, &(song, downloads)) in chart.items.iter().enumerate() {
-        println!("  #{:<2} song {:>6}: {:>7} downloads", rank + 1, song.0, downloads);
+        println!(
+            "  #{:<2} song {:>6}: {:>7} downloads",
+            rank + 1,
+            song.0,
+            downloads
+        );
     }
 }

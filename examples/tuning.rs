@@ -42,23 +42,36 @@ fn main() {
         &hierarchy,
         &data,
         Threshold::Ratio(0.01),
-        &SamplingConfig { branches: 8, items_per_peer: 200 },
+        &SamplingConfig {
+            branches: 8,
+            items_per_peer: 200,
+        },
         &WireSizes::default(),
         &mut DetRng::new(23),
     );
     let s = &tuned.stats;
-    println!("sampling pass: {} peers on 8 branches, {} sampled items, {} bytes",
-        s.sampled_peers, s.sampled_items, s.bytes);
+    println!(
+        "sampling pass: {} peers on 8 branches, {} sampled items, {} bytes",
+        s.sampled_peers, s.sampled_items, s.bytes
+    );
 
     println!("\nestimates vs ground truth:");
-    println!("  v̄_light : {:>10.2}  (true {:.2})", s.v_light_bar, truth.avg_light_value(t));
+    println!(
+        "  v̄_light : {:>10.2}  (true {:.2})",
+        s.v_light_bar,
+        truth.avg_light_value(t)
+    );
     println!(
         "  v̄       : {:>10.2}  (true {:.2})",
         s.v_bar_universe(data.total_value()),
         truth.avg_value()
     );
     println!("  n̂       : {:>10}  (true {})", s.n_hat, data.universe());
-    println!("  r̂       : {:>10}  (true {})", s.r_hat, truth.heavy_count(t));
+    println!(
+        "  r̂       : {:>10}  (true {})",
+        s.r_hat,
+        truth.heavy_count(t)
+    );
 
     // --- Derived setting vs the oracle. ---
     let phi = t as f64 / truth.total_value() as f64;
@@ -75,7 +88,10 @@ fn main() {
         g_oracle,
     );
     println!("\nrecommended setting:");
-    println!("  sampled  : g = {:>4}, f = {}", tuned.filter_size, tuned.filters);
+    println!(
+        "  sampled  : g = {:>4}, f = {}",
+        tuned.filter_size, tuned.filters
+    );
     println!("  oracle   : g = {:>4}, f = {}", g_oracle, f_oracle);
 
     let tuned_cost = cost_of(tuned.filter_size, tuned.filters, &hierarchy, &data);
@@ -94,10 +110,16 @@ fn main() {
     println!("\ncommunication cost (avg bytes/peer):");
     println!("  sampled tuning : {tuned_cost:>9.1}");
     println!("  oracle Eq. 3/6 : {oracle_cost:>9.1}");
-    println!("  sweep best     : {:>9.1}  (g = {}, f = {})", best.2, best.0, best.1);
+    println!(
+        "  sweep best     : {:>9.1}  (g = {}, f = {})",
+        best.2, best.0, best.1
+    );
     assert!(
         tuned_cost <= 3.0 * best.2,
         "sampled tuning strayed too far from optimal"
     );
-    println!("\nsampling-based tuning lands within {:.2}x of the sweep optimum", tuned_cost / best.2);
+    println!(
+        "\nsampling-based tuning lands within {:.2}x of the sweep optimum",
+        tuned_cost / best.2
+    );
 }

@@ -30,6 +30,8 @@ struct Opts {
     top: usize,
     branches: usize,
     draw_placement: bool,
+    metrics: bool,
+    metrics_json: Option<String>,
 }
 
 impl Default for Opts {
@@ -46,6 +48,8 @@ impl Default for Opts {
             top: 10,
             branches: 8,
             draw_placement: false,
+            metrics: false,
+            metrics_json: None,
         }
     }
 }
@@ -65,6 +69,10 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             opts.draw_placement = true;
             continue;
         }
+        if flag == "--metrics" {
+            opts.metrics = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -78,9 +86,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--f" => opts.f = value.parse().map_err(|_| parse_err("--f"))?,
             "--seed" => opts.seed = value.parse().map_err(|_| parse_err("--seed"))?,
             "--top" => opts.top = value.parse().map_err(|_| parse_err("--top"))?,
-            "--branches" => {
-                opts.branches = value.parse().map_err(|_| parse_err("--branches"))?
-            }
+            "--branches" => opts.branches = value.parse().map_err(|_| parse_err("--branches"))?,
+            "--metrics-json" => opts.metrics_json = Some(value.clone()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -119,7 +126,13 @@ fn config(opts: &Opts) -> NetFilterConfig {
 
 fn cmd_run(opts: &Opts) {
     let (h, data) = build_system(opts);
-    let run = NetFilter::new(config(opts)).run(&h, &data);
+    let want_report = opts.metrics || opts.metrics_json.is_some();
+    let (run, report) = if want_report {
+        let (run, report) = NetFilter::new(config(opts)).run_instrumented(&h, &data);
+        (run, Some(report))
+    } else {
+        (NetFilter::new(config(opts)).run(&h, &data), None)
+    };
     println!(
         "IFI(A, t={}) over N={} peers, n={} items (theta={}, v={})",
         run.threshold(),
@@ -151,6 +164,17 @@ fn cmd_run(opts: &Opts) {
         run.counts().false_positives(),
         data.distinct_items(),
     );
+    if let Some(report) = report {
+        if opts.metrics {
+            println!("{}", report.render_table());
+        }
+        if let Some(path) = &opts.metrics_json {
+            match std::fs::write(path, report.to_json()) {
+                Ok(()) => println!("metrics report written to {path}"),
+                Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            }
+        }
+    }
 }
 
 fn cmd_compare(opts: &Opts) {
@@ -166,8 +190,14 @@ fn cmd_compare(opts: &Opts) {
     approx_cfg.filters = af;
     let ap = approx::run(&h, &data, &approx_cfg);
 
-    println!("engine comparison at t = {t} (exact answer: {} items)", truth.frequent_items(t).len());
-    println!("{:<26} {:>14} {:>10} {:>8}", "engine", "bytes/peer", "reported", "exact?");
+    println!(
+        "engine comparison at t = {t} (exact answer: {} items)",
+        truth.frequent_items(t).len()
+    );
+    println!(
+        "{:<26} {:>14} {:>10} {:>8}",
+        "engine", "bytes/peer", "reported", "exact?"
+    );
     println!("{}", "-".repeat(62));
     println!(
         "{:<26} {:>14.1} {:>10} {:>8}",
@@ -188,7 +218,11 @@ fn cmd_compare(opts: &Opts) {
         format!("count-min (g={ag}, f={af})"),
         ap.avg_bytes_per_peer(),
         ap.items.len(),
-        if ap.items.len() == truth.frequent_items(t).len() { "lucky" } else { "no" }
+        if ap.items.len() == truth.frequent_items(t).len() {
+            "lucky"
+        } else {
+            "no"
+        }
     );
     let (fp, fn_, verr) = truth.verify(t, nf.frequent_items());
     assert_eq!((fp, fn_, verr), (0, 0, 0), "netFilter exactness violated");
@@ -239,7 +273,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: ifi <run|compare|tune> [--peers N] [--items N] [--theta F] \
                  [--phi F] [--g N] [--f N] [--seed N] [--top N] [--branches N] \
-                 [--draw-placement]"
+                 [--draw-placement] [--metrics] [--metrics-json <path>]"
             );
             ExitCode::from(2)
         }
@@ -268,8 +302,20 @@ mod tests {
         let o = parse(&sv(&["run"])).unwrap();
         assert_eq!(o.peers, 1000);
         let o = parse(&sv(&[
-            "compare", "--peers", "50", "--items", "1000", "--phi", "0.1", "--g", "20",
-            "--f", "2", "--seed", "7", "--draw-placement",
+            "compare",
+            "--peers",
+            "50",
+            "--items",
+            "1000",
+            "--phi",
+            "0.1",
+            "--g",
+            "20",
+            "--f",
+            "2",
+            "--seed",
+            "7",
+            "--draw-placement",
         ]))
         .unwrap();
         assert_eq!(o.command, "compare");
@@ -298,6 +344,29 @@ mod tests {
     }
 
     #[test]
+    fn run_command_with_metrics_writes_json() {
+        let path = std::env::temp_dir().join(format!("ifi_metrics_{}.json", std::process::id()));
+        let path_s = path.to_string_lossy().into_owned();
+        let opts = parse(&sv(&[
+            "run",
+            "--peers",
+            "40",
+            "--items",
+            "500",
+            "--metrics",
+            "--metrics-json",
+            &path_s,
+        ]))
+        .unwrap();
+        assert!(opts.metrics);
+        cmd_run(&opts);
+        let json = std::fs::read_to_string(&path).expect("report written");
+        assert!(json.contains("\"phases\""));
+        assert!(json.contains("\"filtering\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn compare_command_asserts_exactness_internally() {
         let opts = parse(&sv(&["compare", "--peers", "40", "--items", "800"])).unwrap();
         cmd_compare(&opts);
@@ -306,7 +375,13 @@ mod tests {
     #[test]
     fn tune_command_executes() {
         let opts = parse(&sv(&[
-            "tune", "--peers", "60", "--items", "2000", "--branches", "6",
+            "tune",
+            "--peers",
+            "60",
+            "--items",
+            "2000",
+            "--branches",
+            "6",
         ]))
         .unwrap();
         cmd_tune(&opts);

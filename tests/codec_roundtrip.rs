@@ -23,9 +23,8 @@ fn arb_heavy() -> impl Strategy<Value = Vec<Vec<u32>>> {
 
 fn arb_candidates() -> impl Strategy<Value = MapSum> {
     // Distinct keys: duplicate keys would sum past the 1-byte field bound.
-    prop::collection::btree_map(0u64..=255, 1u64..=255, 0..32).prop_map(|pairs| {
-        MapSum::from_pairs(pairs.into_iter().map(|(k, v)| (ItemId(k), v)))
-    })
+    prop::collection::btree_map(0u64..=255, 1u64..=255, 0..32)
+        .prop_map(|pairs| MapSum::from_pairs(pairs.into_iter().map(|(k, v)| (ItemId(k), v))))
 }
 
 fn arb_msg() -> impl Strategy<Value = NfMsg> {

@@ -15,7 +15,11 @@ fn hierarchy_for(shape: u8, peers: usize, seed: u64) -> Hierarchy {
         0 => Hierarchy::balanced(peers, 3),
         1 => Hierarchy::balanced(peers, 1), // degenerate chain
         2 => {
-            let topo = Topology::random_regular(peers.max(2), 3.min(peers - 1).max(1), &mut DetRng::new(seed));
+            let topo = Topology::random_regular(
+                peers.max(2),
+                3.min(peers - 1).max(1),
+                &mut DetRng::new(seed),
+            );
             Hierarchy::bfs(&topo, PeerId::new(seed as usize % peers))
         }
         _ => {
@@ -120,13 +124,37 @@ proptest! {
 fn every_table_i_scenario_reduces_to_exact_ifi() {
     // One pass over each Table I application generator.
     let cases: Vec<(&str, SystemData, f64)> = vec![
-        ("keywords", scenarios::keyword_queries(40, 2_000, 60, 3, 1.0, 1), 0.01),
-        ("pairs", scenarios::cooccurring_pairs(30, 200, 40, 3, 1.0, 2), 0.01),
-        ("documents", scenarios::document_replicas(40, 1_000, 8_000, 1.0, 3), 0.01),
+        (
+            "keywords",
+            scenarios::keyword_queries(40, 2_000, 60, 3, 1.0, 1),
+            0.01,
+        ),
+        (
+            "pairs",
+            scenarios::cooccurring_pairs(30, 200, 40, 3, 1.0, 2),
+            0.01,
+        ),
+        (
+            "documents",
+            scenarios::document_replicas(40, 1_000, 8_000, 1.0, 3),
+            0.01,
+        ),
         ("peers", scenarios::popular_peers(40, 150, 1.0, 4), 0.05),
-        ("contacted-pairs", scenarios::contacted_pairs(40, 200, 1.3, 7), 0.01),
-        ("flows", scenarios::flow_traffic(40, 3_000, 2_000, 3, 5_000, 1.2, 5), 0.01),
-        ("sequences", scenarios::byte_sequences(40, 5_000, 100, 0.7, 6), 0.05),
+        (
+            "contacted-pairs",
+            scenarios::contacted_pairs(40, 200, 1.3, 7),
+            0.01,
+        ),
+        (
+            "flows",
+            scenarios::flow_traffic(40, 3_000, 2_000, 3, 5_000, 1.2, 5),
+            0.01,
+        ),
+        (
+            "sequences",
+            scenarios::byte_sequences(40, 5_000, 100, 0.7, 6),
+            0.05,
+        ),
     ];
     for (name, data, phi) in cases {
         let peers = data.peer_count();
@@ -180,7 +208,9 @@ fn degenerate_workloads() {
     let empty = SystemData::from_local_sets(vec![vec![], vec![]], 10);
     let h2 = Hierarchy::balanced(2, 3);
     let run = NetFilter::new(
-        NetFilterConfig::builder().threshold(Threshold::Absolute(1)).build(),
+        NetFilterConfig::builder()
+            .threshold(Threshold::Absolute(1))
+            .build(),
     )
     .run(&h2, &empty);
     assert!(run.frequent_items().is_empty());

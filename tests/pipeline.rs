@@ -32,12 +32,7 @@ fn recruited_pipeline_answers_over_all_peers_data() {
         SimTime::from_micros(3_600_000_000),
         &mut rng,
     );
-    let overlay = Overlay::recruit(
-        topo,
-        &sched,
-        StableSelection::TopFraction(0.4),
-        &mut rng,
-    );
+    let overlay = Overlay::recruit(topo, &sched, StableSelection::TopFraction(0.4), &mut rng);
     overlay.check_invariants();
     assert_eq!(overlay.participants().len(), 60);
 
@@ -70,8 +65,8 @@ fn recruited_pipeline_answers_over_all_peers_data() {
         &WireSizes::default(),
         &mut rng,
     );
-    let run =
-        NetFilter::new(tuned.to_config(WireSizes::default(), seed)).run(&sys.hierarchy, &sys.folded);
+    let run = NetFilter::new(tuned.to_config(WireSizes::default(), seed))
+        .run(&sys.hierarchy, &sys.folded);
 
     // The answer covers every peer's data exactly.
     let truth = GroundTruth::compute(&data);

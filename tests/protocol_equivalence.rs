@@ -168,7 +168,7 @@ fn convergecast_scalar_matches_over_every_topology_shape() {
     let shapes: Vec<Hierarchy> = vec![
         Hierarchy::balanced(1, 3),
         Hierarchy::balanced(2, 1),
-        Hierarchy::balanced(50, 1), // chain
+        Hierarchy::balanced(50, 1),  // chain
         Hierarchy::balanced(50, 49), // star
         Hierarchy::bfs(&Topology::ring(20), PeerId::new(5)),
     ];

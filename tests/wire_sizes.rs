@@ -70,7 +70,11 @@ proptest! {
 #[test]
 fn des_protocol_honours_wire_sizes() {
     let (h, data) = system(7);
-    let sizes = WireSizes { sa: 2, sg: 1, si: 8 };
+    let sizes = WireSizes {
+        sa: 2,
+        sg: 1,
+        si: 8,
+    };
     let cfg = config(sizes);
     let instant = NetFilter::new(cfg.clone()).run(&h, &data);
     let mut w = NetFilterProtocol::build_world(&cfg, &h, &data, SimConfig::default().with_seed(3));
@@ -107,7 +111,11 @@ fn eight_byte_identifiers_cover_the_full_item_space() {
         .filter_size(60)
         .filters(3)
         .threshold(Threshold::Ratio(0.01))
-        .sizes(WireSizes { sa: 4, sg: 4, si: 8 })
+        .sizes(WireSizes {
+            sa: 4,
+            sg: 4,
+            si: 8,
+        })
         .build();
     let run = NetFilter::new(cfg).run(&h, &data);
     assert_eq!(run.frequent_items(), &truth.frequent_items(t)[..]);

@@ -1,0 +1,253 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! Vendored so the workspace builds without registry access. Provides
+//! [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`] traits at the API
+//! surface the `netfilter` codec uses. All multi-byte integer accessors
+//! are big-endian, matching upstream `bytes`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// A cheaply cloneable, immutable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: std::sync::Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Creates a buffer by copying `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: std::sync::Arc::new(data.to_vec()),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: std::sync::Arc::new(v),
+        }
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.data.as_slice() == other.as_slice()
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with the given capacity reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// Advances the cursor by `cnt`.
+    fn advance(&mut self, cnt: usize);
+    /// Current readable slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is exhausted (as upstream `bytes` does).
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian unsigned integer of `nbytes` bytes (1..=8).
+    fn get_uint(&mut self, nbytes: usize) -> u64 {
+        assert!((1..=8).contains(&nbytes), "get_uint width out of 1..=8");
+        let mut v = 0u64;
+        for &byte in &self.chunk()[..nbytes] {
+            v = (v << 8) | byte as u64;
+        }
+        self.advance(nbytes);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends the low `nbytes` bytes of `v`, big-endian (1..=8).
+    fn put_uint(&mut self, v: u64, nbytes: usize) {
+        assert!((1..=8).contains(&nbytes), "put_uint width out of 1..=8");
+        self.put_slice(&v.to_be_bytes()[8 - nbytes..]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_uint(0x01_02_03, 3);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 8);
+
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_uint(3), 0x01_02_03);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn uint_widths_match_upstream_layout() {
+        let mut buf = BytesMut::new();
+        buf.put_uint(0x1122, 2);
+        assert_eq!(&buf[..], &[0x11, 0x22]);
+        let mut c: &[u8] = &buf;
+        assert_eq!(c.get_uint(2), 0x1122);
+    }
+
+    #[test]
+    fn bytes_equality_and_clone() {
+        let a = Bytes::copy_from_slice(b"hello");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.to_vec(), b"hello".to_vec());
+        assert_eq!(&a[1..3], b"el");
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_the_end_panics() {
+        let mut c: &[u8] = &[1, 2];
+        let _ = c.get_u32();
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Vendored so `cargo build --all-targets` / `cargo bench` work without
+//! registry access. The statistical machinery of upstream criterion is
+//! replaced with a plain timed loop: each benchmark runs a warm-up pass
+//! plus `sample_size` timed samples and prints min/mean per-iteration
+//! times. Good enough to smoke-run the benches and compare orders of
+//! magnitude; not a replacement for upstream's analysis.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs the measured loop.
+pub struct Bencher {
+    samples: usize,
+    /// (total elapsed, iterations) per sample, filled by `iter`.
+    results: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, running enough iterations per sample to get a
+    /// stable reading without taking unbounded wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + iteration-count calibration: aim for ~5ms per sample,
+        // clamped to [1, 1000] iterations.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.results.push((t0.elapsed(), per_sample));
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.results.is_empty() {
+            println!("bench {label:<40} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .results
+            .iter()
+            .map(|(d, n)| d.as_secs_f64() / *n as f64)
+            .collect();
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "bench {label:<40} min {:>12.3?} mean {:>12.3?} ({} samples)",
+            Duration::from_secs_f64(min),
+            Duration::from_secs_f64(mean),
+            per_iter.len()
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    // Keeps the driver borrowed for the group's lifetime, like upstream.
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.render());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    /// Finishes the group (upstream writes reports here; the stub has
+    /// already printed per-benchmark lines).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion into a [`BenchmarkId`], accepting plain strings too.
+pub trait IntoBenchmarkId {
+    /// Converts self into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self),
+            parameter: None,
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(1);
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_sample_size.max(1);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Upstream parses CLI args here; the stub accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Upstream writes summary reports here; no-op in the stub.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` for `harness = false` targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut b = Bencher::new(3);
+        let mut calls = 0u64;
+        b.iter(|| {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 3, "warm-up plus samples should call the routine");
+        assert_eq!(b.results.len(), 3);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| b.iter(|| x * 2));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2) * 2));
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).render(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").render(), "p");
+    }
+}

@@ -1,0 +1,270 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! Vendored so the workspace builds without registry access. Backed by
+//! `std` primitives: scoped threads map to `std::thread::scope`, channels
+//! to `std::sync::mpsc`, and [`queue::SegQueue`] to a mutexed `VecDeque`.
+//! Semantics relevant to this workspace (ordering, panic propagation,
+//! sender-disconnect termination) match upstream; raw throughput does not
+//! need to, since the only consumer is the experiment harness fan-out.
+
+#![forbid(unsafe_code)]
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC queue (mutex-backed stand-in for crossbeam's
+    /// segmented lock-free queue).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes an element to the back.
+        pub fn push(&self, value: T) {
+            self.inner.lock().expect("queue poisoned").push_back(value);
+        }
+
+        /// Pops from the front, if nonempty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("queue poisoned").pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("queue poisoned").len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+pub mod utils {
+    //! Utility types.
+
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to reduce false sharing.
+    ///
+    /// The stub keeps the alignment hint (128-byte, matching upstream on
+    /// x86-64) but otherwise just wraps the value.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value`.
+        pub fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+pub mod channel {
+    //! MPMC-ish channels (std `mpsc`-backed; supports the multi-producer,
+    //! single-consumer pattern the workspace uses).
+
+    pub use std::sync::mpsc::{IntoIter, RecvError, SendError};
+    use std::sync::mpsc::{Receiver as StdReceiver, Sender as StdSender};
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: StdSender<T>,
+    }
+
+    // Manual impl: cloning the handle must not require `T: Clone`,
+    // matching upstream crossbeam (a derive would add that bound).
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: StdReceiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Iterates until every sender is dropped.
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+pub mod thread {
+    //! Scoped threads, bridged to `std::thread::scope`.
+    //!
+    //! Differences from upstream worth knowing: a panic in a spawned
+    //! thread propagates when the scope joins (so callers observe it as a
+    //! panic out of [`scope`] rather than an `Err`), which is strictly
+    //! stricter than crossbeam's behavior and fine for the harness.
+
+    /// A scope handle; spawned closures receive a reference to it so they
+    /// can spawn further threads, mirroring crossbeam's signature.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument is this scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            })
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn queue_is_fifo() {
+        let q = super::queue::SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scoped_threads_and_channels_compose() {
+        let items: Vec<u32> = (0..64).collect();
+        let q = super::queue::SegQueue::new();
+        for (i, &x) in items.iter().enumerate() {
+            q.push((i, x));
+        }
+        let mut out = vec![0u32; items.len()];
+        super::thread::scope(|scope| {
+            let (tx, rx) = super::channel::unbounded::<(usize, u32)>();
+            for _ in 0..4 {
+                let q = &q;
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    while let Some((i, x)) = q.pop() {
+                        tx.send((i, x * 2)).expect("receiver alive");
+                    }
+                });
+            }
+            drop(tx);
+            for (i, y) in rx {
+                out[i] = y;
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn cache_padded_derefs() {
+        let mut v = super::utils::CachePadded::new(41);
+        *v += 1;
+        assert_eq!(*v, 42);
+        assert_eq!(v.into_inner(), 42);
+    }
+}

@@ -1,0 +1,703 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The workspace's property tests use a modest slice of proptest:
+//! `proptest! { #![proptest_config(..)] #[test] fn f(x in strategy) {..} }`,
+//! range/tuple strategies, `prop_map`, `prop_oneof!`, `any::<T>()`,
+//! `prop::collection::{vec, btree_map}`, `prop::sample::select`,
+//! `prop::bool::weighted`, and the `prop_assert*` macros. This vendored
+//! stub implements exactly that surface over a deterministic RNG so the
+//! suite runs without registry access.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs' strategy seeds,
+//!   not a minimized counterexample. Failures replay deterministically
+//!   because each test's RNG is seeded from the test name (override with
+//!   `PROPTEST_SEED`).
+//! * **Case counts** honor `ProptestConfig::with_cases` and can be scaled
+//!   globally with the `PROPTEST_CASES` environment variable (useful for
+//!   CI smoke jobs).
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test runner configuration and error plumbing.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// The effective case count: `PROPTEST_CASES` (if set and valid)
+        /// overrides the configured value.
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    /// A test-case failure raised by the `prop_assert*` macros.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic source of randomness for strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+        seed: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator for the named test. The seed derives from
+        /// the test name (stable across runs and platforms) unless
+        /// `PROPTEST_SEED` overrides it.
+        pub fn for_test(name: &str) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    // FNV-1a over the test name, mixed for dispersion.
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    h ^ 0x5052_4F50_5445_5354 // "PROPTEST"
+                });
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+                seed,
+            }
+        }
+
+        /// The seed in use (reported on failure for reproduction).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// The underlying RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.inner.fill_bytes(dest)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    /// Strategy returning a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng().gen_range(0..self.options.len());
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and [`any`].
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.rng().gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A desired size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut map = std::collections::BTreeMap::new();
+            // Like upstream, duplicate keys may land short of `n`; retry a
+            // bounded number of times to approach the requested size.
+            let mut attempts = 0;
+            while map.len() < n && attempts < 4 * n + 8 {
+                map.insert(self.key.new_value(rng), self.value.new_value(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// Generates maps with keys from `key`, values from `value`, and size
+    /// (approximately, after key dedup) in `size`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng().gen_range(0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+
+    /// Chooses one element of `options` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty list");
+        Select(options)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `true` with a fixed probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.rng().gen_bool(self.0)
+        }
+    }
+
+    /// Generates `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]");
+        Weighted(p)
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` call site needs.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Module-style access to strategy constructors.
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        ::core::panic!(
+                            "proptest `{}` failed at case {}/{} (seed {}): {}",
+                            stringify!($name),
+                            case + 1,
+                            cases,
+                            rng.seed(),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can report seed context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr $(,)?) => {{
+        let (__l, __r) = (&$l, &$r);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`",
+            stringify!($l),
+            stringify!($r)
+        );
+    }};
+    ($l:expr, $r:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$l, &$r);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr $(,)?) => {{
+        let (__l, __r) = (&$l, &$r);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`",
+            stringify!($l),
+            stringify!($r)
+        );
+    }};
+    ($l:expr, $r:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$l, &$r);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+/// Chooses uniformly among strategy alternatives with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            let x = (0u64..10).new_value(&mut rng);
+            assert!(x < 10);
+            let y = (1u8..=3).new_value(&mut rng);
+            assert!((1..=3).contains(&y));
+            let f = (0.0f64..2.5).new_value(&mut rng);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = crate::test_runner::TestRng::for_test("sizes");
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u64..=255, 0..64).new_value(&mut rng);
+            assert!(v.len() < 64);
+            let m = prop::collection::btree_map(0u64..=255, 1u64..=255, 0..32).new_value(&mut rng);
+            assert!(m.len() < 32);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![
+            (0u64..10).prop_map(|x| x * 2),
+            (100u64..110).prop_map(|x| x),
+        ];
+        let mut rng = crate::test_runner::TestRng::for_test("oneof");
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            if v < 20 {
+                low = true;
+            } else {
+                assert!((100..110).contains(&v));
+                high = true;
+            }
+        }
+        assert!(low && high, "both arms should fire");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro front-end works end to end.
+        #[test]
+        fn macro_front_end(x in 0u64..50, flip in any::<bool>(), s in prop::sample::select(vec![1, 2, 3])) {
+            prop_assert!(x < 50);
+            prop_assert!(s >= 1 && s <= 3, "select out of range: {}", s);
+            let _ = flip;
+            prop_assert_eq!(x + 1, x + 1);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_test("same");
+        let mut b = crate::test_runner::TestRng::for_test("same");
+        let sa: Vec<u64> = (0..32)
+            .map(|_| (0u64..1_000_000).new_value(&mut a))
+            .collect();
+        let sb: Vec<u64> = (0..32)
+            .map(|_| (0u64..1_000_000).new_value(&mut b))
+            .collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline, API-compatible subset of the `serde` crate.
+//!
+//! The workspace's `serde` feature gates `#[derive(Serialize,
+//! Deserialize)]` attributes and `T: Serialize + DeserializeOwned`
+//! bounds; no code path serializes through serde (exporters hand-roll
+//! JSON). This stub provides the trait names and a derive that emits
+//! marker impls, so the feature compiles in network-restricted
+//! environments. Swapping the real `serde` back in requires only a
+//! registry-reachable build — the API surface used is identical.
+
+#![forbid(unsafe_code)]
+
+/// Marker form of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub mod de {
+    //! Deserialization traits.
+
+    /// Marker form of `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

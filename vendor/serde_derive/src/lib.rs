@@ -1,0 +1,72 @@
+//! Offline derive companion for the vendored `serde` stub.
+//!
+//! Emits marker-trait impls (`serde::Serialize` / `serde::Deserialize`)
+//! for the derived type so that `#[cfg_attr(feature = "serde",
+//! derive(serde::Serialize, serde::Deserialize))]` attributes and
+//! `T: Serialize + DeserializeOwned` bounds compile without registry
+//! access. No serialization logic is generated — the stub `serde` traits
+//! carry none. Supports non-generic structs and enums, which covers every
+//! derived type in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following the `struct`/`enum`
+/// keyword, skipping attributes and visibility.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tree in input.clone() {
+        match tree {
+            TokenTree::Ident(ident) => {
+                let s = ident.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let Some(name) = type_name(&input) else {
+        return "compile_error!(\"serde stub derive: could not find type name\");"
+            .parse()
+            .expect("valid error tokens");
+    };
+    // Reject generic types up front: emitting an unparameterized impl for
+    // them would be wrong, and nothing in the workspace needs it.
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut after_name = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Ident(i) if i.to_string() == name => after_name = true,
+            TokenTree::Punct(p) if after_name && p.as_char() == '<' => {
+                return "compile_error!(\"serde stub derive: generic types unsupported\");"
+                    .parse()
+                    .expect("valid error tokens");
+            }
+            TokenTree::Group(_) => break,
+            _ => {}
+        }
+    }
+    trait_path
+        .replace("__NAME__", &name)
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Derives the stub `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl ::serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> ::serde::Deserialize<'de> for __NAME__ {}")
+}
