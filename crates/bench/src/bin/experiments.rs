@@ -6,20 +6,22 @@
 //! cargo run -p ifi-bench --release --bin experiments -- all --seed 7
 //! cargo run -p ifi-bench --release --bin experiments -- write-baselines
 //! cargo run -p ifi-bench --release --bin experiments -- check-baselines --tolerance 0.01
+//! cargo run -p ifi-bench --release --bin experiments -- loss-smoke --drop 0.10
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ifi_bench::output::DataFile;
-use ifi_bench::{ablation, baseline, depth, fig5, fig6, fig7, fig8, report_checks, Scale};
+use ifi_bench::{ablation, baseline, depth, fig5, fig6, fig7, fig8, loss, report_checks, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all]\n\
-         \x20                  [check-baselines] [write-baselines]\n\
+         \x20                  [check-baselines] [write-baselines] [loss-smoke]\n\
          \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
-         \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]"
+         \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]\n\
+         \x20                  [--drop <f64>]"
     );
     std::process::exit(2);
 }
@@ -60,6 +62,7 @@ fn main() -> ExitCode {
     let mut baselines_dir = PathBuf::from("baselines");
     let mut tolerance = 0.01f64;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut drop = loss::DEFAULT_DROP;
     let mut which: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -87,8 +90,16 @@ fn main() -> ExitCode {
                 let Some(dir) = it.next() else { usage() };
                 metrics_out = Some(PathBuf::from(dir));
             }
+            "--drop" => {
+                let Some(s) = it.next() else { usage() };
+                let Ok(v) = s.parse() else { usage() };
+                if !(0.0..1.0).contains(&v) {
+                    usage()
+                }
+                drop = v;
+            }
             "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
-            | "check-baselines" | "write-baselines" => {
+            | "check-baselines" | "write-baselines" | "loss-smoke" => {
                 which.push(Box::leak(arg.clone().into_boxed_str()))
             }
             _ => usage(),
@@ -135,18 +146,45 @@ fn main() -> ExitCode {
             all_ok = false;
         }
     }
+    // The baseline metric artifacts only accompany the baseline modes;
+    // loss-smoke writes its own artifacts below.
     if let Some(dir) = &metrics_out {
-        all_ok &= dump_metrics(dir);
+        if which.contains(&"check-baselines") || which.contains(&"write-baselines") {
+            all_ok &= dump_metrics(dir);
+        }
+    }
+    if which.contains(&"loss-smoke") {
+        println!(
+            "lossy-network smoke — drop {:.0}%, duplication + delay spikes on, seed {seed}",
+            drop * 100.0
+        );
+        let runs = loss::run_smoke(drop, seed);
+        for run in &runs {
+            all_ok &= report_checks(&format!("loss smoke — {}", run.name), &run.checks);
+        }
+        if let Some(dir) = &metrics_out {
+            match loss::write_metrics(dir, &runs) {
+                Ok(paths) => {
+                    for p in &paths {
+                        println!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: cannot write loss metrics: {e}");
+                    all_ok = false;
+                }
+            }
+        }
     }
     if which
         .iter()
-        .all(|m| *m == "check-baselines" || *m == "write-baselines")
+        .all(|m| matches!(*m, "check-baselines" | "write-baselines" | "loss-smoke"))
     {
         return if all_ok {
-            println!("\nbaselines OK");
+            println!("\nbaseline/smoke checks OK");
             ExitCode::SUCCESS
         } else {
-            println!("\nbaseline check FAILED");
+            println!("\nbaseline/smoke checks FAILED");
             ExitCode::FAILURE
         };
     }

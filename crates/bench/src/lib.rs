@@ -25,6 +25,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod loss;
 pub mod output;
 pub mod par;
 mod runner;

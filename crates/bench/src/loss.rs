@@ -1,0 +1,251 @@
+//! Lossy-network smoke: exactness under message loss, as a CI gate.
+//!
+//! Runs the reliable-delivery builds of both DES engines on a faulty
+//! network (default 10 % drop plus duplication and delay spikes) and
+//! certifies the PR-level contract end to end: the answer stays the
+//! exact IFI set, the three paper phases cost exactly what the instant
+//! engine's `CostBreakdown` says they cost, and every byte of
+//! reliability overhead is metered in its own `retransmit` class.
+//!
+//! `experiments loss-smoke [--drop p] [--metrics-out dir]` prints the
+//! checks and writes each scenario's full [`MetricsReport`] as
+//! `<dir>/<name>.metrics.json`, the same artifact shape the baseline
+//! scenarios upload.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ifi_hierarchy::Hierarchy;
+use ifi_overlay::{HeartbeatConfig, Topology};
+use ifi_sim::{
+    DetRng, Duration, FaultPlan, MetricsReport, MsgClass, PeerId, RelConfig, SimConfig, SimTime,
+};
+use ifi_workload::{GroundTruth, SystemData, WorkloadParams};
+use netfilter::phases;
+use netfilter::protocol::NetFilterProtocol;
+use netfilter::resilient::{ResilientConfig, ResilientProtocol};
+use netfilter::{NetFilter, NetFilterConfig, Threshold};
+
+use crate::ShapeCheck;
+
+/// Drop probability the CI smoke runs at.
+pub const DEFAULT_DROP: f64 = 0.10;
+
+/// Peers in each smoke scenario (small enough for a CI smoke lane).
+const PEERS: usize = 40;
+
+/// One lossy scenario: its metrics report plus the checks it must pass.
+#[derive(Debug)]
+pub struct LossRun {
+    /// Scenario name; the metrics artifact is `<name>.metrics.json`.
+    pub name: &'static str,
+    /// Per-message drop probability the scenario ran under.
+    pub drop: f64,
+    /// Full per-phase / per-peer metrics of the lossy run.
+    pub report: MetricsReport,
+    /// Exactness and cost-accounting checks.
+    pub checks: Vec<ShapeCheck>,
+}
+
+/// Loss, duplication and reordering at once — the same chaos mix the
+/// `loss_exactness` integration tests sweep over a drop-rate grid.
+fn chaos(drop: f64) -> FaultPlan {
+    FaultPlan::none()
+        .with_drop(drop)
+        .with_duplication(0.05)
+        .with_delay_spikes(0.1, Duration::from_millis(400))
+}
+
+fn workload(seed: u64) -> SystemData {
+    SystemData::generate(
+        &WorkloadParams {
+            peers: PEERS,
+            items: 1_000,
+            instances_per_item: 10,
+            theta: 1.0,
+        },
+        seed,
+    )
+}
+
+fn config() -> NetFilterConfig {
+    NetFilterConfig::builder()
+        .filter_size(30)
+        .filters(3)
+        .threshold(Threshold::Ratio(0.01))
+        .build()
+}
+
+/// The one-shot protocol on a faulty network, checked against the
+/// instant engine answer and cost breakdown.
+fn one_shot(drop: f64, seed: u64) -> LossRun {
+    let data = workload(seed);
+    let h = Hierarchy::balanced(PEERS, 3);
+    let cfg = config();
+    let instant = NetFilter::new(cfg.clone()).run(&h, &data);
+
+    let sim = SimConfig::default()
+        .with_seed(seed)
+        .with_faults(chaos(drop));
+    let mut w = NetFilterProtocol::build_world_reliable(&cfg, &h, &data, sim, RelConfig::default());
+    w.enable_metrics_sink();
+    w.start();
+    w.run_to_quiescence();
+    let report = w.sink().report();
+
+    let mut checks = Vec::new();
+    let exact = w.peer(PeerId::new(0)).result() == Some(instant.frequent_items());
+    checks.push(ShapeCheck::new(
+        "lossy one-shot run returns the exact IFI answer",
+        exact,
+        format!("drop {drop}, {PEERS} peers"),
+    ));
+    let recon = instant
+        .cost()
+        .reconcile_with_overhead(&report, &[phases::RETRANSMIT]);
+    checks.push(ShapeCheck::new(
+        "phase costs are loss-independent; overhead confined to `retransmit`",
+        recon.is_ok(),
+        recon
+            .err()
+            .unwrap_or_else(|| format!("{} retransmit B", report.phase_bytes(phases::RETRANSMIT))),
+    ));
+    checks.push(ShapeCheck::new(
+        "the fault plan fired and was survived",
+        drop == 0.0 || w.metrics().dropped_messages() > 0,
+        format!(
+            "{} frames dropped, {} retransmit B",
+            w.metrics().dropped_messages(),
+            w.metrics().class_bytes(MsgClass::RETRANSMIT)
+        ),
+    ));
+
+    LossRun {
+        name: "loss-oneshot",
+        drop,
+        report,
+        checks,
+    }
+}
+
+/// The epoch-based resilient engine under the same chaos: completed
+/// epochs must stay exact and keep completing despite the loss.
+fn resilient(drop: f64, seed: u64) -> LossRun {
+    let mut rng = DetRng::new(seed);
+    let topo = Topology::random_regular(PEERS, 5, &mut rng);
+    let h = Hierarchy::bfs(&topo, PeerId::new(0));
+    let data = workload(seed);
+    let cfg = config();
+    let truth = GroundTruth::compute(&data);
+    let expected = truth.frequent_items(truth.threshold_for_ratio(0.01));
+
+    // Wide failure-detector timeout so random heartbeat loss cannot
+    // masquerade as churn (12 consecutive losses at p = 0.2 ≈ 4e-9).
+    let rc = ResilientConfig {
+        heartbeat: HeartbeatConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_secs(6),
+            bytes: 8,
+        },
+        query_period: Duration::from_secs(8),
+        epoch_timeout: Duration::from_secs(24),
+    };
+    let sim = SimConfig::default()
+        .with_seed(seed)
+        .with_faults(chaos(drop));
+    let mut w = ResilientProtocol::build_world_reliable(
+        &cfg,
+        rc,
+        &topo,
+        &h,
+        &data,
+        sim,
+        RelConfig::default(),
+    );
+    w.enable_metrics_sink();
+    w.start();
+    w.run_until(SimTime::from_micros(40_000_000));
+    let report = w.sink().report();
+
+    let done = w.peer(PeerId::new(0)).completed_epochs().to_vec();
+    let mut checks = Vec::new();
+    checks.push(ShapeCheck::new(
+        "epochs keep completing under loss",
+        done.len() >= 2,
+        format!("{} epochs in 40 s at drop {drop}", done.len()),
+    ));
+    checks.push(ShapeCheck::new(
+        "every completed epoch is exact",
+        done.iter().all(|(_, r)| *r == expected),
+        format!("{} epochs checked", done.len()),
+    ));
+    checks.push(ShapeCheck::new(
+        "reliability overhead is metered in its own class",
+        w.metrics().class_bytes(MsgClass::RETRANSMIT) > 0
+            && report.phase_bytes(phases::RETRANSMIT)
+                == w.metrics().class_bytes(MsgClass::RETRANSMIT),
+        format!(
+            "{} retransmit B, {} frames dropped",
+            w.metrics().class_bytes(MsgClass::RETRANSMIT),
+            w.metrics().dropped_messages()
+        ),
+    ));
+
+    LossRun {
+        name: "loss-resilient",
+        drop,
+        report,
+        checks,
+    }
+}
+
+/// Runs both lossy scenarios at the given drop probability.
+pub fn run_smoke(drop: f64, seed: u64) -> Vec<LossRun> {
+    vec![one_shot(drop, seed), resilient(drop, seed)]
+}
+
+/// Writes each run's full report as `<dir>/<name>.metrics.json` and
+/// returns the written paths.
+pub fn write_metrics(dir: &Path, runs: &[LossRun]) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(runs.len());
+    for run in runs {
+        let path = dir.join(format!("{}.metrics.json", run.name));
+        std::fs::write(&path, run.report.to_json())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_passes_at_the_ci_drop_rate() {
+        let runs = run_smoke(DEFAULT_DROP, 20080617);
+        assert_eq!(runs.len(), 2);
+        for run in &runs {
+            for c in &run.checks {
+                assert!(c.holds, "{}: {} ({})", run.name, c.claim, c.detail);
+            }
+            assert!(
+                run.report.phase_bytes(phases::RETRANSMIT) > 0,
+                "{}: retransmit phase must appear in the artifact",
+                run.name
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_passes_on_a_lossless_network_too() {
+        // drop = 0 still runs with duplication + delay spikes: the checks
+        // must hold without requiring drops to have fired.
+        let runs = run_smoke(0.0, 20080617);
+        for run in &runs {
+            for c in &run.checks {
+                assert!(c.holds, "{}: {} ({})", run.name, c.claim, c.detail);
+            }
+        }
+    }
+}

@@ -33,9 +33,6 @@ where
     for pair in items.into_iter().enumerate() {
         queue.push(pair);
     }
-    let slot_refs = crossbeam::utils::CachePadded::new(());
-    let _ = slot_refs; // layout hint not needed; kept simple below
-
     crossbeam::thread::scope(|scope| {
         let (tx, rx) = crossbeam::channel::unbounded::<(usize, U)>();
         for _ in 0..workers.min(n) {
@@ -147,6 +144,17 @@ mod tests {
     #[should_panic]
     fn worker_panics_propagate() {
         let _ = par_map(vec![1u32, 2, 3], |x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn timed_worker_panics_propagate() {
+        // The timing wrapper must not swallow a worker panic: a sweep
+        // point that dies should still abort the whole figure run.
+        let _ = par_map_timed(vec![1u32, 2, 3], |x| {
             assert!(x != 2, "boom");
             x
         });

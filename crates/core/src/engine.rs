@@ -303,6 +303,61 @@ impl CostBreakdown {
     /// ([`NetFilter::run_instrumented`]) and DES protocol runs, whose
     /// untagged sends land in the same class-label phases.
     pub fn reconcile(&self, report: &MetricsReport) -> Result<(), String> {
+        self.check_phases(report)?;
+        let (rt, bt) = (report.total_bytes(), self.total_bytes());
+        if rt != bt {
+            return Err(format!(
+                "report total {rt} B != breakdown total {bt} B (extra bytes outside the three netFilter phases)"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Like [`reconcile`](Self::reconcile), but tolerates — and accounts
+    /// for — bytes in the named `overhead` phases (e.g.
+    /// [`phases::RETRANSMIT`] for a run with the reliability envelope
+    /// enabled). The three netFilter phases must still match this
+    /// breakdown byte-for-byte per peer, every other nonzero phase must be
+    /// one of `overhead`, and the report total must equal the breakdown
+    /// total plus exactly the overhead bytes.
+    pub fn reconcile_with_overhead(
+        &self,
+        report: &MetricsReport,
+        overhead: &[&str],
+    ) -> Result<(), String> {
+        self.check_phases(report)?;
+        let netfilter = [
+            phases::FILTERING,
+            phases::DISSEMINATION,
+            phases::AGGREGATION,
+        ];
+        let mut overhead_bytes = 0u64;
+        for p in &report.phases {
+            let label = p.label.as_str();
+            if netfilter.contains(&label) || p.bytes() == 0 {
+                continue;
+            }
+            if overhead.contains(&label) {
+                overhead_bytes += p.bytes();
+            } else {
+                return Err(format!(
+                    "phase {label:?} carries {} B but is not a declared overhead phase",
+                    p.bytes()
+                ));
+            }
+        }
+        let (rt, expect) = (report.total_bytes(), self.total_bytes() + overhead_bytes);
+        if rt != expect {
+            return Err(format!(
+                "report total {rt} B != breakdown {} B + overhead {overhead_bytes} B",
+                self.total_bytes()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Shared per-peer exactness check for the three netFilter phases.
+    fn check_phases(&self, report: &MetricsReport) -> Result<(), String> {
         fn check(report: &MetricsReport, label: &str, expect: &[u64]) -> Result<(), String> {
             match report.phase_peer_bytes(label) {
                 Some(got) => {
@@ -328,14 +383,7 @@ impl CostBreakdown {
         }
         check(report, phases::FILTERING, &self.filtering)?;
         check(report, phases::DISSEMINATION, &self.dissemination)?;
-        check(report, phases::AGGREGATION, &self.aggregation)?;
-        let (rt, bt) = (report.total_bytes(), self.total_bytes());
-        if rt != bt {
-            return Err(format!(
-                "report total {rt} B != breakdown total {bt} B (extra bytes outside the three netFilter phases)"
-            ));
-        }
-        Ok(())
+        check(report, phases::AGGREGATION, &self.aggregation)
     }
 
     /// The heaviest-loaded peer and its bytes — used to check the paper's
@@ -675,6 +723,51 @@ mod tests {
         sink.record(PeerId::new(0), MsgClass::CONTROL, 1);
         let err = run.cost().reconcile(&sink.report()).unwrap_err();
         assert!(err.contains("total"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn reconcile_with_overhead_accounts_declared_phases_only() {
+        let data = workload(20, 200, 1.0, 61);
+        let h = Hierarchy::balanced(20, 3);
+        let run = run_with(10, 2, &data, &h);
+        let mut sink = EventSink::new(20);
+        sink.record_vec(
+            phases::FILTERING,
+            MsgClass::FILTERING,
+            &run.cost().filtering,
+        );
+        sink.record_vec(
+            phases::DISSEMINATION,
+            MsgClass::DISSEMINATION,
+            &run.cost().dissemination,
+        );
+        sink.record_vec(
+            phases::AGGREGATION,
+            MsgClass::AGGREGATION,
+            &run.cost().aggregation,
+        );
+        // Reliability traffic on top of the exact phase costs ...
+        sink.record(PeerId::new(1), MsgClass::RETRANSMIT, 24);
+        let report = sink.report();
+        // ... breaks strict reconciliation,
+        assert!(run.cost().reconcile(&report).is_err());
+        // ... fails when the overhead phase is not declared,
+        let err = run
+            .cost()
+            .reconcile_with_overhead(&report, &[])
+            .unwrap_err();
+        assert!(err.contains("retransmit"), "unexpected error: {err}");
+        // ... and reconciles when it is.
+        assert!(run
+            .cost()
+            .reconcile_with_overhead(&report, &[phases::RETRANSMIT])
+            .is_ok());
+        // Undeclared extra bytes still break the overhead-aware check.
+        sink.record(PeerId::new(0), MsgClass::CONTROL, 1);
+        assert!(run
+            .cost()
+            .reconcile_with_overhead(&sink.report(), &[phases::RETRANSMIT])
+            .is_err());
     }
 
     #[test]

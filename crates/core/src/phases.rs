@@ -24,6 +24,10 @@ pub const CONSTRUCTION: &str = "construction";
 pub const MAINTENANCE: &str = "maintenance";
 /// One epoch of the resilient re-querying protocol.
 pub const EPOCH: &str = "epoch";
+/// Reliability overhead: acknowledgements and retransmitted frames. Equals
+/// the [`MsgClass::RETRANSMIT`](ifi_sim::MsgClass::RETRANSMIT) label for
+/// the same fallback-attribution reason as the phase labels above.
+pub const RETRANSMIT: &str = "retransmit";
 /// Wall-clock phase for the instant engine's whole run.
 pub const ENGINE: &str = "engine";
 /// Wall-clock phase for the DES scheduler loop (charged by `ifi-sim`).

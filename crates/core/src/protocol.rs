@@ -20,15 +20,24 @@
 //! per-phase byte totals — is asserted by this module's tests and the
 //! workspace integration suite.
 //!
-//! The protocol assumes a reliable network and a stable hierarchy for the
-//! duration of one run (the paper recruits stable peers for exactly this
-//! reason, §III-A). Under churn, the maintenance protocol of
-//! `ifi-hierarchy` repairs the tree and the query is re-issued — see the
-//! `failure_recovery` integration test.
+//! By default the protocol assumes a reliable network and a stable
+//! hierarchy for the duration of one run (the paper recruits stable peers
+//! for exactly this reason, §III-A). Under churn, the maintenance protocol
+//! of `ifi-hierarchy` repairs the tree and the query is re-issued — see
+//! the `failure_recovery` integration test. On lossy networks, enable the
+//! ack/retransmit envelope ([`NetFilterProtocol::build_world_reliable`]):
+//! every phase message is sequenced, acknowledged, retransmitted with
+//! exponential backoff, and deduplicated at the receiver, so the answer
+//! stays exact under drops, duplication, and reordering. Originals keep
+//! their phase class; acks and retransmissions are metered separately
+//! under [`MsgClass::RETRANSMIT`].
 
 use ifi_agg::{Aggregate, MapSum, VecSum};
 use ifi_hierarchy::Hierarchy;
-use ifi_sim::{Ctx, MsgClass, PeerId, Protocol, SimConfig, World};
+use ifi_sim::{
+    Ctx, MsgClass, PeerId, Protocol, RelConfig, ReliableLink, ReliableMsg, Retransmit, SimConfig,
+    World,
+};
 use ifi_workload::{ItemId, SystemData};
 
 use crate::config::NetFilterConfig;
@@ -44,6 +53,14 @@ pub enum NfMsg {
     Heavy(Vec<Vec<u32>>),
     /// Phase 2b: a merged partial candidate set moving rootward.
     CandidateAgg(MapSum),
+}
+
+/// Timers of the netFilter protocol; only armed when the reliability
+/// envelope is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NfTimer {
+    /// Retransmission check for the reliable frame numbered `seq`.
+    Retransmit(u64),
 }
 
 /// Per-peer state of the netFilter protocol.
@@ -66,6 +83,10 @@ pub struct NetFilterProtocol {
     p2_pending: usize,
     p2_acc: Option<MapSum>,
     result: Option<Vec<(ItemId, u64)>>,
+
+    /// Ack/retransmit envelope state; `None` runs the classic
+    /// fire-and-forget protocol (zero overhead, zero extra traffic).
+    rel: Option<ReliableLink<NfMsg>>,
 }
 
 impl NetFilterProtocol {
@@ -95,7 +116,14 @@ impl NetFilterProtocol {
             p2_pending: hierarchy.children(peer).len(),
             p2_acc: None,
             result: None,
+            rel: None,
         }
+    }
+
+    /// Enables the ack/retransmit envelope with the given tuning.
+    pub fn with_reliability(mut self, cfg: RelConfig) -> Self {
+        self.rel = Some(ReliableLink::new(cfg));
+        self
     }
 
     /// Builds a ready-to-run world over `hierarchy` and `data`.
@@ -130,6 +158,38 @@ impl NetFilterProtocol {
         World::new(sim, peers)
     }
 
+    /// Like [`build_world`](Self::build_world), but with the ack/retransmit
+    /// envelope enabled on every peer — required for exact answers when the
+    /// simulation injects faults ([`ifi_sim::FaultPlan`]).
+    pub fn build_world_reliable(
+        config: &NetFilterConfig,
+        hierarchy: &Hierarchy,
+        data: &SystemData,
+        sim: SimConfig,
+        rel: RelConfig,
+    ) -> World<NetFilterProtocol> {
+        assert_eq!(
+            hierarchy.universe(),
+            data.peer_count(),
+            "hierarchy and data peer universes differ"
+        );
+        let threshold = config.threshold.resolve(data.total_value());
+        let peers = (0..data.peer_count())
+            .map(|i| {
+                let p = PeerId::new(i);
+                NetFilterProtocol::new(
+                    config,
+                    hierarchy,
+                    p,
+                    data.local_items(p).to_vec(),
+                    threshold,
+                )
+                .with_reliability(rel.clone())
+            })
+            .collect();
+        World::new(sim, peers)
+    }
+
     /// The final result (root only, once the run quiesces).
     pub fn result(&self) -> Option<&[(ItemId, u64)]> {
         self.result.as_deref()
@@ -138,6 +198,30 @@ impl NetFilterProtocol {
     /// The resolved threshold.
     pub fn threshold(&self) -> u64 {
         self.threshold
+    }
+
+    /// Sends a phase message, through the ack/retransmit envelope when
+    /// reliability is enabled. The original is charged in `class` either
+    /// way, so phase costs are loss-independent.
+    fn send_phase(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+        to: PeerId,
+        msg: NfMsg,
+        bytes: u64,
+        class: MsgClass,
+    ) {
+        match self.rel.as_mut() {
+            None => {
+                ctx.send(to, ReliableMsg::Plain(msg), bytes, class);
+            }
+            Some(link) => {
+                let (seq, frame) = link.send_data(to, msg, bytes);
+                let delay = link.rto(seq, 0);
+                ctx.send(to, frame, bytes, class);
+                ctx.set_timer(delay, NfTimer::Retransmit(seq));
+            }
+        }
     }
 
     fn phase1_complete(&mut self, ctx: &mut Ctx<'_, Self>) {
@@ -152,7 +236,13 @@ impl NetFilterProtocol {
         } else {
             let parent = self.parent.expect("non-root has a parent");
             let bytes = acc.encoded_bytes(&self.sizes);
-            ctx.send(parent, NfMsg::GroupAgg(acc), bytes, MsgClass::FILTERING);
+            self.send_phase(
+                ctx,
+                parent,
+                NfMsg::GroupAgg(acc),
+                bytes,
+                MsgClass::FILTERING,
+            );
         }
     }
 
@@ -160,7 +250,8 @@ impl NetFilterProtocol {
         // Forward the heavy lists to every downstream neighbor.
         let list_bytes = self.sizes.sg * heavy.total_heavy() as u64;
         for &c in &self.children.clone() {
-            ctx.send(
+            self.send_phase(
+                ctx,
                 c,
                 NfMsg::Heavy(heavy.lists().to_vec()),
                 list_bytes,
@@ -195,7 +286,8 @@ impl NetFilterProtocol {
         } else {
             let parent = self.parent.expect("non-root has a parent");
             let bytes = acc.encoded_bytes(&self.sizes);
-            ctx.send(
+            self.send_phase(
+                ctx,
                 parent,
                 NfMsg::CandidateAgg(acc),
                 bytes,
@@ -203,23 +295,9 @@ impl NetFilterProtocol {
             );
         }
     }
-}
 
-impl Protocol for NetFilterProtocol {
-    type Msg = NfMsg;
-    type Timer = ();
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
-        if !self.is_member {
-            return; // not part of the hierarchy: contributes nothing
-        }
-        self.p1_acc = Some(self.local_filter.group_vector(&self.local_items));
-        if self.p1_pending == 0 {
-            self.phase1_complete(ctx);
-        }
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: NfMsg) {
+    /// Handles a deduplicated protocol payload.
+    fn on_payload(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: NfMsg) {
         match msg {
             NfMsg::GroupAgg(v) => {
                 assert!(self.p1_pending > 0, "unexpected phase-1 report from {from}");
@@ -250,8 +328,79 @@ impl Protocol for NetFilterProtocol {
             }
         }
     }
+}
 
-    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _t: ()) {}
+impl Protocol for NetFilterProtocol {
+    type Msg = ReliableMsg<NfMsg>;
+    type Timer = NfTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if !self.is_member {
+            return; // not part of the hierarchy: contributes nothing
+        }
+        self.p1_acc = Some(self.local_filter.group_vector(&self.local_items));
+        if self.p1_pending == 0 {
+            self.phase1_complete(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: Self::Msg) {
+        let payload = match msg {
+            ReliableMsg::Plain(m) => m,
+            ReliableMsg::Data { seq, payload } => {
+                let link = self
+                    .rel
+                    .as_mut()
+                    .expect("sequenced frame reached a peer without reliability enabled");
+                let ack_bytes = link.cfg().ack_bytes;
+                let fresh = link.accept(from, seq);
+                // Always ack — a duplicate usually means the first ack was
+                // lost — but only fresh payloads reach the phase logic.
+                ctx.send(
+                    from,
+                    ReliableMsg::Ack { seq },
+                    ack_bytes,
+                    MsgClass::RETRANSMIT,
+                );
+                if !fresh {
+                    return;
+                }
+                payload
+            }
+            ReliableMsg::Ack { seq } => {
+                if let Some(link) = self.rel.as_mut() {
+                    link.on_ack(from, seq);
+                }
+                return;
+            }
+        };
+        self.on_payload(ctx, from, payload);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: NfTimer) {
+        let NfTimer::Retransmit(seq) = timer;
+        let Some(link) = self.rel.as_mut() else {
+            return;
+        };
+        match link.retransmit(seq) {
+            Retransmit::Resend {
+                to,
+                frame,
+                bytes,
+                next_delay,
+            } => {
+                ctx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+                ctx.set_timer(next_delay, NfTimer::Retransmit(seq));
+            }
+            Retransmit::Acked => {}
+            Retransmit::GaveUp { .. } => {
+                // A one-shot run has no coarser repair to escalate to; the
+                // resilient engine's epoch supersession handles this case
+                // (see `resilient.rs`). With default tuning this needs 17
+                // consecutive losses of the same frame.
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +524,59 @@ mod tests {
             w.peer(PeerId::new(0)).result().unwrap(),
             &truth.frequent_items(t)[..]
         );
+    }
+
+    #[test]
+    fn reliability_at_zero_loss_adds_only_acks() {
+        let data = workload(30, 800, 91);
+        let h = Hierarchy::balanced(30, 3);
+        let cfg = config(20, 2);
+        let instant = NetFilter::new(cfg.clone()).run(&h, &data);
+
+        let mut w = NetFilterProtocol::build_world_reliable(
+            &cfg,
+            &h,
+            &data,
+            SimConfig::default().with_seed(5),
+            RelConfig::default(),
+        );
+        w.start();
+        w.run_to_quiescence();
+
+        assert_eq!(
+            w.peer(PeerId::new(0)).result().expect("root finishes"),
+            instant.frequent_items()
+        );
+        // Phase classes are untouched by the envelope...
+        let m = w.metrics();
+        let c = instant.cost();
+        assert_eq!(
+            m.class_bytes(MsgClass::FILTERING),
+            c.filtering.iter().sum::<u64>()
+        );
+        assert_eq!(
+            m.class_bytes(MsgClass::DISSEMINATION),
+            c.dissemination.iter().sum::<u64>()
+        );
+        assert_eq!(
+            m.class_bytes(MsgClass::AGGREGATION),
+            c.aggregation.iter().sum::<u64>()
+        );
+        // ... and with no losses the only overhead is one ack per frame.
+        let class_msgs = |cl: MsgClass| {
+            (0..30)
+                .map(|i| m.peer_class(PeerId::new(i), cl).messages)
+                .sum::<u64>()
+        };
+        let frames = class_msgs(MsgClass::FILTERING)
+            + class_msgs(MsgClass::DISSEMINATION)
+            + class_msgs(MsgClass::AGGREGATION);
+        assert_eq!(class_msgs(MsgClass::RETRANSMIT), frames);
+        assert_eq!(
+            m.class_bytes(MsgClass::RETRANSMIT),
+            frames * RelConfig::default().ack_bytes
+        );
+        assert_eq!(m.dropped_messages(), 0);
     }
 
     #[test]

@@ -16,6 +16,17 @@
 //!   saw its `Start`, or a dead child never reports) and is superseded by
 //!   the next epoch over the repaired tree.
 //!
+//! [`build_world_reliable`](ResilientProtocol::build_world_reliable)
+//! additionally wraps every *query-critical* message (`Start`, `GroupAgg`,
+//! `Heavy`, `CandidateAgg`) in the [`ReliableLink`] ack/retransmit envelope
+//! so random message loss no longer stalls epochs: a lost frame is
+//! retransmitted with exponential backoff until acknowledged, and receivers
+//! suppress duplicates before they can double-merge an accumulator.
+//! Maintenance traffic stays unreliable — heartbeats and `Attach` refreshes
+//! are periodic (redundancy *is* their reliability), and a peer that stays
+//! unreachable past `max_retries` is exactly the case the epoch-timeout
+//! supersession path already repairs.
+//!
 //! Semantics: a *completed* epoch reports the exact `IFI` answer over the
 //! data of the peers whose contributions reached the root in that epoch.
 //! An epoch that raced with a failure may silently miss the dead subtree's
@@ -27,7 +38,10 @@ use std::collections::BTreeSet;
 use ifi_agg::{Aggregate, MapSum, VecSum};
 use ifi_hierarchy::{Hierarchy, MaintainCore, MaintainMsg};
 use ifi_overlay::{HeartbeatConfig, Topology};
-use ifi_sim::{Ctx, Duration, MsgClass, PeerId, Protocol, SimConfig, World};
+use ifi_sim::{
+    Ctx, Duration, MsgClass, PeerId, Protocol, RelConfig, ReliableLink, ReliableMsg, Retransmit,
+    SimConfig, World,
+};
 use ifi_workload::{ItemId, SystemData};
 
 use crate::config::NetFilterConfig;
@@ -78,6 +92,9 @@ pub enum RTimer {
     Tick,
     /// Root only: start the next query epoch.
     NewEpoch,
+    /// Retransmission deadline for the reliable frame with this sequence
+    /// number (only armed when reliability is enabled).
+    Retransmit(u64),
 }
 
 /// Timing knobs for the resilient protocol.
@@ -135,6 +152,8 @@ pub struct ResilientProtocol {
     /// Root only: when the current epoch was started.
     epoch_started_at: ifi_sim::SimTime,
     started_before: bool,
+    /// Ack/retransmit envelope for query-critical traffic, when enabled.
+    rel: Option<ReliableLink<RMsg>>,
 }
 
 impl ResilientProtocol {
@@ -169,7 +188,20 @@ impl ResilientProtocol {
             completed: Vec::new(),
             epoch_started_at: ifi_sim::SimTime::ZERO,
             started_before: false,
+            rel: None,
         }
+    }
+
+    /// Enables the ack/retransmit envelope for query-critical messages.
+    ///
+    /// `Start`, `GroupAgg`, `Heavy` and `CandidateAgg` frames are then
+    /// sequenced, acknowledged and retransmitted with exponential backoff;
+    /// receivers drop duplicates before dispatching the payload.
+    /// Maintenance traffic is untouched.
+    #[must_use]
+    pub fn with_reliability(mut self, cfg: RelConfig) -> Self {
+        self.rel = Some(ReliableLink::new(cfg));
+        self
     }
 
     /// Builds a ready-to-run world over `topology`, `hierarchy`, `data`.
@@ -209,6 +241,46 @@ impl ResilientProtocol {
         World::new(sim, peers)
     }
 
+    /// Like [`build_world`](Self::build_world), with every peer's
+    /// query-critical traffic wrapped in the `rel` reliability envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn build_world_reliable(
+        config: &NetFilterConfig,
+        rc: ResilientConfig,
+        topology: &Topology,
+        hierarchy: &Hierarchy,
+        data: &SystemData,
+        sim: SimConfig,
+        rel: RelConfig,
+    ) -> World<ResilientProtocol> {
+        assert_eq!(
+            topology.peer_count(),
+            data.peer_count(),
+            "universe mismatch"
+        );
+        assert_eq!(hierarchy.universe(), data.peer_count(), "universe mismatch");
+        let threshold = config.threshold.resolve(data.total_value());
+        let peers = (0..data.peer_count())
+            .map(|i| {
+                let p = PeerId::new(i);
+                ResilientProtocol::new(
+                    config,
+                    rc,
+                    hierarchy,
+                    p,
+                    topology.neighbors(p).to_vec(),
+                    data.local_items(p).to_vec(),
+                    threshold,
+                )
+                .with_reliability(rel.clone())
+            })
+            .collect();
+        World::new(sim, peers)
+    }
+
     /// Root only: the completed epochs, oldest first.
     pub fn completed_epochs(&self) -> &[(u64, Vec<(ItemId, u64)>)] {
         &self.completed
@@ -234,7 +306,33 @@ impl ResilientProtocol {
                 MaintainMsg::Heartbeat { .. } => (hb, MsgClass::HEARTBEAT),
                 _ => (8, MsgClass::CONTROL),
             };
-            ctx.send(to, RMsg::Maintain(msg), bytes, class);
+            ctx.send(to, ReliableMsg::Plain(RMsg::Maintain(msg)), bytes, class);
+        }
+    }
+
+    /// Sends a query-critical message, through the reliability envelope
+    /// when one is enabled.
+    ///
+    /// The first copy is charged to the caller's phase and `class`;
+    /// retransmissions and acks go to [`MsgClass::RETRANSMIT`]. Callers
+    /// mark their phase before calling, as with a plain `ctx.send`.
+    fn send_query(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+        to: PeerId,
+        msg: RMsg,
+        bytes: u64,
+        class: MsgClass,
+    ) {
+        match self.rel.as_mut() {
+            None => {
+                ctx.send(to, ReliableMsg::Plain(msg), bytes, class);
+            }
+            Some(link) => {
+                let (seq, frame) = link.send_data(to, msg, bytes);
+                ctx.send(to, frame, bytes, class);
+                ctx.set_timer(link.rto(seq, 0), RTimer::Retransmit(seq));
+            }
         }
     }
 
@@ -270,7 +368,8 @@ impl ResilientProtocol {
         } else if let Some(parent) = self.epoch_parent {
             let bytes = acc.encoded_bytes(&self.sizes);
             ctx.mark_phase(phases::FILTERING);
-            ctx.send(
+            self.send_query(
+                ctx,
                 parent,
                 RMsg::GroupAgg {
                     epoch: self.epoch,
@@ -286,7 +385,8 @@ impl ResilientProtocol {
         let list_bytes = self.sizes.sg * heavy.total_heavy() as u64;
         ctx.mark_phase(phases::DISSEMINATION);
         for c in self.core.children() {
-            ctx.send(
+            self.send_query(
+                ctx,
                 c,
                 RMsg::Heavy {
                     epoch: self.epoch,
@@ -326,7 +426,8 @@ impl ResilientProtocol {
         } else if let Some(parent) = self.epoch_parent {
             let bytes = acc.encoded_bytes(&self.sizes);
             ctx.mark_phase(phases::AGGREGATION);
-            ctx.send(
+            self.send_query(
+                ctx,
                 parent,
                 RMsg::CandidateAgg {
                     epoch: self.epoch,
@@ -337,28 +438,9 @@ impl ResilientProtocol {
             );
         }
     }
-}
 
-impl Protocol for ResilientProtocol {
-    type Msg = RMsg;
-    type Timer = RTimer;
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
-        if self.started_before {
-            // Revival: rejoin detached and catch the next epoch once
-            // re-attached (§III-A.3 join handling).
-            self.core.rejoin(ctx.now());
-        } else {
-            self.started_before = true;
-            self.core.start(ctx.now());
-        }
-        ctx.set_timer(self.rc.heartbeat.interval, RTimer::Tick);
-        if self.is_root {
-            ctx.set_timer(self.rc.query_period, RTimer::NewEpoch);
-        }
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: RMsg) {
+    /// Handles an unwrapped (post-envelope) protocol message.
+    fn on_payload(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: RMsg) {
         match msg {
             RMsg::Maintain(m) => {
                 let out = self.core.on_message(from, m, ctx.now());
@@ -369,7 +451,13 @@ impl Protocol for ResilientProtocol {
                     self.reset_epoch(epoch, Some(from));
                     ctx.mark_phase(phases::EPOCH);
                     for c in self.core.children() {
-                        ctx.send(c, RMsg::Start { epoch }, START_BYTES, MsgClass::CONTROL);
+                        self.send_query(
+                            ctx,
+                            c,
+                            RMsg::Start { epoch },
+                            START_BYTES,
+                            MsgClass::CONTROL,
+                        );
                     }
                     self.check_p1(ctx);
                 }
@@ -400,6 +488,61 @@ impl Protocol for ResilientProtocol {
             }
         }
     }
+}
+
+impl Protocol for ResilientProtocol {
+    type Msg = ReliableMsg<RMsg>;
+    type Timer = RTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if self.started_before {
+            // Revival: rejoin detached and catch the next epoch once
+            // re-attached (§III-A.3 join handling).
+            self.core.rejoin(ctx.now());
+        } else {
+            self.started_before = true;
+            self.core.start(ctx.now());
+        }
+        ctx.set_timer(self.rc.heartbeat.interval, RTimer::Tick);
+        if self.is_root {
+            ctx.set_timer(self.rc.query_period, RTimer::NewEpoch);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: ReliableMsg<RMsg>) {
+        let payload = match msg {
+            ReliableMsg::Plain(m) => m,
+            ReliableMsg::Data { seq, payload } => {
+                let link = self
+                    .rel
+                    .as_mut()
+                    .expect("sequenced frame reached a peer without reliability enabled");
+                let ack_bytes = link.cfg().ack_bytes;
+                // Ack every copy (the sender's previous ack may have been
+                // lost), but dispatch only the first: a duplicate `GroupAgg`
+                // or `CandidateAgg` would double-merge its accumulator.
+                let fresh = link.accept(from, seq);
+                ctx.mark_phase(phases::RETRANSMIT);
+                ctx.send(
+                    from,
+                    ReliableMsg::Ack { seq },
+                    ack_bytes,
+                    MsgClass::RETRANSMIT,
+                );
+                if !fresh {
+                    return;
+                }
+                payload
+            }
+            ReliableMsg::Ack { seq } => {
+                if let Some(link) = self.rel.as_mut() {
+                    link.on_ack(from, seq);
+                }
+                return;
+            }
+        };
+        self.on_payload(ctx, from, payload);
+    }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: RTimer) {
         match timer {
@@ -426,7 +569,8 @@ impl Protocol for ResilientProtocol {
                     self.epoch_started_at = ctx.now();
                     ctx.mark_phase(phases::EPOCH);
                     for c in self.core.children() {
-                        ctx.send(
+                        self.send_query(
+                            ctx,
                             c,
                             RMsg::Start { epoch: next },
                             START_BYTES,
@@ -436,6 +580,32 @@ impl Protocol for ResilientProtocol {
                     self.check_p1(ctx);
                 }
                 ctx.set_timer(self.rc.query_period, RTimer::NewEpoch);
+            }
+            RTimer::Retransmit(seq) => {
+                let link = self
+                    .rel
+                    .as_mut()
+                    .expect("retransmit timer armed without reliability enabled");
+                match link.retransmit(seq) {
+                    Retransmit::Resend {
+                        to,
+                        frame,
+                        bytes,
+                        next_delay,
+                    } => {
+                        ctx.mark_phase(phases::RETRANSMIT);
+                        ctx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+                        ctx.set_timer(next_delay, RTimer::Retransmit(seq));
+                    }
+                    Retransmit::Acked => {}
+                    Retransmit::GaveUp { .. } => {
+                        // The destination is unreachable (or the frame
+                        // belongs to a long-superseded epoch). Stop trying:
+                        // the stalled epoch is exactly what the root's
+                        // `NewEpoch` timeout supersedes over the repaired
+                        // tree, so reliability defers to epoch repair here.
+                    }
+                }
             }
         }
     }
@@ -587,6 +757,56 @@ mod tests {
         for (e, result) in done {
             assert_eq!(result, &truth.frequent_items(t), "epoch {e} inexact");
         }
+    }
+
+    #[test]
+    fn reliable_envelope_completes_epochs_under_heavy_loss() {
+        // 10% of every message (including acks and retransmissions)
+        // vanishes and 5% are duplicated, yet epochs keep completing
+        // because query-critical frames are retransmitted until
+        // acknowledged and duplicates are suppressed before they can
+        // double-merge an accumulator. The failure-detector timeout is
+        // widened so random heartbeat/Attach loss cannot masquerade as
+        // churn (10 consecutive losses ~ 1e-10 per window): any inexact
+        // epoch here would be a reliability bug, not a repair artifact.
+        let (topo, h, data, cfg) = setup(60, 131);
+        let truth = GroundTruth::compute(&data);
+        let t = truth.threshold_for_ratio(0.01);
+        let mut rcfg = rc();
+        rcfg.heartbeat.timeout = Duration::from_secs(5);
+        let faults = ifi_sim::FaultPlan::none()
+            .with_drop(0.1)
+            .with_duplication(0.05);
+        let sim = SimConfig::default().with_seed(9).with_faults(faults);
+        let mut w = ResilientProtocol::build_world_reliable(
+            &cfg,
+            rcfg,
+            &topo,
+            &h,
+            &data,
+            sim,
+            ifi_sim::RelConfig::default(),
+        );
+        w.start();
+        w.run_until(SimTime::from_micros(60_000_000));
+
+        let root = w.peer(PeerId::new(0));
+        let done = root.completed_epochs();
+        assert!(
+            done.len() >= 4,
+            "retransmission should let epochs complete despite loss, got {}",
+            done.len()
+        );
+        for (e, result) in done {
+            assert_eq!(result, &truth.frequent_items(t), "epoch {e} inexact");
+        }
+        // Loss actually fired: the kernel recorded dropped messages and
+        // the retransmit class carried real traffic.
+        assert!(w.metrics().dropped_messages() > 0);
+        assert!(
+            w.metrics().class_bytes(MsgClass::RETRANSMIT) > 0,
+            "acks/retransmissions must be metered"
+        );
     }
 
     #[test]

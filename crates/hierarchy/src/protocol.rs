@@ -9,7 +9,7 @@
 use ifi_overlay::HeartbeatConfig;
 
 use crate::maintain_core::MaintainCore;
-use ifi_sim::{Ctx, MsgClass, PeerId, Protocol};
+use ifi_sim::{Ctx, MsgClass, PeerId, Protocol, RelConfig, ReliableLink, ReliableMsg, Retransmit};
 
 use crate::tree::Hierarchy;
 
@@ -169,11 +169,25 @@ pub enum MaintainMsg {
     Detach,
 }
 
+impl MaintainMsg {
+    /// Whether this message is sent exactly **once** per state transition,
+    /// so that a single loss wedges progress until some coarser mechanism
+    /// notices. `Heartbeat` and `Attach` are refreshed every tick — their
+    /// redundancy *is* their reliability — but a `Detach` cascade fires
+    /// once, which is what the optional ack/retransmit envelope protects.
+    pub fn is_send_once(&self) -> bool {
+        matches!(self, MaintainMsg::Detach)
+    }
+}
+
 /// Timers of the maintenance protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MaintainTimer {
     /// Periodic heartbeat tick.
     Tick,
+    /// Retransmission deadline for the reliable frame with this sequence
+    /// number (only armed when reliability is enabled).
+    Retransmit(u64),
 }
 
 /// Steady-state hierarchy maintenance (§III-A.3).
@@ -191,6 +205,8 @@ pub enum MaintainTimer {
 pub struct MaintainProtocol {
     core: MaintainCore,
     started_before: bool,
+    /// Ack/retransmit envelope for send-once repair traffic, when enabled.
+    rel: Option<ReliableLink<MaintainMsg>>,
 }
 
 impl MaintainProtocol {
@@ -204,7 +220,17 @@ impl MaintainProtocol {
         MaintainProtocol {
             core: MaintainCore::new(hierarchy, peer, neighbors, config),
             started_before: false,
+            rel: None,
         }
+    }
+
+    /// Enables the ack/retransmit envelope for send-once repair messages
+    /// (see [`MaintainMsg::is_send_once`]). Periodic traffic is untouched,
+    /// so a fault-free run sends exactly the same bytes as without this.
+    #[must_use]
+    pub fn with_reliability(mut self, cfg: RelConfig) -> Self {
+        self.rel = Some(ReliableLink::new(cfg));
+        self
     }
 
     /// Current depth, or `None` while detached.
@@ -244,7 +270,16 @@ impl MaintainProtocol {
                 MaintainMsg::Heartbeat { .. } => MsgClass::HEARTBEAT,
                 _ => MsgClass::CONTROL,
             };
-            ctx.send(to, msg, bytes, class);
+            match self.rel.as_mut() {
+                Some(link) if msg.is_send_once() => {
+                    let (seq, frame) = link.send_data(to, msg, bytes);
+                    ctx.send(to, frame, bytes, class);
+                    ctx.set_timer(link.rto(seq, 0), MaintainTimer::Retransmit(seq));
+                }
+                _ => {
+                    ctx.send(to, ReliableMsg::Plain(msg), bytes, class);
+                }
+            }
         }
     }
 
@@ -266,7 +301,7 @@ impl MaintainProtocol {
 }
 
 impl Protocol for MaintainProtocol {
-    type Msg = MaintainMsg;
+    type Msg = ReliableMsg<MaintainMsg>;
     type Timer = MaintainTimer;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
@@ -281,16 +316,74 @@ impl Protocol for MaintainProtocol {
         ctx.set_timer(self.core.config().interval, MaintainTimer::Tick);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: MaintainMsg) {
-        let out = self.core.on_message(from, msg, ctx.now());
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: ReliableMsg<MaintainMsg>) {
+        let payload = match msg {
+            ReliableMsg::Plain(m) => m,
+            ReliableMsg::Data { seq, payload } => {
+                let link = self
+                    .rel
+                    .as_mut()
+                    .expect("sequenced frame reached a peer without reliability enabled");
+                let ack_bytes = link.cfg().ack_bytes;
+                // Ack every copy (the previous ack may have been lost);
+                // dispatch only the first so a duplicated Detach cannot
+                // bump `detach_count` twice.
+                let fresh = link.accept(from, seq);
+                ctx.mark_phase("retransmit");
+                ctx.send(
+                    from,
+                    ReliableMsg::Ack { seq },
+                    ack_bytes,
+                    MsgClass::RETRANSMIT,
+                );
+                if !fresh {
+                    return;
+                }
+                payload
+            }
+            ReliableMsg::Ack { seq } => {
+                if let Some(link) = self.rel.as_mut() {
+                    link.on_ack(from, seq);
+                }
+                return;
+            }
+        };
+        let out = self.core.on_message(from, payload, ctx.now());
         self.flush(ctx, out);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: MaintainTimer) {
-        let MaintainTimer::Tick = timer;
-        let (out, _changed) = self.core.on_tick(ctx.now());
-        self.flush(ctx, out);
-        ctx.set_timer(self.core.config().interval, MaintainTimer::Tick);
+        match timer {
+            MaintainTimer::Tick => {
+                let (out, _changed) = self.core.on_tick(ctx.now());
+                self.flush(ctx, out);
+                ctx.set_timer(self.core.config().interval, MaintainTimer::Tick);
+            }
+            MaintainTimer::Retransmit(seq) => {
+                let link = self
+                    .rel
+                    .as_mut()
+                    .expect("retransmit timer armed without reliability enabled");
+                match link.retransmit(seq) {
+                    Retransmit::Resend {
+                        to,
+                        frame,
+                        bytes,
+                        next_delay,
+                    } => {
+                        ctx.mark_phase("retransmit");
+                        ctx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+                        ctx.set_timer(next_delay, MaintainTimer::Retransmit(seq));
+                    }
+                    Retransmit::Acked => {}
+                    Retransmit::GaveUp { .. } => {
+                        // The destination died mid-cascade: its own state is
+                        // gone with it, and any parent-side bookkeeping for
+                        // it expires via the children stamp map.
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -466,6 +559,90 @@ mod tests {
         let hb = w.metrics().class_bytes(MsgClass::HEARTBEAT);
         // 4 peers × 2 neighbors × 10 ticks × 8 bytes = 640.
         assert_eq!(hb, 640);
+    }
+
+    #[test]
+    fn reliable_detach_cascades_under_heavy_loss() {
+        // Line 0-1-2, root 0 killed. P1 detects the death by heartbeat
+        // silence, but P2's parent (P1) stays alive and heartbeating, so
+        // P2 can learn of the detachment *only* from P1's send-once
+        // Detach message. At 30% loss the envelope retransmits it until
+        // acknowledged (and suppresses the 10% duplicates), so P2 must
+        // end up detached with exactly one detach event. The
+        // failure-detector timeout is widened so random heartbeat loss
+        // cannot masquerade as churn.
+        let topo = Topology::line(3);
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_millis(5_000),
+            bytes: 8,
+        };
+        let peers: Vec<MaintainProtocol> = topo
+            .peers()
+            .map(|p| {
+                MaintainProtocol::new(&h, p, topo.neighbors(p).to_vec(), cfg)
+                    .with_reliability(ifi_sim::RelConfig::default())
+            })
+            .collect();
+        let sim = SimConfig::default().with_seed(37).with_faults(
+            ifi_sim::FaultPlan::none()
+                .with_drop(0.3)
+                .with_duplication(0.1),
+        );
+        let mut w = World::new(sim, peers);
+        w.start();
+        w.schedule_kill(SimTime::from_micros(2_000_000), PeerId::new(0));
+        w.run_until(SimTime::from_micros(40_000_000));
+        for i in 1..3 {
+            assert!(
+                w.peer(PeerId::new(i)).is_detached(),
+                "P{i} must learn of the detachment despite loss"
+            );
+            assert_eq!(
+                w.peer(PeerId::new(i)).detach_count(),
+                1,
+                "P{i}: duplicated Detach frames must not double-count"
+            );
+        }
+        assert!(w.metrics().class_bytes(MsgClass::RETRANSMIT) > 0);
+    }
+
+    #[test]
+    fn reliability_is_free_on_a_fault_free_network() {
+        // No failures → no Detach traffic → the envelope wraps nothing:
+        // a reliable run is byte-identical to a plain one.
+        let topo = Topology::random_regular(30, 4, &mut DetRng::new(41));
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_millis(1600),
+            bytes: 8,
+        };
+        let run = |reliable: bool| {
+            let peers: Vec<MaintainProtocol> = topo
+                .peers()
+                .map(|p| {
+                    let m = MaintainProtocol::new(&h, p, topo.neighbors(p).to_vec(), cfg);
+                    if reliable {
+                        m.with_reliability(ifi_sim::RelConfig::default())
+                    } else {
+                        m
+                    }
+                })
+                .collect();
+            let mut w = World::new(SimConfig::default().with_seed(43), peers);
+            w.start();
+            w.run_until(SimTime::from_micros(10_000_000));
+            (
+                w.metrics().total_bytes(),
+                w.metrics().class_bytes(MsgClass::RETRANSMIT),
+            )
+        };
+        let (plain_total, _) = run(false);
+        let (rel_total, rel_retrans) = run(true);
+        assert_eq!(plain_total, rel_total);
+        assert_eq!(rel_retrans, 0);
     }
 
     #[test]

@@ -110,20 +110,27 @@ impl HeartbeatTracker {
 
     /// The status of `peer` at time `now`.
     ///
+    /// An **untracked** peer is reported [`NeighborStatus::Suspected`]:
+    /// under churn, a heartbeat or status query can race a departure the
+    /// tracker already acted on via [`forget`](Self::forget), and "no
+    /// evidence of life" is exactly what `Suspected` means. (Any later
+    /// message from the peer re-registers it — see
+    /// [`on_heartbeat`](Self::on_heartbeat) / [`touch`](Self::touch).)
+    ///
     /// # Panics
     ///
-    /// Panics if `peer` is not tracked or [`start`](Self::start) was never
-    /// called.
+    /// Panics if [`start`](Self::start) was never called.
     pub fn status(&self, peer: PeerId, now: SimTime) -> NeighborStatus {
         assert!(self.started.is_some(), "tracker not started");
-        let &(heard, depth) = self
-            .last
-            .get(&peer)
-            .unwrap_or_else(|| panic!("peer {peer} is not tracked"));
-        if now.duration_since(heard) > self.config.timeout {
-            NeighborStatus::Suspected
-        } else {
-            NeighborStatus::Alive(depth)
+        match self.last.get(&peer) {
+            None => NeighborStatus::Suspected,
+            Some(&(heard, depth)) => {
+                if now.duration_since(heard) > self.config.timeout {
+                    NeighborStatus::Suspected
+                } else {
+                    NeighborStatus::Alive(depth)
+                }
+            }
         }
     }
 
@@ -254,10 +261,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not tracked")]
-    fn status_of_unknown_panics() {
+    fn status_of_unknown_is_suspected() {
         let hb = tracker();
-        let _ = hb.status(PeerId::new(42), t(0));
+        assert_eq!(hb.status(PeerId::new(42), t(0)), NeighborStatus::Suspected);
+    }
+
+    #[test]
+    fn heartbeat_after_departure_does_not_panic() {
+        // Churn race: the tracker acts on a neighbor's failure and forgets
+        // it, then an in-flight heartbeat from the departed peer lands.
+        // The tracker must take the late evidence gracefully — report the
+        // unknown peer as Suspected, then re-register it on the heartbeat.
+        let mut hb = tracker();
+        hb.forget(PeerId::new(2));
+        assert_eq!(hb.status(PeerId::new(2), t(400)), NeighborStatus::Suspected);
+        hb.on_heartbeat(PeerId::new(2), 3, t(450));
+        assert_eq!(
+            hb.status(PeerId::new(2), t(500)),
+            NeighborStatus::Alive(Some(3)),
+            "a late heartbeat re-registers the departed peer"
+        );
+        assert!(hb.tracked().contains(&PeerId::new(2)));
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! * point-to-point messages with pluggable latency models ([`LatencyModel`])
 //!   and optional loss,
 //! * per-peer timers,
+//! * configurable fault injection ([`FaultPlan`]: per-class drops,
+//!   duplication, delay spikes, deterministic drop schedules) plus an
+//!   ack/retransmit reliability envelope ([`ReliableLink`]) protocols can
+//!   adopt to stay exact under loss,
 //! * peer failure/recovery (churn) injected by the driver,
 //! * per-peer, per-message-class **byte accounting** ([`Metrics`]) — the
 //!   paper's sole performance metric is *bytes propagated per peer*, so the
@@ -56,19 +60,23 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod id;
 mod metrics;
 mod network;
 mod obs;
+mod reliable;
 mod rng;
 mod time;
 mod trace;
 mod world;
 
+pub use fault::FaultPlan;
 pub use id::PeerId;
 pub use metrics::{ClassTotals, Metrics, MsgClass};
 pub use network::LatencyModel;
 pub use obs::{EventSink, MetricsReport, PhaseMetrics};
+pub use reliable::{RelConfig, ReliableLink, ReliableMsg, Retransmit};
 pub use rng::{mix64, DetRng};
 pub use time::{Duration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceKind};

@@ -19,7 +19,7 @@ pub struct MsgClass(pub u8);
 
 impl MsgClass {
     /// Number of distinct classes tracked by [`Metrics`].
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Generic payload traffic.
     pub const DATA: MsgClass = MsgClass(0);
@@ -37,6 +37,12 @@ impl MsgClass {
     pub const GOSSIP: MsgClass = MsgClass(6);
     /// Sampling traffic for parameter estimation.
     pub const SAMPLING: MsgClass = MsgClass(7);
+    /// Reliability overhead: acknowledgements and retransmitted copies.
+    ///
+    /// Original transmissions stay in their phase class; only the *extra*
+    /// traffic a lossy network provokes lands here, so phase-class totals
+    /// remain comparable to the instant engine's loss-free cost model.
+    pub const RETRANSMIT: MsgClass = MsgClass(8);
 
     /// Dense index of this class.
     ///
@@ -60,6 +66,7 @@ impl MsgClass {
             5 => "aggregation",
             6 => "gossip",
             7 => "sampling",
+            8 => "retransmit",
             _ => "unknown",
         }
     }

@@ -1,0 +1,368 @@
+//! Ack/retransmit reliability envelope for protocol messages.
+//!
+//! [`ReliableLink`] is a pure state machine (no kernel access, like the
+//! hierarchy crate's `MaintainCore`): protocols feed it sends, acks, and
+//! retransmit-timer firings, and it tells them what to put on the wire.
+//! Keeping it transport-free makes every transition unit-testable without a
+//! simulation and lets any [`Protocol`](crate::Protocol) adopt it.
+//!
+//! The contract, per phase-critical message:
+//!
+//! * the **original** transmission is charged once, in its own phase class,
+//!   so phase costs stay comparable to a loss-free run;
+//! * every **retransmission** and every **ack** is charged to
+//!   [`MsgClass::RETRANSMIT`] — the visible price of reliability;
+//! * the receiver suppresses duplicates by `(sender, seq)`, so retransmits
+//!   and network-duplicated frames never double-count values;
+//! * retransmissions back off exponentially with deterministic jitter (no
+//!   PRNG draws — jitter is hashed from the sequence number and attempt, so
+//!   enabling reliability does not perturb the kernel's random stream);
+//! * after [`RelConfig::max_retries`] attempts the link gives up and
+//!   reports it, letting the caller escalate to coarser repair (netFilter's
+//!   epoch supersession path).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::id::PeerId;
+use crate::rng::mix64;
+use crate::time::Duration;
+
+#[cfg(doc)]
+use crate::metrics::MsgClass;
+
+/// Wire format of a reliability-aware protocol: either an unadorned payload
+/// (fire-and-forget traffic, or reliability disabled) or a sequenced frame
+/// with its acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReliableMsg<M> {
+    /// An unsequenced payload outside the reliability envelope.
+    Plain(M),
+    /// A sequenced payload; the receiver acks `seq` and deduplicates on it.
+    Data {
+        /// Sender-local sequence number.
+        seq: u64,
+        /// The protocol payload.
+        payload: M,
+    },
+    /// Acknowledges receipt of the frame numbered `seq`.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+/// Tuning knobs for [`ReliableLink`].
+#[derive(Debug, Clone)]
+pub struct RelConfig {
+    /// Bytes charged per acknowledgement (sequence number + framing).
+    pub ack_bytes: u64,
+    /// Timeout before the first retransmission; doubles per attempt.
+    pub base_rto: Duration,
+    /// Upper bound on the backed-off timeout.
+    pub max_rto: Duration,
+    /// Retransmissions attempted before the link gives up on a frame.
+    pub max_retries: u32,
+}
+
+impl Default for RelConfig {
+    fn default() -> Self {
+        RelConfig {
+            ack_bytes: 8,
+            base_rto: Duration::from_millis(400),
+            max_rto: Duration::from_secs(5),
+            max_retries: 16,
+        }
+    }
+}
+
+/// A frame awaiting acknowledgement. The original's message class is not
+/// retained: the caller charged it at first send, and every later copy is
+/// [`MsgClass::RETRANSMIT`] by contract.
+#[derive(Debug, Clone)]
+struct Pending<M> {
+    to: PeerId,
+    payload: M,
+    bytes: u64,
+    attempts: u32,
+}
+
+/// Receiver-side duplicate suppression for one sender.
+///
+/// All sequence numbers below `next` have been accepted; `sparse` holds
+/// accepted numbers at or above it (out-of-order arrivals). Compaction
+/// advances the watermark as gaps fill, so memory stays bounded by the
+/// reorder window rather than the run length.
+#[derive(Debug, Clone, Default)]
+struct DedupWindow {
+    next: u64,
+    sparse: BTreeSet<u64>,
+}
+
+impl DedupWindow {
+    /// Records `seq`; returns `true` the first time it is seen.
+    fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.next || !self.sparse.insert(seq) {
+            return false;
+        }
+        while self.sparse.remove(&self.next) {
+            self.next += 1;
+        }
+        true
+    }
+}
+
+/// Outcome of a retransmit-timer firing (see [`ReliableLink::retransmit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Retransmit<M> {
+    /// The frame is still unacknowledged: resend it (charging `bytes` to
+    /// [`MsgClass::RETRANSMIT`]) and re-arm the timer after `next_delay`.
+    Resend {
+        /// Destination peer.
+        to: PeerId,
+        /// The frame to put back on the wire.
+        frame: ReliableMsg<M>,
+        /// Payload bytes to charge for the retransmission.
+        bytes: u64,
+        /// Backed-off delay until the next retransmission check.
+        next_delay: Duration,
+    },
+    /// The frame was acknowledged in the meantime; nothing to do.
+    Acked,
+    /// Retries are exhausted; the frame is abandoned and responsibility
+    /// escalates to the caller's coarser repair path.
+    GaveUp {
+        /// The peer that never acknowledged.
+        to: PeerId,
+    },
+}
+
+/// Per-peer reliability state: sender-side in-flight table plus
+/// receiver-side dedup windows.
+#[derive(Debug, Clone)]
+pub struct ReliableLink<M> {
+    cfg: RelConfig,
+    next_seq: u64,
+    in_flight: BTreeMap<u64, Pending<M>>,
+    seen: BTreeMap<PeerId, DedupWindow>,
+    abandoned: u64,
+}
+
+impl<M: Clone> ReliableLink<M> {
+    /// Creates an idle link with the given configuration.
+    pub fn new(cfg: RelConfig) -> Self {
+        ReliableLink {
+            cfg,
+            next_seq: 0,
+            in_flight: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            abandoned: 0,
+        }
+    }
+
+    /// The link configuration.
+    pub fn cfg(&self) -> &RelConfig {
+        &self.cfg
+    }
+
+    /// Wraps `payload` in a sequenced frame bound for `to`, retaining a
+    /// copy for retransmission. Returns the sequence number and the frame;
+    /// the caller sends the frame (charging `bytes` in the message's own
+    /// phase class, exactly as an unreliable send would) and arms a
+    /// retransmit timer after [`ReliableLink::rto`]`(seq, 0)`.
+    pub fn send_data(&mut self, to: PeerId, payload: M, bytes: u64) -> (u64, ReliableMsg<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.in_flight.insert(
+            seq,
+            Pending {
+                to,
+                payload: payload.clone(),
+                bytes,
+                attempts: 0,
+            },
+        );
+        (seq, ReliableMsg::Data { seq, payload })
+    }
+
+    /// Timeout before attempt `attempt + 1` of frame `seq`: exponential
+    /// backoff capped at `max_rto`, plus up to half a `base_rto` of jitter
+    /// hashed deterministically from `(seq, attempt)` so synchronized
+    /// losses do not retransmit in lockstep.
+    pub fn rto(&self, seq: u64, attempt: u32) -> Duration {
+        let backed_off = self
+            .cfg
+            .base_rto
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cfg.max_rto);
+        let jitter_unit = self.cfg.base_rto.as_micros() / 2;
+        let jitter = if jitter_unit == 0 {
+            0
+        } else {
+            mix64(seq.wrapping_mul(0x9E37).wrapping_add(attempt as u64)) % jitter_unit
+        };
+        backed_off + Duration::from_micros(jitter)
+    }
+
+    /// Receiver side: records a `Data` frame from `from` with number `seq`.
+    /// Returns `true` when the payload is fresh and must be handed to the
+    /// protocol, `false` for a duplicate to suppress. The caller acks in
+    /// both cases — the duplicate usually means the first ack was lost.
+    pub fn accept(&mut self, from: PeerId, seq: u64) -> bool {
+        self.seen.entry(from).or_default().insert(seq)
+    }
+
+    /// Sender side: handles an `Ack` for `seq` from `from`. Ignores acks
+    /// for unknown frames (already acked, or abandoned) and acks from a
+    /// peer the frame was never sent to.
+    pub fn on_ack(&mut self, from: PeerId, seq: u64) {
+        if self.in_flight.get(&seq).is_some_and(|p| p.to == from) {
+            self.in_flight.remove(&seq);
+        }
+    }
+
+    /// Sender side: handles a retransmit-timer firing for `seq`.
+    pub fn retransmit(&mut self, seq: u64) -> Retransmit<M> {
+        let Some(pending) = self.in_flight.get_mut(&seq) else {
+            return Retransmit::Acked;
+        };
+        if pending.attempts >= self.cfg.max_retries {
+            let to = pending.to;
+            self.in_flight.remove(&seq);
+            self.abandoned += 1;
+            return Retransmit::GaveUp { to };
+        }
+        pending.attempts += 1;
+        let (to, payload, bytes, attempts) = (
+            pending.to,
+            pending.payload.clone(),
+            pending.bytes,
+            pending.attempts,
+        );
+        Retransmit::Resend {
+            to,
+            frame: ReliableMsg::Data { seq, payload },
+            bytes,
+            next_delay: self.rto(seq, attempts),
+        }
+    }
+
+    /// Frames currently awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Frames abandoned after exhausting retries (escalated to the caller).
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> ReliableLink<&'static str> {
+        ReliableLink::new(RelConfig::default())
+    }
+
+    #[test]
+    fn sequences_are_fresh_per_send() {
+        let mut l = link();
+        let (s0, f0) = l.send_data(PeerId::new(1), "a", 4);
+        let (s1, _) = l.send_data(PeerId::new(2), "b", 4);
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(
+            f0,
+            ReliableMsg::Data {
+                seq: 0,
+                payload: "a"
+            }
+        );
+        assert_eq!(l.in_flight(), 2);
+    }
+
+    #[test]
+    fn ack_clears_in_flight_and_timer_becomes_noop() {
+        let mut l = link();
+        let (seq, _) = l.send_data(PeerId::new(1), "a", 4);
+        l.on_ack(PeerId::new(1), seq);
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.retransmit(seq), Retransmit::Acked);
+        // A duplicate ack is harmless.
+        l.on_ack(PeerId::new(1), seq);
+    }
+
+    #[test]
+    fn ack_from_the_wrong_peer_is_ignored() {
+        let mut l = link();
+        let (seq, _) = l.send_data(PeerId::new(1), "a", 4);
+        l.on_ack(PeerId::new(9), seq);
+        assert_eq!(l.in_flight(), 1);
+    }
+
+    #[test]
+    fn retransmit_resends_until_retries_exhaust() {
+        let mut l = ReliableLink::new(RelConfig {
+            max_retries: 2,
+            ..RelConfig::default()
+        });
+        let (seq, _) = l.send_data(PeerId::new(3), "x", 10);
+        for _ in 0..2 {
+            match l.retransmit(seq) {
+                Retransmit::Resend {
+                    to, frame, bytes, ..
+                } => {
+                    assert_eq!(to, PeerId::new(3));
+                    assert_eq!(bytes, 10);
+                    assert!(matches!(frame, ReliableMsg::Data { seq: s, .. } if s == seq));
+                }
+                other => panic!("expected resend, got {other:?}"),
+            }
+        }
+        assert_eq!(l.retransmit(seq), Retransmit::GaveUp { to: PeerId::new(3) });
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.abandoned(), 1);
+        // Once abandoned, stray timers are no-ops.
+        assert_eq!(l.retransmit(seq), Retransmit::Acked);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let l = link();
+        let base = l.cfg().base_rto;
+        assert!(l.rto(0, 0) >= base);
+        assert!(l.rto(0, 0) < base + base); // jitter < base/2 < base
+        assert!(l.rto(0, 3) >= base.saturating_mul(8));
+        let capped = l.rto(0, 30);
+        assert!(capped <= l.cfg().max_rto + base);
+        // Jitter is deterministic.
+        assert_eq!(l.rto(7, 2), l.rto(7, 2));
+    }
+
+    #[test]
+    fn dedup_accepts_once_per_sender_sequence() {
+        let mut l = link();
+        let a = PeerId::new(1);
+        let b = PeerId::new(2);
+        assert!(l.accept(a, 0));
+        assert!(!l.accept(a, 0), "retransmit double-counted");
+        assert!(l.accept(b, 0), "windows are per-sender");
+        assert!(l.accept(a, 1));
+    }
+
+    #[test]
+    fn dedup_survives_reordering_and_compacts() {
+        let mut l = link();
+        let p = PeerId::new(4);
+        // Arrivals: 2, 0, 1 (reordered), then dups of each.
+        assert!(l.accept(p, 2));
+        assert!(l.accept(p, 0));
+        assert!(l.accept(p, 1));
+        for seq in 0..3 {
+            assert!(!l.accept(p, seq));
+        }
+        let w = l.seen.get(&p).unwrap();
+        assert_eq!(w.next, 3, "watermark compacted past the filled gap");
+        assert!(w.sparse.is_empty());
+    }
+}

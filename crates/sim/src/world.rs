@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::FaultPlan;
 use crate::id::PeerId;
 use crate::metrics::{Metrics, MsgClass};
 use crate::network::LatencyModel;
@@ -18,8 +19,9 @@ use crate::trace::{Trace, TraceKind};
 /// its handlers as events fire. Handlers receive a [`Ctx`] through which they
 /// send messages, set timers, and draw randomness.
 pub trait Protocol: Sized {
-    /// The message type exchanged between peers.
-    type Msg: std::fmt::Debug;
+    /// The message type exchanged between peers. `Clone` lets the network
+    /// deliver duplicated copies under fault injection (see [`FaultPlan`]).
+    type Msg: std::fmt::Debug + Clone;
     /// The tag type carried by timers.
     type Timer: std::fmt::Debug;
 
@@ -52,6 +54,10 @@ pub struct SimConfig {
     pub latency: LatencyModel,
     /// Probability that any given message is silently lost in transit.
     pub drop_probability: f64,
+    /// Richer fault injection: per-class drops, duplication, delay spikes,
+    /// and deterministic drop schedules. Inert by default, in which case
+    /// the kernel's send path is exactly the classic one.
+    pub faults: FaultPlan,
     /// Upper bound on processed events, as a runaway-protocol backstop.
     pub max_events: u64,
 }
@@ -62,6 +68,7 @@ impl Default for SimConfig {
             seed: 0,
             latency: LatencyModel::default(),
             drop_probability: 0.0,
+            faults: FaultPlan::default(),
             max_events: 500_000_000,
         }
     }
@@ -90,6 +97,12 @@ impl SimConfig {
         self.drop_probability = p;
         self
     }
+
+    /// Returns the config with the given fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Kernel state shared by the world and handler contexts.
@@ -100,6 +113,12 @@ struct Kernel<M, T> {
     metrics: Metrics,
     rng: DetRng,
     config: SimConfig,
+    /// Cached `config.faults.is_inert()`: the fault path is skipped (and
+    /// draws no randomness) when the plan cannot fire.
+    faults_inert: bool,
+    /// Monotone per-kernel send counter; returned to senders and used by
+    /// [`FaultPlan`] deterministic drop schedules.
+    next_send_seq: u64,
     up: Vec<bool>,
     cancelled_timers: HashSet<u64>,
     events_processed: u64,
@@ -107,8 +126,10 @@ struct Kernel<M, T> {
     sink: EventSink,
 }
 
-impl<M: std::fmt::Debug, T: std::fmt::Debug> Kernel<M, T> {
-    fn send(&mut self, from: PeerId, to: PeerId, msg: M, bytes: u64, class: MsgClass) {
+impl<M: std::fmt::Debug + Clone, T: std::fmt::Debug> Kernel<M, T> {
+    fn send(&mut self, from: PeerId, to: PeerId, msg: M, bytes: u64, class: MsgClass) -> u64 {
+        let seq = self.next_send_seq;
+        self.next_send_seq += 1;
         // Senders are charged when bytes hit the wire, even if the message
         // is later lost: that is what "bytes propagated" measures.
         self.metrics.record_send(from, class, bytes);
@@ -126,11 +147,48 @@ impl<M: std::fmt::Debug, T: std::fmt::Debug> Kernel<M, T> {
         }
         if self.config.drop_probability > 0.0 && self.rng.chance(self.config.drop_probability) {
             self.metrics.record_drop();
-            return;
+            return seq;
         }
-        let delay = self.config.latency.sample(&mut self.rng);
+        if self.faults_inert {
+            let delay = self.config.latency.sample(&mut self.rng);
+            self.queue
+                .push(self.now + delay, EventKind::Deliver { from, to, msg });
+            return seq;
+        }
+        let class_drop = self.config.faults.drop_for(class);
+        if self.config.faults.drops_seq(seq) || (class_drop > 0.0 && self.rng.chance(class_drop)) {
+            self.metrics.record_drop();
+            return seq;
+        }
+        // Each surviving copy samples its own delay (and possible spike),
+        // so duplicates double as reordering.
+        let dup = self.config.faults.duplicate;
+        if dup > 0.0 && self.rng.chance(dup) {
+            let delay = self.faulty_delay();
+            self.queue.push(
+                self.now + delay,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        let delay = self.faulty_delay();
         self.queue
             .push(self.now + delay, EventKind::Deliver { from, to, msg });
+        seq
+    }
+
+    /// One-way delay under the active fault plan: the latency model's
+    /// sample, plus the configured spike when one fires.
+    fn faulty_delay(&mut self) -> Duration {
+        let mut delay = self.config.latency.sample(&mut self.rng);
+        let spike_p = self.config.faults.spike_probability;
+        if spike_p > 0.0 && self.rng.chance(spike_p) {
+            delay = delay + self.config.faults.spike;
+        }
+        delay
     }
 
     fn set_timer(&mut self, peer: PeerId, delay: Duration, tag: T) -> TimerId {
@@ -182,8 +240,10 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     }
 
     /// Sends `msg` to `to`, charging `bytes` to this peer in `class`.
-    pub fn send(&mut self, to: PeerId, msg: P::Msg, bytes: u64, class: MsgClass) {
-        self.kernel.send(self.self_id, to, msg, bytes, class);
+    /// Returns the kernel-wide send sequence number, which fault plans use
+    /// for deterministic drop schedules; most protocols ignore it.
+    pub fn send(&mut self, to: PeerId, msg: P::Msg, bytes: u64, class: MsgClass) -> u64 {
+        self.kernel.send(self.self_id, to, msg, bytes, class)
     }
 
     /// Schedules `tag` to fire at this peer after `delay`.
@@ -225,6 +285,7 @@ impl<P: Protocol> World<P> {
     pub fn new(config: SimConfig, peers: Vec<P>) -> Self {
         let n = peers.len();
         let rng = DetRng::new(config.seed).derive(0x5157_0a11);
+        let faults_inert = config.faults.is_inert();
         World {
             kernel: Kernel {
                 now: SimTime::ZERO,
@@ -232,6 +293,8 @@ impl<P: Protocol> World<P> {
                 metrics: Metrics::new(n),
                 rng,
                 config,
+                faults_inert,
+                next_send_seq: 0,
                 up: vec![true; n],
                 cancelled_timers: HashSet::new(),
                 events_processed: 0,
@@ -364,9 +427,16 @@ impl<P: Protocol> World<P> {
 
     /// Injects a message from the driver into the world, as if sent by
     /// `from`. Useful for kicking off request/response protocols without a
-    /// dedicated timer.
-    pub fn inject(&mut self, from: PeerId, to: PeerId, msg: P::Msg, bytes: u64, class: MsgClass) {
-        self.kernel.send(from, to, msg, bytes, class);
+    /// dedicated timer. Returns the send sequence number.
+    pub fn inject(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        msg: P::Msg,
+        bytes: u64,
+        class: MsgClass,
+    ) -> u64 {
+        self.kernel.send(from, to, msg, bytes, class)
     }
 
     /// Events processed so far.
@@ -791,6 +861,80 @@ mod tests {
         // Peer 1's unmarked reply fell back to the class label.
         assert_eq!(report.phase_bytes("control"), 3);
         assert!(w.peer(PeerId::new(1)).got);
+    }
+
+    #[test]
+    fn scheduled_drop_kills_exactly_the_targeted_send() {
+        // Two injected messages; the fault plan names send seq 0, so only
+        // the second one arrives — no randomness involved.
+        let peers = vec![Flood::default(), Flood::default(), Flood::default()];
+        let cfg = SimConfig::default()
+            .with_seed(11)
+            .with_faults(crate::fault::FaultPlan::none().with_scheduled_drops([0]));
+        let mut w = World::new(cfg, peers);
+        let first = w.inject(PeerId::new(0), PeerId::new(1), (), 4, MsgClass::DATA);
+        let second = w.inject(PeerId::new(0), PeerId::new(2), (), 4, MsgClass::DATA);
+        assert_eq!((first, second), (0, 1));
+        w.run_to_quiescence();
+        assert!(!w.peer(PeerId::new(1)).seen);
+        assert!(w.peer(PeerId::new(2)).seen);
+        assert_eq!(w.metrics().dropped_messages(), 1);
+    }
+
+    #[test]
+    fn duplication_delivers_two_copies() {
+        let peers = vec![
+            Flood::default(),
+            Flood {
+                neighbors: vec![],
+                ..Default::default()
+            },
+        ];
+        let cfg = SimConfig::default()
+            .with_seed(12)
+            .with_faults(crate::fault::FaultPlan::none().with_duplication(1.0));
+        let mut w = World::new(cfg, peers);
+        w.inject(PeerId::new(0), PeerId::new(1), (), 4, MsgClass::DATA);
+        w.run_to_quiescence();
+        // One send on the books, two deliveries on the wire.
+        assert_eq!(w.metrics().total_messages(), 1);
+        assert_eq!(w.metrics().delivered_messages(), 2);
+    }
+
+    #[test]
+    fn class_drop_spares_other_classes() {
+        let peers = vec![Flood::default(), Flood::default()];
+        let cfg = SimConfig::default()
+            .with_seed(13)
+            .with_faults(crate::fault::FaultPlan::none().with_class_drop(MsgClass::CONTROL, 1.0));
+        let mut w = World::new(cfg, peers);
+        w.inject(PeerId::new(0), PeerId::new(1), (), 4, MsgClass::CONTROL);
+        w.inject(PeerId::new(0), PeerId::new(1), (), 4, MsgClass::DATA);
+        w.run_to_quiescence();
+        assert_eq!(w.metrics().dropped_messages(), 1);
+        assert_eq!(w.metrics().delivered_messages(), 1);
+        assert!(w.peer(PeerId::new(1)).seen);
+    }
+
+    #[test]
+    fn delay_spikes_stretch_delivery() {
+        let peers = vec![
+            Flood::default(),
+            Flood {
+                neighbors: vec![],
+                ..Default::default()
+            },
+        ];
+        let spike = Duration::from_secs(1);
+        let cfg = SimConfig::default()
+            .with_seed(14)
+            .with_faults(crate::fault::FaultPlan::none().with_delay_spikes(1.0, spike));
+        let mut w = World::new(cfg, peers);
+        w.inject(PeerId::new(0), PeerId::new(1), (), 4, MsgClass::DATA);
+        let t = w.run_to_quiescence();
+        // Default constant latency 50 ms plus the guaranteed 1 s spike.
+        assert_eq!(t, SimTime::from_micros(1_050_000));
+        assert!(w.peer(PeerId::new(1)).seen);
     }
 
     #[test]

@@ -110,3 +110,33 @@ proptest! {
         prop_assert!(overflowed);
     }
 }
+
+/// Pinned proptest counterexample: a candidate value of 256 must overflow
+/// a 1-byte aggregate field (256 == 1 << 8 is the first value that does
+/// not fit, an off-by-one the `>=` bound in `put_uint` has to get right).
+/// Kept as a deterministic test so the case survives shrink-seed loss.
+#[test]
+fn candidate_overflow_at_one_byte_width_regression() {
+    let codec = Codec::new(WireSizes {
+        sa: 1,
+        sg: 1,
+        si: 1,
+    });
+    let msg = NfMsg::CandidateAgg(MapSum::from_pairs([(ItemId(62), 256)]));
+    assert_eq!(
+        codec.encode(&msg),
+        Err(CodecError::ValueOverflow {
+            value: 256,
+            width: 1
+        })
+    );
+    // The same message fits as soon as the width can hold 256.
+    let wide = Codec::new(WireSizes {
+        sa: 2,
+        sg: 1,
+        si: 1,
+    });
+    let msg = NfMsg::CandidateAgg(MapSum::from_pairs([(ItemId(62), 256)]));
+    let encoded = wide.encode(&msg).expect("2-byte field holds 256");
+    wide.decode(&encoded).expect("round-trips");
+}
