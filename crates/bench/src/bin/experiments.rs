@@ -7,18 +7,21 @@
 //! cargo run -p ifi-bench --release --bin experiments -- write-baselines
 //! cargo run -p ifi-bench --release --bin experiments -- check-baselines --tolerance 0.01
 //! cargo run -p ifi-bench --release --bin experiments -- loss-smoke --drop 0.10
+//! cargo run -p ifi-bench --release --bin experiments -- churn-smoke
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ifi_bench::output::DataFile;
-use ifi_bench::{ablation, baseline, depth, fig5, fig6, fig7, fig8, loss, report_checks, Scale};
+use ifi_bench::{
+    ablation, baseline, churn, depth, fig5, fig6, fig7, fig8, loss, report_checks, Scale,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all]\n\
-         \x20                  [check-baselines] [write-baselines] [loss-smoke]\n\
+         \x20                  [check-baselines] [write-baselines] [loss-smoke] [churn-smoke]\n\
          \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
          \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]\n\
          \x20                  [--drop <f64>]"
@@ -99,7 +102,7 @@ fn main() -> ExitCode {
                 drop = v;
             }
             "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
-            | "check-baselines" | "write-baselines" | "loss-smoke" => {
+            | "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke" => {
                 which.push(Box::leak(arg.clone().into_boxed_str()))
             }
             _ => usage(),
@@ -176,10 +179,34 @@ fn main() -> ExitCode {
             }
         }
     }
-    if which
-        .iter()
-        .all(|m| matches!(*m, "check-baselines" | "write-baselines" | "loss-smoke"))
-    {
+    if which.contains(&"churn-smoke") {
+        println!(
+            "churn smoke — Weibull sessions + root failover + epoch certificates, seed {seed}"
+        );
+        let runs = churn::run_smoke(seed);
+        for run in &runs {
+            all_ok &= report_checks(&format!("churn smoke — {}", run.name), &run.checks);
+        }
+        if let Some(dir) = &metrics_out {
+            match churn::write_metrics(dir, &runs) {
+                Ok(paths) => {
+                    for p in &paths {
+                        println!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: cannot write churn metrics: {e}");
+                    all_ok = false;
+                }
+            }
+        }
+    }
+    if which.iter().all(|m| {
+        matches!(
+            *m,
+            "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke"
+        )
+    }) {
         return if all_ok {
             println!("\nbaseline/smoke checks OK");
             ExitCode::SUCCESS

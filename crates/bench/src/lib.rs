@@ -20,6 +20,7 @@
 
 pub mod ablation;
 pub mod baseline;
+pub mod churn;
 pub mod depth;
 pub mod fig5;
 pub mod fig6;

@@ -149,6 +149,7 @@ fn resilient(drop: f64, seed: u64) -> LossRun {
         },
         query_period: Duration::from_secs(8),
         epoch_timeout: Duration::from_secs(24),
+        ..ResilientConfig::default()
     };
     let sim = SimConfig::default()
         .with_seed(seed)
@@ -175,8 +176,9 @@ fn resilient(drop: f64, seed: u64) -> LossRun {
         format!("{} epochs in 40 s at drop {drop}", done.len()),
     ));
     checks.push(ShapeCheck::new(
-        "every completed epoch is exact",
-        done.iter().all(|(_, r)| *r == expected),
+        "every completed epoch is exact and certified complete",
+        done.iter()
+            .all(|er| er.answer == expected && er.is_complete()),
         format!("{} epochs checked", done.len()),
     ));
     checks.push(ShapeCheck::new(

@@ -24,6 +24,11 @@ pub const CONSTRUCTION: &str = "construction";
 pub const MAINTENANCE: &str = "maintenance";
 /// One epoch of the resilient re-querying protocol.
 pub const EPOCH: &str = "epoch";
+/// Failover overhead: root-succession control traffic plus the
+/// contributor-census / epoch-fence fields piggybacked on other messages.
+/// Equals the [`MsgClass::FAILOVER`](ifi_sim::MsgClass::FAILOVER) label for
+/// the same fallback-attribution reason as the phase labels above.
+pub const FAILOVER: &str = "failover";
 /// Reliability overhead: acknowledgements and retransmitted frames. Equals
 /// the [`MsgClass::RETRANSMIT`](ifi_sim::MsgClass::RETRANSMIT) label for
 /// the same fallback-attribution reason as the phase labels above.

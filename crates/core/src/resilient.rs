@@ -1,5 +1,5 @@
 //! Churn-resilient netFilter: epoch-based re-query over a self-repairing
-//! hierarchy.
+//! hierarchy, with live root failover and certified-complete epochs.
 //!
 //! The base [`protocol`](crate::protocol) assumes the tree is stable for
 //! the duration of one run — the paper arranges this by recruiting stable
@@ -8,39 +8,80 @@
 //! single protocol that keeps answering **across** failures:
 //!
 //! * every peer runs heartbeats/repair continuously;
-//! * the root starts a fresh *query epoch* every `query_period`, flooding
-//!   `Start{epoch}` down the **current** tree;
+//! * the acting root starts a fresh *query epoch* every `query_period`,
+//!   flooding `Start{epoch}` down the **current** tree;
 //! * each epoch is an ordinary two-phase netFilter run keyed by its epoch
 //!   number; stale-epoch messages are discarded;
 //! * an epoch disturbed by churn simply stalls (a re-attached subtree never
 //!   saw its `Start`, or a dead child never reports) and is superseded by
 //!   the next epoch over the repaired tree.
 //!
+//! # Root failover
+//!
+//! §III-A.1 notes the hierarchy "is still vulnerable to single point of
+//! failure" and proposes constructing multiple hierarchies. Building with
+//! [`build_world_multi`](ResilientProtocol::build_world_multi) recruits a
+//! *succession line* of `k` candidate roots (the distinct roots of a
+//! [`MultiHierarchy`]); all peers initially serve the primary tree, and the
+//! successors are ordinary members who merely know their rank:
+//!
+//! * a candidate that stays **continuously detached** for
+//!   `takeover_grace + rank · takeover_stagger` promotes itself to root
+//!   (depth 0) and immediately starts issuing epochs — the root's death is
+//!   observable precisely as the detachment cascade it causes, and the
+//!   rank-staggered grace makes lower ranks win the race;
+//! * two acting roots can never complete concurrent epochs thanks to an
+//!   **epoch fence**: the candidate of rank `j` only issues epoch numbers
+//!   `≡ j (mod k)`, every maintenance message carries the sender's current
+//!   epoch as a stamp, and an acting root that hears a *newer* epoch
+//!   stamped by a *lower* rank demotes itself (detaching its tree, which
+//!   re-homes to the winner). With `k = 1` the numbering degenerates to
+//!   exactly the legacy `epoch + 1` sequence;
+//! * a revived ex-root comes back as a plain detached candidate
+//!   (demote-then-rejoin), so the old primary never resurrects a stale
+//!   claim to the root role.
+//!
+//! # Certified-complete epochs
+//!
+//! Rootward reports additionally carry a contributor [`Census`] — a peer
+//! count plus an order-independent xor digest — merged up the tree exactly
+//! like the aggregates. At issue time the root snapshots a roster of
+//! currently-live peers (an out-of-band membership oracle used **only to
+//! label** the result, never to steer the protocol), and on completion
+//! compares both phases' censuses against it: a match certifies the answer
+//! as [`Certificate::Complete`] — exact IFI over every live peer — while a
+//! mismatch yields [`Certificate::Partial`] with the missing delta. A
+//! false `Complete` requires an xor-digest collision (~2⁻⁶⁴).
+//!
+//! # Metering
+//!
+//! Failover and certification overhead is kept out of the paper's message
+//! classes so churn-free runs stay byte-identical to the pre-failover
+//! protocol: census fields and epoch stamps are charged as piggyback bytes
+//! to [`MsgClass::FAILOVER`] (stamps only in multi-root mode, where they
+//! are actually on the wire), and demotion cascades send as `FAILOVER`
+//! class outright. Piggyback bytes are charged once at the original send;
+//! an envelope retransmission resends the original frame and is charged,
+//! as before, at the frame's size under `RETRANSMIT`.
+//!
 //! [`build_world_reliable`](ResilientProtocol::build_world_reliable)
 //! additionally wraps every *query-critical* message (`Start`, `GroupAgg`,
 //! `Heavy`, `CandidateAgg`) in the [`ReliableLink`] ack/retransmit envelope
-//! so random message loss no longer stalls epochs: a lost frame is
-//! retransmitted with exponential backoff until acknowledged, and receivers
-//! suppress duplicates before they can double-merge an accumulator.
-//! Maintenance traffic stays unreliable — heartbeats and `Attach` refreshes
-//! are periodic (redundancy *is* their reliability), and a peer that stays
-//! unreachable past `max_retries` is exactly the case the epoch-timeout
-//! supersession path already repairs.
-//!
-//! Semantics: a *completed* epoch reports the exact `IFI` answer over the
-//! data of the peers whose contributions reached the root in that epoch.
-//! An epoch that raced with a failure may silently miss the dead subtree's
-//! data — but once churn quiesces and repair converges, every subsequent
-//! epoch is exact over all surviving peers, which the tests assert.
+//! so random message loss no longer stalls epochs; receivers suppress
+//! duplicates before they can double-merge an accumulator, and in-flight
+//! frames to a peer that just got suspected are abandoned rather than
+//! retried into silence. Maintenance traffic stays unreliable —
+//! heartbeats and `Attach` refreshes are periodic (redundancy *is* their
+//! reliability).
 
 use std::collections::BTreeSet;
 
 use ifi_agg::{Aggregate, MapSum, VecSum};
-use ifi_hierarchy::{Hierarchy, MaintainCore, MaintainMsg};
+use ifi_hierarchy::{Hierarchy, MaintainCore, MaintainMsg, MultiHierarchy};
 use ifi_overlay::{HeartbeatConfig, Topology};
 use ifi_sim::{
-    Ctx, Duration, MsgClass, PeerId, Protocol, RelConfig, ReliableLink, ReliableMsg, Retransmit,
-    SimConfig, World,
+    mix64, Ctx, Duration, MsgClass, PeerId, Protocol, RelConfig, ReliableLink, ReliableMsg,
+    Retransmit, SimConfig, SimTime, TimerId, World,
 };
 use ifi_workload::{ItemId, SystemData};
 
@@ -52,11 +93,117 @@ use crate::phases;
 /// Wire size of a `Start{epoch}` control message.
 const START_BYTES: u64 = 12;
 
+/// Piggyback size of the epoch stamp on maintenance messages (multi-root
+/// mode only): one `u64`.
+const STAMP_BYTES: u64 = 8;
+
+/// Piggyback size of a [`Census`] on rootward reports: `u32` count plus
+/// `u64` digest.
+const CENSUS_BYTES: u64 = 12;
+
+/// An order-independent summary of a set of contributing peers: how many,
+/// plus the xor of a 64-bit mix of each peer id. Two censuses are equal
+/// exactly when the underlying peer sets are (up to a ~2⁻⁶⁴ xor
+/// collision), and merging is associative/commutative, so censuses can be
+/// combined up the tree in any arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Census {
+    /// Number of contributing peers.
+    pub count: u32,
+    /// Xor over `mix64(peer index)` of every contributor.
+    pub digest: u64,
+}
+
+impl Census {
+    /// The empty census.
+    pub fn empty() -> Self {
+        Census::default()
+    }
+
+    /// The census of exactly one peer.
+    pub fn solo(peer: PeerId) -> Self {
+        Census {
+            count: 1,
+            digest: mix64(peer.index() as u64),
+        }
+    }
+
+    /// Adds one peer.
+    pub fn add(&mut self, peer: PeerId) {
+        self.merge(Census::solo(peer));
+    }
+
+    /// Merges another census (disjoint union of the underlying sets).
+    pub fn merge(&mut self, other: Census) {
+        self.count += other.count;
+        self.digest ^= other.digest;
+    }
+
+    /// The delta between two censuses: absolute count difference and xor
+    /// of digests. When `other` is a subset of `self`, this is exactly the
+    /// census of the missing peers.
+    pub fn minus(&self, other: Census) -> Census {
+        Census {
+            count: self.count.abs_diff(other.count),
+            digest: self.digest ^ other.digest,
+        }
+    }
+}
+
+/// What the root can assert about one completed epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Certificate {
+    /// Every peer alive at issue time contributed to both phases: the
+    /// answer is the exact IFI over the live system.
+    Complete,
+    /// Some live peers' contributions never arrived (churn mid-epoch, a
+    /// detached subtree, a just-promoted root's still-regrowing tree).
+    Partial {
+        /// Census delta between the issue-time roster and the phase that
+        /// fell short.
+        missing: Census,
+    },
+}
+
+/// One completed epoch at the root.
+#[derive(Debug, Clone)]
+pub struct EpochResult {
+    /// The epoch number.
+    pub epoch: u64,
+    /// When the acting root issued it.
+    pub started_at: SimTime,
+    /// The frequent items, sorted by value descending (ties by id).
+    pub answer: Vec<(ItemId, u64)>,
+    /// Census of peers alive when the epoch was issued.
+    pub roster: Census,
+    /// Census of phase-1 (group-vector) contributors.
+    pub phase1: Census,
+    /// Census of phase-2 (candidate) contributors.
+    pub phase2: Census,
+    /// Whether the answer is certified exact over the roster.
+    pub certificate: Certificate,
+}
+
+impl EpochResult {
+    /// Whether this epoch is certified complete.
+    pub fn is_complete(&self) -> bool {
+        self.certificate == Certificate::Complete
+    }
+}
+
 /// Messages of the resilient protocol.
 #[derive(Debug, Clone)]
 pub enum RMsg {
-    /// Embedded maintenance traffic (heartbeats, attach, detach).
-    Maintain(MaintainMsg),
+    /// Embedded maintenance traffic (heartbeats, attach, detach), stamped
+    /// with the sender's current epoch (0 and not charged in single-root
+    /// mode). The stamps diffuse the newest epoch number across tree
+    /// boundaries, which is what fences stale roots out.
+    Maintain {
+        /// The maintenance payload.
+        m: MaintainMsg,
+        /// The sender's current epoch (the failover fence gossip).
+        epoch: u64,
+    },
     /// Root-initiated epoch kickoff, flooded down the current tree.
     Start {
         /// The epoch being started.
@@ -68,6 +215,8 @@ pub enum RMsg {
         epoch: u64,
         /// The merged subtree group vector.
         vector: VecSum,
+        /// Census of the subtree's contributors.
+        census: Census,
     },
     /// Phase-2a heavy lists moving leafward.
     Heavy {
@@ -82,6 +231,8 @@ pub enum RMsg {
         epoch: u64,
         /// The merged partial candidate set.
         candidates: MapSum,
+        /// Census of the subtree's contributors.
+        census: Census,
     },
 }
 
@@ -90,7 +241,7 @@ pub enum RMsg {
 pub enum RTimer {
     /// Periodic heartbeat/failure-detection tick.
     Tick,
-    /// Root only: start the next query epoch.
+    /// Acting root only: start the next query epoch.
     NewEpoch,
     /// Retransmission deadline for the reliable frame with this sequence
     /// number (only armed when reliability is enabled).
@@ -107,12 +258,21 @@ pub enum RTimer {
 pub struct ResilientConfig {
     /// Heartbeat cadence and failure timeout.
     pub heartbeat: HeartbeatConfig,
-    /// How often the root starts a fresh query epoch.
+    /// How often the acting root starts a fresh query epoch.
     pub query_period: Duration,
     /// How long the root lets an incomplete epoch run before superseding
     /// it. Without this guard a period shorter than one convergecast
     /// would livelock: every epoch would be superseded mid-flight.
     pub epoch_timeout: Duration,
+    /// Multi-root mode: how long a succession candidate must stay
+    /// *continuously* detached before claiming the root role. Must
+    /// comfortably exceed one detect-and-reattach cycle, or transient
+    /// repair churn triggers spurious takeovers.
+    pub takeover_grace: Duration,
+    /// Multi-root mode: extra grace per succession rank, so lower ranks
+    /// win the takeover race and later ranks stand down as the winner's
+    /// regrowing tree re-attaches them.
+    pub takeover_stagger: Duration,
 }
 
 impl Default for ResilientConfig {
@@ -121,8 +281,18 @@ impl Default for ResilientConfig {
             heartbeat: HeartbeatConfig::default(),
             query_period: Duration::from_secs(10),
             epoch_timeout: Duration::from_secs(30),
+            takeover_grace: Duration::from_secs(6),
+            takeover_stagger: Duration::from_secs(3),
         }
     }
+}
+
+/// Smallest epoch number `> base` congruent to `rank (mod k)` — the
+/// residue-class numbering that keeps concurrent roots' epochs disjoint.
+fn next_epoch_in_class(base: u64, k: u64, rank: u64) -> u64 {
+    debug_assert!(k > 0 && rank < k);
+    let e = base + 1;
+    e + (rank + k - e % k) % k
 }
 
 /// Per-peer state of the resilient protocol.
@@ -132,32 +302,56 @@ pub struct ResilientProtocol {
     local_filter: LocalFilter,
     sizes: crate::WireSizes,
     threshold: u64,
-    is_root: bool,
+    me: PeerId,
+    universe: usize,
     local_items: Vec<(ItemId, u64)>,
     rc: ResilientConfig,
+
+    // --- root succession (multi-root mode; len 1 = legacy single root) ---
+    /// Candidate roots, primary first (`MultiHierarchy::roots` order).
+    succession: Vec<PeerId>,
+    /// This peer's position in the succession line, if any.
+    rank: Option<usize>,
+    /// Whether this peer currently acts as the query root.
+    active_root: bool,
+    /// Since when this candidate has been continuously detached.
+    detached_since: Option<SimTime>,
+    /// Newest epoch number heard anywhere (stamps and `Start` floods).
+    fence_epoch: u64,
+    /// The epoch this acting root last issued, if any.
+    issued: Option<u64>,
+    /// The pending `NewEpoch` timer, cancelled on demotion.
+    epoch_timer: Option<TimerId>,
 
     // --- state of the epoch this peer is currently serving ---
     epoch: u64,
     epoch_parent: Option<PeerId>,
     p1_received: BTreeSet<PeerId>,
     p1_acc: Option<VecSum>,
+    p1_census: Census,
     p1_sent: bool,
     heavy: Option<HeavyGroups>,
     p2_received: BTreeSet<PeerId>,
     p2_acc: Option<MapSum>,
+    p2_census: Census,
     p2_sent: bool,
 
-    /// Root only: `(epoch, exact result)` of every completed epoch.
-    completed: Vec<(u64, Vec<(ItemId, u64)>)>,
+    /// Root only: phase-1 census frozen when phase 2 began.
+    p1_final: Option<Census>,
+    /// Root only: live peers at issue time (the completeness yardstick).
+    roster: Census,
+    /// Root only: every completed epoch, oldest first.
+    completed: Vec<EpochResult>,
     /// Root only: when the current epoch was started.
-    epoch_started_at: ifi_sim::SimTime,
+    epoch_started_at: SimTime,
     started_before: bool,
     /// Ack/retransmit envelope for query-critical traffic, when enabled.
     rel: Option<ReliableLink<RMsg>>,
 }
 
 impl ResilientProtocol {
-    /// Creates the state for one peer.
+    /// Creates the state for one peer over a single hierarchy (no live
+    /// failover: if the root dies, epochs stop until it revives).
     pub fn new(
         config: &NetFilterConfig,
         rc: ResilientConfig,
@@ -167,26 +361,89 @@ impl ResilientProtocol {
         local_items: Vec<(ItemId, u64)>,
         threshold: u64,
     ) -> Self {
+        let root = hierarchy.root();
+        Self::with_succession(
+            config,
+            rc,
+            hierarchy,
+            vec![root],
+            peer,
+            neighbors,
+            local_items,
+            threshold,
+        )
+    }
+
+    /// Creates the state for one peer with a root-succession line: every
+    /// peer serves the primary tree, and `multi`'s roots (primary first)
+    /// form the failover order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_multi(
+        config: &NetFilterConfig,
+        rc: ResilientConfig,
+        multi: &MultiHierarchy,
+        peer: PeerId,
+        neighbors: Vec<PeerId>,
+        local_items: Vec<(ItemId, u64)>,
+        threshold: u64,
+    ) -> Self {
+        Self::with_succession(
+            config,
+            rc,
+            multi.primary(),
+            multi.roots(),
+            peer,
+            neighbors,
+            local_items,
+            threshold,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_succession(
+        config: &NetFilterConfig,
+        rc: ResilientConfig,
+        hierarchy: &Hierarchy,
+        succession: Vec<PeerId>,
+        peer: PeerId,
+        neighbors: Vec<PeerId>,
+        local_items: Vec<(ItemId, u64)>,
+        threshold: u64,
+    ) -> Self {
+        assert_eq!(succession[0], hierarchy.root(), "primary root mismatch");
         let family = HashFamily::new(config.filters, config.filter_size, config.hash_seed);
+        let rank = succession.iter().position(|&r| r == peer);
         ResilientProtocol {
             core: MaintainCore::new(hierarchy, peer, neighbors, rc.heartbeat),
             local_filter: LocalFilter::new(family),
             sizes: config.sizes,
             threshold,
-            is_root: hierarchy.root() == peer,
+            me: peer,
+            universe: hierarchy.universe(),
             local_items,
             rc,
+            succession,
+            rank,
+            active_root: rank == Some(0),
+            detached_since: None,
+            fence_epoch: 0,
+            issued: None,
+            epoch_timer: None,
             epoch: 0,
             epoch_parent: None,
             p1_received: BTreeSet::new(),
             p1_acc: None,
+            p1_census: Census::empty(),
             p1_sent: false,
             heavy: None,
             p2_received: BTreeSet::new(),
             p2_acc: None,
+            p2_census: Census::empty(),
             p2_sent: false,
+            p1_final: None,
+            roster: Census::empty(),
             completed: Vec::new(),
-            epoch_started_at: ifi_sim::SimTime::ZERO,
+            epoch_started_at: SimTime::ZERO,
             started_before: false,
             rel: None,
         }
@@ -204,6 +461,33 @@ impl ResilientProtocol {
         self
     }
 
+    fn assemble(
+        config: &NetFilterConfig,
+        topology: &Topology,
+        data: &SystemData,
+        sim: SimConfig,
+        mk: impl Fn(PeerId, Vec<PeerId>, Vec<(ItemId, u64)>, u64) -> ResilientProtocol,
+    ) -> World<ResilientProtocol> {
+        assert_eq!(
+            topology.peer_count(),
+            data.peer_count(),
+            "universe mismatch"
+        );
+        let threshold = config.threshold.resolve(data.total_value());
+        let peers = (0..data.peer_count())
+            .map(|i| {
+                let p = PeerId::new(i);
+                mk(
+                    p,
+                    topology.neighbors(p).to_vec(),
+                    data.local_items(p).to_vec(),
+                    threshold,
+                )
+            })
+            .collect();
+        World::new(sim, peers)
+    }
+
     /// Builds a ready-to-run world over `topology`, `hierarchy`, `data`.
     ///
     /// # Panics
@@ -217,28 +501,10 @@ impl ResilientProtocol {
         data: &SystemData,
         sim: SimConfig,
     ) -> World<ResilientProtocol> {
-        assert_eq!(
-            topology.peer_count(),
-            data.peer_count(),
-            "universe mismatch"
-        );
         assert_eq!(hierarchy.universe(), data.peer_count(), "universe mismatch");
-        let threshold = config.threshold.resolve(data.total_value());
-        let peers = (0..data.peer_count())
-            .map(|i| {
-                let p = PeerId::new(i);
-                ResilientProtocol::new(
-                    config,
-                    rc,
-                    hierarchy,
-                    p,
-                    topology.neighbors(p).to_vec(),
-                    data.local_items(p).to_vec(),
-                    threshold,
-                )
-            })
-            .collect();
-        World::new(sim, peers)
+        Self::assemble(config, topology, data, sim, |p, nb, items, t| {
+            ResilientProtocol::new(config, rc, hierarchy, p, nb, items, t)
+        })
     }
 
     /// Like [`build_world`](Self::build_world), with every peer's
@@ -256,39 +522,97 @@ impl ResilientProtocol {
         sim: SimConfig,
         rel: RelConfig,
     ) -> World<ResilientProtocol> {
+        assert_eq!(hierarchy.universe(), data.peer_count(), "universe mismatch");
+        Self::assemble(config, topology, data, sim, |p, nb, items, t| {
+            ResilientProtocol::new(config, rc, hierarchy, p, nb, items, t)
+                .with_reliability(rel.clone())
+        })
+    }
+
+    /// Builds a world with live root failover over `multi`'s succession
+    /// line (all peers start on the primary tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn build_world_multi(
+        config: &NetFilterConfig,
+        rc: ResilientConfig,
+        topology: &Topology,
+        multi: &MultiHierarchy,
+        data: &SystemData,
+        sim: SimConfig,
+    ) -> World<ResilientProtocol> {
         assert_eq!(
-            topology.peer_count(),
+            multi.primary().universe(),
             data.peer_count(),
             "universe mismatch"
         );
-        assert_eq!(hierarchy.universe(), data.peer_count(), "universe mismatch");
-        let threshold = config.threshold.resolve(data.total_value());
-        let peers = (0..data.peer_count())
-            .map(|i| {
-                let p = PeerId::new(i);
-                ResilientProtocol::new(
-                    config,
-                    rc,
-                    hierarchy,
-                    p,
-                    topology.neighbors(p).to_vec(),
-                    data.local_items(p).to_vec(),
-                    threshold,
-                )
+        Self::assemble(config, topology, data, sim, |p, nb, items, t| {
+            ResilientProtocol::new_multi(config, rc, multi, p, nb, items, t)
+        })
+    }
+
+    /// Like [`build_world_multi`](Self::build_world_multi), with the
+    /// reliability envelope on query-critical traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_world_multi_reliable(
+        config: &NetFilterConfig,
+        rc: ResilientConfig,
+        topology: &Topology,
+        multi: &MultiHierarchy,
+        data: &SystemData,
+        sim: SimConfig,
+        rel: RelConfig,
+    ) -> World<ResilientProtocol> {
+        assert_eq!(
+            multi.primary().universe(),
+            data.peer_count(),
+            "universe mismatch"
+        );
+        Self::assemble(config, topology, data, sim, |p, nb, items, t| {
+            ResilientProtocol::new_multi(config, rc, multi, p, nb, items, t)
                 .with_reliability(rel.clone())
-            })
-            .collect();
-        World::new(sim, peers)
+        })
     }
 
     /// Root only: the completed epochs, oldest first.
-    pub fn completed_epochs(&self) -> &[(u64, Vec<(ItemId, u64)>)] {
+    pub fn completed_epochs(&self) -> &[EpochResult] {
         &self.completed
     }
 
-    /// Root only: the newest completed result.
+    /// Root only: the newest completed `(epoch, answer)`.
     pub fn last_result(&self) -> Option<(u64, &[(ItemId, u64)])> {
-        self.completed.last().map(|(e, r)| (*e, &r[..]))
+        self.completed.last().map(|r| (r.epoch, &r.answer[..]))
+    }
+
+    /// Root only: the newest epoch certified [`Certificate::Complete`].
+    pub fn last_complete(&self) -> Option<&EpochResult> {
+        self.completed.iter().rev().find(|r| r.is_complete())
+    }
+
+    /// Whether this peer currently acts as the query root.
+    pub fn is_active_root(&self) -> bool {
+        self.active_root
+    }
+
+    /// This peer's position in the succession line, if any.
+    pub fn rank(&self) -> Option<usize> {
+        self.rank
+    }
+
+    /// The epoch this peer currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the peer is currently detached from the tree.
+    pub fn is_detached(&self) -> bool {
+        self.core.is_detached()
     }
 
     /// The resolved threshold.
@@ -296,17 +620,38 @@ impl ResilientProtocol {
         self.threshold
     }
 
+    /// Whether live failover is in play (more than one candidate root).
+    fn multi(&self) -> bool {
+        self.succession.len() > 1
+    }
+
     fn flush_maintain(&mut self, ctx: &mut Ctx<'_, Self>, out: ifi_hierarchy::Outbox) {
         // Handlers interleave repair and query traffic, so each send site
         // re-marks its phase just before sending.
         ctx.mark_phase(phases::MAINTENANCE);
         let hb = self.rc.heartbeat.bytes;
+        let multi = self.multi();
+        let stamp = if multi { self.epoch } else { 0 };
         for (to, msg) in out {
             let (bytes, class) = match msg {
                 MaintainMsg::Heartbeat { .. } => (hb, MsgClass::HEARTBEAT),
                 _ => (8, MsgClass::CONTROL),
             };
-            ctx.send(to, ReliableMsg::Plain(RMsg::Maintain(msg)), bytes, class);
+            ctx.send(
+                to,
+                ReliableMsg::Plain(RMsg::Maintain {
+                    m: msg,
+                    epoch: stamp,
+                }),
+                bytes,
+                class,
+            );
+            // The fence stamp is only on the wire in multi-root mode; it is
+            // charged as piggyback so maintenance classes stay
+            // byte-identical to the single-root protocol.
+            if multi {
+                ctx.charge(MsgClass::FAILOVER, STAMP_BYTES);
+            }
         }
     }
 
@@ -341,11 +686,14 @@ impl ResilientProtocol {
         self.epoch_parent = parent;
         self.p1_received.clear();
         self.p1_acc = Some(self.local_filter.group_vector(&self.local_items));
+        self.p1_census = Census::solo(self.me);
         self.p1_sent = false;
         self.heavy = None;
         self.p2_received.clear();
         self.p2_acc = None;
+        self.p2_census = Census::solo(self.me);
         self.p2_sent = false;
+        self.p1_final = None;
     }
 
     fn children_covered(&self, received: &BTreeSet<PeerId>) -> bool {
@@ -361,12 +709,13 @@ impl ResilientProtocol {
         }
         self.p1_sent = true;
         let acc = self.p1_acc.take().expect("guarded above");
-        if self.is_root {
+        if self.active_root {
             let heavy =
                 HeavyGroups::from_aggregate(self.local_filter.family(), &acc, self.threshold);
             self.enter_phase2(ctx, heavy);
         } else if let Some(parent) = self.epoch_parent {
             let bytes = acc.encoded_bytes(&self.sizes);
+            let census = self.p1_census;
             ctx.mark_phase(phases::FILTERING);
             self.send_query(
                 ctx,
@@ -374,14 +723,19 @@ impl ResilientProtocol {
                 RMsg::GroupAgg {
                     epoch: self.epoch,
                     vector: acc,
+                    census,
                 },
                 bytes,
                 MsgClass::FILTERING,
             );
+            ctx.charge(MsgClass::FAILOVER, CENSUS_BYTES);
         }
     }
 
     fn enter_phase2(&mut self, ctx: &mut Ctx<'_, Self>, heavy: HeavyGroups) {
+        if self.active_root {
+            self.p1_final = Some(self.p1_census);
+        }
         let list_bytes = self.sizes.sg * heavy.total_heavy() as u64;
         ctx.mark_phase(phases::DISSEMINATION);
         for c in self.core.children() {
@@ -414,7 +768,7 @@ impl ResilientProtocol {
         }
         self.p2_sent = true;
         let acc = self.p2_acc.take().expect("guarded above");
-        if self.is_root {
+        if self.active_root {
             let mut frequent: Vec<(ItemId, u64)> = acc
                 .0
                 .iter()
@@ -422,9 +776,32 @@ impl ResilientProtocol {
                 .map(|(&k, &v)| (k, v))
                 .collect();
             frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            self.completed.push((self.epoch, frequent));
+            let phase1 = self.p1_final.unwrap_or(self.p1_census);
+            let phase2 = self.p2_census;
+            let certificate = if phase1 == self.roster && phase2 == self.roster {
+                Certificate::Complete
+            } else {
+                let short = if phase1 != self.roster {
+                    phase1
+                } else {
+                    phase2
+                };
+                Certificate::Partial {
+                    missing: self.roster.minus(short),
+                }
+            };
+            self.completed.push(EpochResult {
+                epoch: self.epoch,
+                started_at: self.epoch_started_at,
+                answer: frequent,
+                roster: self.roster,
+                phase1,
+                phase2,
+                certificate,
+            });
         } else if let Some(parent) = self.epoch_parent {
             let bytes = acc.encoded_bytes(&self.sizes);
+            let census = self.p2_census;
             ctx.mark_phase(phases::AGGREGATION);
             self.send_query(
                 ctx,
@@ -432,43 +809,179 @@ impl ResilientProtocol {
                 RMsg::CandidateAgg {
                     epoch: self.epoch,
                     candidates: acc,
+                    census,
                 },
                 bytes,
                 MsgClass::AGGREGATION,
             );
+            ctx.charge(MsgClass::FAILOVER, CENSUS_BYTES);
         }
+    }
+
+    /// Reacts to an epoch number gossiped by a maintenance stamp or a
+    /// `Start` flood: advance the fence, and — the split-brain breaker —
+    /// an acting root that hears a newer epoch issued by a *lower* rank
+    /// stands down. The residue-class numbering makes the issuer's rank
+    /// recoverable from the epoch number alone, and the primary (rank 0)
+    /// can never be demoted this way.
+    fn note_epoch(&mut self, ctx: &mut Ctx<'_, Self>, heard: u64) {
+        if heard > self.fence_epoch {
+            self.fence_epoch = heard;
+        }
+        if !self.multi() || !self.active_root || heard <= self.epoch {
+            return;
+        }
+        let issuer_rank = (heard % self.succession.len() as u64) as usize;
+        if self.rank.is_some_and(|mine| issuer_rank < mine) {
+            self.demote(ctx);
+        }
+    }
+
+    /// Steps down from the acting-root role: stop issuing epochs and
+    /// detach-cascade the tree so it re-homes to the winner. The cascade
+    /// is failover overhead, metered as such.
+    fn demote(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if !self.active_root {
+            return;
+        }
+        self.active_root = false;
+        self.issued = None;
+        if let Some(t) = self.epoch_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let out = self.core.demote();
+        let stamp = if self.multi() { self.epoch } else { 0 };
+        ctx.mark_phase(phases::FAILOVER);
+        for (to, m) in out {
+            ctx.send(
+                to,
+                ReliableMsg::Plain(RMsg::Maintain { m, epoch: stamp }),
+                8,
+                MsgClass::FAILOVER,
+            );
+        }
+    }
+
+    /// Claims the root role and immediately issues an epoch. The tree is
+    /// still regrowing around the new root, so the first epochs are
+    /// honestly reported as `Partial`; once repair converges they certify
+    /// `Complete` again.
+    fn promote(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.active_root = true;
+        self.detached_since = None;
+        self.core.promote_to_root();
+        if let Some(t) = self.epoch_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.epoch_timer = Some(ctx.set_timer(Duration::ZERO, RTimer::NewEpoch));
+    }
+
+    /// Succession candidates promote themselves after staying continuously
+    /// detached for the rank-staggered grace period: the only way a
+    /// candidate stays detached that long is that no tree with a live,
+    /// lower-ranked root is reachable.
+    fn check_takeover(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if !self.multi() || self.active_root {
+            return;
+        }
+        let Some(rank) = self.rank else { return };
+        if !self.core.is_detached() {
+            self.detached_since = None;
+            return;
+        }
+        let since = *self.detached_since.get_or_insert(ctx.now());
+        let wait = self.rc.takeover_grace + self.rc.takeover_stagger.saturating_mul(rank as u64);
+        if ctx.now().duration_since(since) >= wait {
+            self.promote(ctx);
+        }
+    }
+
+    /// Acting root: issue the next epoch over the current tree. Snapshots
+    /// the roster of live peers — an out-of-band membership oracle used
+    /// only to *label* the eventual result (see [`Certificate`]), never to
+    /// steer the protocol.
+    fn issue_epoch(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let k = self.succession.len() as u64;
+        let rank = self.rank.unwrap_or(0) as u64;
+        let next = next_epoch_in_class(self.epoch.max(self.fence_epoch), k, rank);
+        self.reset_epoch(next, None);
+        self.issued = Some(next);
+        self.epoch_started_at = ctx.now();
+        let mut roster = Census::empty();
+        for i in 0..self.universe {
+            let p = PeerId::new(i);
+            if ctx.is_up(p) {
+                roster.add(p);
+            }
+        }
+        self.roster = roster;
+        ctx.mark_phase(phases::EPOCH);
+        for c in self.core.children() {
+            self.send_query(
+                ctx,
+                c,
+                RMsg::Start { epoch: next },
+                START_BYTES,
+                MsgClass::CONTROL,
+            );
+        }
+        self.check_p1(ctx);
     }
 
     /// Handles an unwrapped (post-envelope) protocol message.
     fn on_payload(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: RMsg) {
         match msg {
-            RMsg::Maintain(m) => {
+            RMsg::Maintain { m, epoch } => {
+                self.note_epoch(ctx, epoch);
                 let out = self.core.on_message(from, m, ctx.now());
                 self.flush_maintain(ctx, out);
             }
             RMsg::Start { epoch } => {
-                if epoch > self.epoch {
-                    self.reset_epoch(epoch, Some(from));
-                    ctx.mark_phase(phases::EPOCH);
-                    for c in self.core.children() {
-                        self.send_query(
-                            ctx,
-                            c,
-                            RMsg::Start { epoch },
-                            START_BYTES,
-                            MsgClass::CONTROL,
-                        );
-                    }
-                    self.check_p1(ctx);
+                if epoch <= self.epoch {
+                    return;
                 }
-            }
-            RMsg::GroupAgg { epoch, vector } => {
-                if epoch == self.epoch && !self.p1_sent {
-                    if let Some(acc) = self.p1_acc.as_mut() {
-                        acc.merge(&vector);
-                        self.p1_received.insert(from);
-                        self.check_p1(ctx);
+                if self.active_root {
+                    // A concurrent root's flood reached us directly. Stand
+                    // down only to a lower rank; otherwise keep the role
+                    // (the stale higher rank will hear us and demote).
+                    let issuer_rank = (epoch % self.succession.len() as u64) as usize;
+                    if self.rank.is_none_or(|mine| issuer_rank >= mine) {
+                        return;
                     }
+                    self.demote(ctx);
+                }
+                if epoch > self.fence_epoch {
+                    self.fence_epoch = epoch;
+                }
+                self.reset_epoch(epoch, Some(from));
+                ctx.mark_phase(phases::EPOCH);
+                for c in self.core.children() {
+                    self.send_query(
+                        ctx,
+                        c,
+                        RMsg::Start { epoch },
+                        START_BYTES,
+                        MsgClass::CONTROL,
+                    );
+                }
+                self.check_p1(ctx);
+            }
+            RMsg::GroupAgg {
+                epoch,
+                vector,
+                census,
+            } => {
+                // The insert-guard runs *before* the merge so a duplicated
+                // frame (plain mode under duplication faults) can corrupt
+                // neither the aggregate nor the census.
+                if epoch == self.epoch
+                    && !self.p1_sent
+                    && self.p1_acc.is_some()
+                    && self.p1_received.insert(from)
+                {
+                    self.p1_acc.as_mut().expect("guarded above").merge(&vector);
+                    self.p1_census.merge(census);
+                    self.check_p1(ctx);
                 }
             }
             RMsg::Heavy { epoch, lists } => {
@@ -477,13 +990,22 @@ impl ResilientProtocol {
                     self.enter_phase2(ctx, heavy);
                 }
             }
-            RMsg::CandidateAgg { epoch, candidates } => {
-                if epoch == self.epoch && !self.p2_sent {
-                    if let Some(acc) = self.p2_acc.as_mut() {
-                        acc.merge(&candidates);
-                        self.p2_received.insert(from);
-                        self.check_p2(ctx);
-                    }
+            RMsg::CandidateAgg {
+                epoch,
+                candidates,
+                census,
+            } => {
+                if epoch == self.epoch
+                    && !self.p2_sent
+                    && self.p2_acc.is_some()
+                    && self.p2_received.insert(from)
+                {
+                    self.p2_acc
+                        .as_mut()
+                        .expect("guarded above")
+                        .merge(&candidates);
+                    self.p2_census.merge(census);
+                    self.check_p2(ctx);
                 }
             }
         }
@@ -496,16 +1018,22 @@ impl Protocol for ResilientProtocol {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
         if self.started_before {
-            // Revival: rejoin detached and catch the next epoch once
-            // re-attached (§III-A.3 join handling).
+            // Revival: in multi-root mode an ex-root first renounces any
+            // stale claim to the role (cascading Detach to children that
+            // never noticed the crash), then rejoins detached like any
+            // §III-A.3 newcomer. In single-root mode the lone root must
+            // keep its role or queries would stop forever.
+            if self.multi() {
+                self.demote(ctx);
+            }
             self.core.rejoin(ctx.now());
         } else {
             self.started_before = true;
             self.core.start(ctx.now());
         }
         ctx.set_timer(self.rc.heartbeat.interval, RTimer::Tick);
-        if self.is_root {
-            ctx.set_timer(self.rc.query_period, RTimer::NewEpoch);
+        if self.active_root {
+            self.epoch_timer = Some(ctx.set_timer(self.rc.query_period, RTimer::NewEpoch));
         }
     }
 
@@ -547,39 +1075,43 @@ impl Protocol for ResilientProtocol {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: RTimer) {
         match timer {
             RTimer::Tick => {
-                let (out, changed) = self.core.on_tick(ctx.now());
-                self.flush_maintain(ctx, out);
+                let outcome = self.core.on_tick(ctx.now());
+                // Stop retransmitting toward peers that just died: every
+                // pending frame to them would otherwise burn its full
+                // retry budget against a silent destination.
+                if let Some(link) = self.rel.as_mut() {
+                    for &d in &outcome.newly_dead {
+                        link.abandon(d);
+                    }
+                }
+                self.flush_maintain(ctx, outcome.out);
                 ctx.set_timer(self.rc.heartbeat.interval, RTimer::Tick);
-                if changed {
+                self.check_takeover(ctx);
+                if outcome.changed {
                     // A dropped child may have been the last straggler.
                     self.check_p1(ctx);
                     self.check_p2(ctx);
                 }
             }
             RTimer::NewEpoch => {
-                // Root: start the next epoch if the current one finished
-                // (or never started); supersede it only once it has been
+                if !self.active_root {
+                    // Left over from a demoted incarnation; let the chain
+                    // die rather than re-arm it.
+                    self.epoch_timer = None;
+                    return;
+                }
+                // Start the next epoch if the current one finished (or
+                // none was issued yet); supersede it only once it has been
                 // in flight longer than `epoch_timeout`.
-                let current_done =
-                    self.epoch == 0 || self.completed.last().is_some_and(|&(e, _)| e == self.epoch);
+                let current_done = match self.issued {
+                    None => true,
+                    Some(e) => self.completed.last().is_some_and(|r| r.epoch == e),
+                };
                 let timed_out = ctx.now() >= self.epoch_started_at + self.rc.epoch_timeout;
                 if current_done || timed_out {
-                    let next = self.epoch + 1;
-                    self.reset_epoch(next, None);
-                    self.epoch_started_at = ctx.now();
-                    ctx.mark_phase(phases::EPOCH);
-                    for c in self.core.children() {
-                        self.send_query(
-                            ctx,
-                            c,
-                            RMsg::Start { epoch: next },
-                            START_BYTES,
-                            MsgClass::CONTROL,
-                        );
-                    }
-                    self.check_p1(ctx);
+                    self.issue_epoch(ctx);
                 }
-                ctx.set_timer(self.rc.query_period, RTimer::NewEpoch);
+                self.epoch_timer = Some(ctx.set_timer(self.rc.query_period, RTimer::NewEpoch));
             }
             RTimer::Retransmit(seq) => {
                 let link = self
@@ -627,6 +1159,8 @@ mod tests {
             },
             query_period: Duration::from_secs(8),
             epoch_timeout: Duration::from_secs(24),
+            takeover_grace: Duration::from_secs(4),
+            takeover_stagger: Duration::from_secs(3),
         }
     }
 
@@ -652,6 +1186,59 @@ mod tests {
     }
 
     #[test]
+    fn census_algebra_tracks_peer_sets() {
+        let mut all = Census::empty();
+        for i in 0..10 {
+            all.add(PeerId::new(i));
+        }
+        // Merging two disjoint halves reproduces the full census.
+        let mut left = Census::empty();
+        let mut right = Census::empty();
+        for i in 0..10 {
+            if i < 5 {
+                left.add(PeerId::new(i))
+            } else {
+                right.add(PeerId::new(i))
+            }
+        }
+        let mut merged = left;
+        merged.merge(right);
+        assert_eq!(merged, all);
+        // Removing one contributor is detected, and `minus` names it.
+        let mut short = Census::empty();
+        for i in 0..9 {
+            short.add(PeerId::new(i));
+        }
+        assert_ne!(short, all);
+        assert_eq!(all.minus(short), Census::solo(PeerId::new(9)));
+        // Order independence.
+        let mut rev = Census::empty();
+        for i in (0..10).rev() {
+            rev.add(PeerId::new(i));
+        }
+        assert_eq!(rev, all);
+    }
+
+    #[test]
+    fn residue_class_numbering_keeps_roots_disjoint() {
+        // k = 1 reproduces the legacy epoch + 1 sequence exactly.
+        for base in 0..5 {
+            assert_eq!(next_epoch_in_class(base, 1, 0), base + 1);
+        }
+        // Each rank stays in its residue class and always advances.
+        for k in 2..5u64 {
+            for rank in 0..k {
+                for base in 0..20 {
+                    let e = next_epoch_in_class(base, k, rank);
+                    assert!(e > base);
+                    assert_eq!(e % k, rank);
+                    assert!(e - base <= k, "skipped a whole period");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn quiet_network_completes_every_epoch_exactly() {
         let (topo, h, data, cfg) = setup(60, 111);
         let truth = GroundTruth::compute(&data);
@@ -670,11 +1257,22 @@ mod tests {
         let root = w.peer(PeerId::new(0));
         let done = root.completed_epochs();
         assert!(done.len() >= 3, "only {} epochs completed", done.len());
-        for (e, result) in done {
-            assert_eq!(result, &truth.frequent_items(t), "epoch {e} wrong");
+        for er in done {
+            assert_eq!(
+                er.answer,
+                truth.frequent_items(t),
+                "epoch {} wrong",
+                er.epoch
+            );
+            assert!(
+                er.is_complete(),
+                "epoch {} not certified complete on a quiet network",
+                er.epoch
+            );
+            assert_eq!(er.roster.count, 60);
         }
         // Epochs are strictly increasing.
-        assert!(done.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(done.windows(2).all(|w| w[0].epoch < w[1].epoch));
     }
 
     #[test]
@@ -725,6 +1323,9 @@ mod tests {
             &truth.frequent_items(t)[..],
             "steady-state epoch must be exact over survivors"
         );
+        // Post-repair epochs certify complete over the 59 survivors.
+        let last_complete = root.last_complete().expect("a complete epoch exists");
+        assert_eq!(last_complete.roster.count, 59);
     }
 
     #[test]
@@ -754,8 +1355,14 @@ mod tests {
             "only {} epochs completed under loss",
             done.len()
         );
-        for (e, result) in done {
-            assert_eq!(result, &truth.frequent_items(t), "epoch {e} inexact");
+        for er in done {
+            assert_eq!(
+                er.answer,
+                truth.frequent_items(t),
+                "epoch {} inexact",
+                er.epoch
+            );
+            assert!(er.is_complete(), "epoch {} not certified", er.epoch);
         }
     }
 
@@ -797,8 +1404,14 @@ mod tests {
             "retransmission should let epochs complete despite loss, got {}",
             done.len()
         );
-        for (e, result) in done {
-            assert_eq!(result, &truth.frequent_items(t), "epoch {e} inexact");
+        for er in done {
+            assert_eq!(
+                er.answer,
+                truth.frequent_items(t),
+                "epoch {} inexact",
+                er.epoch
+            );
+            assert!(er.is_complete(), "epoch {} not certified", er.epoch);
         }
         // Loss actually fired: the kernel recorded dropped messages and
         // the retransmit class carried real traffic.
@@ -847,6 +1460,15 @@ mod tests {
             &truth_full.frequent_items(t)[..],
             "post-revival epochs must include the returned peer's data"
         );
+        // And the final epochs certify complete over all 60 peers again.
+        let lc = root.last_complete().expect("complete epochs exist");
+        assert_eq!(lc.roster.count, 60);
+        // While the victim was down, completed epochs were still certified
+        // complete — over the then-smaller roster of 59.
+        assert!(root
+            .completed_epochs()
+            .iter()
+            .any(|er| er.is_complete() && er.roster.count == 59));
     }
 
     #[test]
@@ -871,9 +1493,123 @@ mod tests {
         w.start();
         w.run_until(SimTime::from_micros(60_000_000));
         let root = w.peer(PeerId::new(0));
-        for (e, result) in root.completed_epochs() {
-            assert_eq!(result, &truth.frequent_items(t), "epoch {e} corrupted");
+        for er in root.completed_epochs() {
+            assert_eq!(
+                er.answer,
+                truth.frequent_items(t),
+                "epoch {} corrupted",
+                er.epoch
+            );
         }
         assert!(!root.completed_epochs().is_empty());
+    }
+
+    #[test]
+    fn root_failover_keeps_epochs_coming() {
+        // Kill the primary root mid-run: the rank-1 successor must detect
+        // the death (continuous detachment), promote itself, and produce
+        // epochs — eventually certified Complete over the survivors.
+        let (topo, _h, data, cfg) = setup(60, 137);
+        let multi =
+            MultiHierarchy::with_roots(&topo, &[PeerId::new(0), PeerId::new(7), PeerId::new(23)]);
+        let mut w = ResilientProtocol::build_world_multi(
+            &cfg,
+            rc(),
+            &topo,
+            &multi,
+            &data,
+            SimConfig::default().with_seed(5),
+        );
+        w.start();
+        w.schedule_kill(SimTime::from_micros(12_300_000), PeerId::new(0));
+        w.run_until(SimTime::from_micros(90_000_000));
+
+        let successor = w.peer(PeerId::new(7));
+        assert!(
+            successor.is_active_root(),
+            "rank-1 successor must have taken over"
+        );
+        let survivors = SystemData::from_local_sets(
+            (0..60)
+                .map(|i| {
+                    if i == 0 {
+                        Vec::new()
+                    } else {
+                        data.local_items(PeerId::new(i)).to_vec()
+                    }
+                })
+                .collect(),
+            data.universe(),
+        );
+        let truth = GroundTruth::compute(&survivors);
+        let t = cfg.threshold.resolve(data.total_value());
+        let lc = successor
+            .last_complete()
+            .expect("post-failover Complete epoch");
+        assert_eq!(lc.roster.count, 59);
+        assert_eq!(lc.answer, truth.frequent_items(t));
+        // The fence keeps every successor epoch in its residue class and
+        // above anything the dead primary issued.
+        assert_eq!(lc.epoch % 3, 1, "rank-1 epochs live in residue class 1");
+        // Rank 2 never promoted: the stagger let rank 1 win.
+        assert!(!w.peer(PeerId::new(23)).is_active_root());
+    }
+
+    #[test]
+    fn zero_churn_multi_run_charges_failover_as_piggyback_only() {
+        // Without churn, a multi-root run must behave exactly like a
+        // single-root run in the paper's message classes: the fence stamps
+        // and censuses ride as FAILOVER piggyback bytes, and no demotion
+        // or promotion traffic exists.
+        let (topo, h, data, cfg) = setup(40, 139);
+        let run_single = {
+            let mut w = ResilientProtocol::build_world(
+                &cfg,
+                rc(),
+                &topo,
+                &h,
+                &data,
+                SimConfig::default().with_seed(8),
+            );
+            w.start();
+            w.run_until(SimTime::from_micros(30_000_000));
+            let m = w.metrics();
+            [
+                m.class_bytes(MsgClass::FILTERING),
+                m.class_bytes(MsgClass::DISSEMINATION),
+                m.class_bytes(MsgClass::AGGREGATION),
+                m.class_bytes(MsgClass::HEARTBEAT),
+                m.class_bytes(MsgClass::CONTROL),
+            ]
+        };
+        let multi = MultiHierarchy::with_roots(&topo, &[PeerId::new(0), PeerId::new(11)]);
+        let mut w = ResilientProtocol::build_world_multi(
+            &cfg,
+            rc(),
+            &topo,
+            &multi,
+            &data,
+            SimConfig::default().with_seed(8),
+        );
+        w.start();
+        w.run_until(SimTime::from_micros(30_000_000));
+        let m = w.metrics();
+        let run_multi = [
+            m.class_bytes(MsgClass::FILTERING),
+            m.class_bytes(MsgClass::DISSEMINATION),
+            m.class_bytes(MsgClass::AGGREGATION),
+            m.class_bytes(MsgClass::HEARTBEAT),
+            m.class_bytes(MsgClass::CONTROL),
+        ];
+        assert_eq!(
+            run_single, run_multi,
+            "paper + maintenance classes must be byte-identical"
+        );
+        assert!(
+            m.class_bytes(MsgClass::FAILOVER) > 0,
+            "stamps and censuses must be metered"
+        );
+        let root = w.peer(PeerId::new(0));
+        assert!(root.completed_epochs().iter().all(|er| er.is_complete()));
     }
 }

@@ -37,7 +37,7 @@ mod protocol;
 mod roots;
 mod tree;
 
-pub use maintain_core::{MaintainCore, Outbox};
+pub use maintain_core::{MaintainCore, Outbox, TickOutcome};
 pub use multi::MultiHierarchy;
 pub use protocol::{BuildMsg, BuildProtocol, MaintainMsg, MaintainProtocol, MaintainTimer};
 pub use roots::{select_root, RootSelection};

@@ -9,7 +9,7 @@
 //! logic; handlers return the messages to transmit instead of sending
 //! them, so any transport (and any enclosing message enum) can drive it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ifi_overlay::{HeartbeatConfig, HeartbeatTracker, NeighborStatus};
 use ifi_sim::{PeerId, SimTime};
@@ -23,12 +23,31 @@ pub(crate) const DEPTH_INF: u32 = u32::MAX;
 /// Outbound maintenance traffic produced by one handler call.
 pub type Outbox = Vec<(PeerId, MaintainMsg)>;
 
+/// Result of one maintenance tick.
+#[derive(Debug, Clone)]
+pub struct TickOutcome {
+    /// Outbound maintenance traffic.
+    pub out: Outbox,
+    /// Whether local tree membership (parent or children) changed.
+    pub changed: bool,
+    /// Neighbors that crossed alive → suspected on this tick. Reported
+    /// exactly once per transition so callers can abandon in-flight
+    /// reliable-delivery state for the dead peer.
+    pub newly_dead: Vec<PeerId>,
+}
+
 /// The maintenance state machine for one peer.
 #[derive(Debug, Clone)]
 pub struct MaintainCore {
     neighbors: Vec<PeerId>,
     is_root: bool,
     depth: u32,
+    /// Exclusive upper bound on legal depths (= universe size: a BFS depth
+    /// can never reach the peer count). Following a parent past this bound
+    /// proves the depth information is circular — a stale attachment loop
+    /// with no live root under it — and forces a detach, exactly like the
+    /// count-to-infinity bound in distance-vector routing.
+    max_depth: u32,
     parent: Option<PeerId>,
     /// `child -> last time it asserted the link` (initially the tracking
     /// epoch start). Children that stop re-asserting expire after one
@@ -37,6 +56,9 @@ pub struct MaintainCore {
     /// this peer waits on its reports forever.
     children: BTreeMap<PeerId, SimTime>,
     tracker: HeartbeatTracker,
+    /// Neighbors suspected as of the previous tick, for edge-triggered
+    /// death reporting in [`TickOutcome::newly_dead`].
+    last_suspected: BTreeSet<PeerId>,
     /// Number of detach events this peer underwent.
     pub detach_count: u32,
 }
@@ -54,6 +76,7 @@ impl MaintainCore {
             neighbors,
             is_root: hierarchy.root() == peer,
             depth: hierarchy.depth(peer).unwrap_or(DEPTH_INF),
+            max_depth: hierarchy.universe() as u32,
             parent: hierarchy.parent(peer),
             children: hierarchy
                 .children(peer)
@@ -61,6 +84,7 @@ impl MaintainCore {
                 .map(|&c| (c, SimTime::ZERO))
                 .collect(),
             tracker,
+            last_suspected: BTreeSet::new(),
             detach_count: 0,
         }
     }
@@ -90,9 +114,33 @@ impl MaintainCore {
         self.depth == DEPTH_INF && !self.is_root
     }
 
+    /// Whether the peer currently acts as the hierarchy root.
+    pub fn is_root(&self) -> bool {
+        self.is_root
+    }
+
+    /// Promotes this peer to hierarchy root (depth 0, no parent). The tree
+    /// regrows around it as neighbors hear its finite-depth heartbeats.
+    pub fn promote_to_root(&mut self) {
+        self.is_root = true;
+        self.depth = 0;
+        self.parent = None;
+    }
+
+    /// Steps down from the root role and detaches, cascading `Detach` to
+    /// any children so the abandoned subtree re-homes to the surviving
+    /// hierarchy. Returns the detach traffic to send.
+    pub fn demote(&mut self) -> Outbox {
+        let mut out = Outbox::new();
+        self.is_root = false;
+        self.detach(&mut out);
+        out
+    }
+
     /// Starts the tracking epoch.
     pub fn start(&mut self, now: SimTime) {
         self.tracker.start(now);
+        self.last_suspected.clear();
         for stamp in self.children.values_mut() {
             *stamp = now;
         }
@@ -112,6 +160,7 @@ impl MaintainCore {
         }
         self.children.clear();
         self.tracker.start(now);
+        self.last_suspected.clear();
     }
 
     fn detach(&mut self, out: &mut Outbox) {
@@ -133,10 +182,25 @@ impl MaintainCore {
         match msg {
             MaintainMsg::Heartbeat { depth } => {
                 self.tracker.on_heartbeat(from, depth, now);
-                if self.is_detached() && depth != DEPTH_INF {
+                if self.is_detached() && depth != DEPTH_INF && depth + 1 < self.max_depth {
                     self.depth = depth + 1;
                     self.parent = Some(from);
                     out.push((from, MaintainMsg::Attach));
+                } else if self.parent == Some(from) {
+                    // Follow the parent's advertised depth. Without this,
+                    // stale attachment loops (possible once the root dies:
+                    // a detached peer re-attaches to a branch whose own
+                    // chain dies moments later, closing a cycle of live
+                    // parents) freeze forever — no one in the cycle ever
+                    // suspects anyone. Following makes a cycle's depths
+                    // climb by ~1 per heartbeat interval until they hit
+                    // `max_depth`, which breaks the loop; any chain with a
+                    // real root converges to true BFS depths instead.
+                    if depth == DEPTH_INF || depth + 1 >= self.max_depth {
+                        self.detach(&mut out);
+                    } else {
+                        self.depth = depth + 1;
+                    }
                 }
             }
             MaintainMsg::Attach => {
@@ -162,9 +226,10 @@ impl MaintainCore {
     }
 
     /// Handles a periodic tick: emits heartbeats, applies failure
-    /// detection. Returns outbound traffic and whether the local tree
-    /// membership (parent or children) changed.
-    pub fn on_tick(&mut self, now: SimTime) -> (Outbox, bool) {
+    /// detection. Returns outbound traffic, whether the local tree
+    /// membership (parent or children) changed, and which neighbors just
+    /// transitioned into suspicion.
+    pub fn on_tick(&mut self, now: SimTime) -> TickOutcome {
         let mut out = Outbox::new();
         for &nb in &self.neighbors {
             out.push((nb, MaintainMsg::Heartbeat { depth: self.depth }));
@@ -179,12 +244,18 @@ impl MaintainCore {
         // Drop children that failed, and children that stopped asserting
         // the link (they re-parented; they are alive, so suspicion alone
         // never fires for them).
-        let suspected = self.tracker.suspected(now);
+        let suspected: BTreeSet<PeerId> = self.tracker.suspected(now).into_iter().collect();
         let timeout = self.tracker.config().timeout;
         let before = self.children.len();
         self.children
             .retain(|c, &mut stamp| !suspected.contains(c) && now.duration_since(stamp) <= timeout);
         changed |= self.children.len() != before;
+        let newly_dead: Vec<PeerId> = suspected
+            .iter()
+            .filter(|p| !self.last_suspected.contains(p))
+            .copied()
+            .collect();
+        self.last_suspected = suspected;
         // Re-assert the parent link every tick. Attach is idempotent at
         // the parent, and without the refresh a single lost Attach leaves
         // the peer permanently half-attached under message loss: it
@@ -193,7 +264,11 @@ impl MaintainCore {
         if let Some(p) = self.parent {
             out.push((p, MaintainMsg::Attach));
         }
-        (out, changed)
+        TickOutcome {
+            out,
+            changed,
+            newly_dead,
+        }
     }
 }
 
@@ -225,7 +300,7 @@ mod tests {
     #[test]
     fn tick_emits_heartbeats_and_refreshes_the_parent_link() {
         let mut c = core_at(1);
-        let (out, changed) = c.on_tick(t(100));
+        let TickOutcome { out, changed, .. } = c.on_tick(t(100));
         assert!(!changed);
         let hb: Vec<PeerId> = out
             .iter()
@@ -242,7 +317,7 @@ mod tests {
         let mut c = core_at(1);
         // Child 2 keeps heartbeating; parent 0 goes silent.
         c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 2 }, t(350));
-        let (out, changed) = c.on_tick(t(400));
+        let TickOutcome { out, changed, .. } = c.on_tick(t(400));
         assert!(changed);
         assert!(c.is_detached());
         assert_eq!(c.detach_count, 1);
@@ -253,10 +328,51 @@ mod tests {
     fn detached_core_reattaches_on_finite_heartbeat() {
         let mut c = core_at(1);
         let _ = c.on_tick(t(400)); // detach (parent silent)
-        let out = c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 5 }, t(450));
-        assert_eq!(c.depth(), Some(6));
+        let out = c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 1 }, t(450));
+        assert_eq!(c.depth(), Some(2));
         assert_eq!(c.parent(), Some(PeerId::new(2)));
         assert_eq!(out, vec![(PeerId::new(2), MaintainMsg::Attach)]);
+    }
+
+    #[test]
+    fn stale_overdeep_heartbeat_cannot_attract_a_detached_peer() {
+        // Universe is 3, so any legal depth is < 3: a heartbeat claiming
+        // depth 2 would put us at 3 — circular depth info, refused.
+        let mut c = core_at(1);
+        let _ = c.on_tick(t(400)); // detach (parent silent)
+        let out = c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 2 }, t(450));
+        assert!(c.is_detached());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn follows_parent_depth_and_detaches_past_the_bound() {
+        let mut c = core_at(1);
+        assert_eq!(c.depth(), Some(1));
+        // Parent re-attached elsewhere at a different (legal) depth: follow.
+        // (Line of 3: parent 0 now claims depth 0 again — no-op — then a
+        // cycle inflates its advertised depth.)
+        c.on_message(PeerId::new(0), MaintainMsg::Heartbeat { depth: 0 }, t(50));
+        assert_eq!(c.depth(), Some(1));
+        // Parent claims depth 2: following would give 3 == universe, which
+        // no real BFS position can have — the chain is a loop. Detach.
+        let out = c.on_message(PeerId::new(0), MaintainMsg::Heartbeat { depth: 2 }, t(150));
+        assert!(c.is_detached());
+        assert!(out.contains(&(PeerId::new(2), MaintainMsg::Detach)));
+    }
+
+    #[test]
+    fn parent_advertising_infinite_depth_detaches_the_child() {
+        // The parent detached but its Detach to us was lost (expired child
+        // link); its ∞-depth heartbeat must still propagate the cascade.
+        let mut c = core_at(1);
+        let out = c.on_message(
+            PeerId::new(0),
+            MaintainMsg::Heartbeat { depth: DEPTH_INF },
+            t(50),
+        );
+        assert!(c.is_detached());
+        assert!(out.contains(&(PeerId::new(2), MaintainMsg::Detach)));
     }
 
     #[test]
@@ -273,9 +389,48 @@ mod tests {
         let mut c = core_at(1);
         c.on_message(PeerId::new(0), MaintainMsg::Heartbeat { depth: 0 }, t(350));
         // Child 2 silent past the timeout.
-        let (_, changed) = c.on_tick(t(400));
-        assert!(changed);
+        let outcome = c.on_tick(t(400));
+        assert!(outcome.changed);
         assert!(c.children().is_empty());
         assert!(!c.is_detached(), "losing a child must not detach us");
+    }
+
+    #[test]
+    fn newly_dead_reports_each_suspicion_transition_once() {
+        let mut c = core_at(1);
+        // Both neighbors heartbeat once, then peer 0 goes silent.
+        c.on_message(PeerId::new(0), MaintainMsg::Heartbeat { depth: 0 }, t(50));
+        c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 2 }, t(50));
+        let alive = c.on_tick(t(100));
+        assert!(alive.newly_dead.is_empty());
+        c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 2 }, t(380));
+        let first = c.on_tick(t(400));
+        assert_eq!(first.newly_dead, vec![PeerId::new(0)]);
+        c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 2 }, t(480));
+        let second = c.on_tick(t(500));
+        assert!(
+            second.newly_dead.is_empty(),
+            "a dead peer must be reported exactly once"
+        );
+    }
+
+    #[test]
+    fn promote_then_demote_round_trips_through_root() {
+        let mut c = core_at(1);
+        let _ = c.on_tick(t(400)); // parent silent -> detached
+        assert!(c.is_detached());
+        c.promote_to_root();
+        assert!(c.is_root());
+        assert_eq!(c.depth(), Some(0));
+        assert_eq!(c.parent(), None);
+        assert!(!c.is_detached());
+        // A child attaches to the new root.
+        let _ = c.on_message(PeerId::new(2), MaintainMsg::Attach, t(450));
+        assert_eq!(c.children(), vec![PeerId::new(2)]);
+        let out = c.demote();
+        assert!(!c.is_root());
+        assert!(c.is_detached());
+        assert!(out.contains(&(PeerId::new(2), MaintainMsg::Detach)));
+        assert!(c.children().is_empty());
     }
 }

@@ -73,6 +73,12 @@ impl MultiHierarchy {
         &self.trees[0]
     }
 
+    /// All roots in tree order (primary first) — the root-succession line
+    /// used by live failover.
+    pub fn roots(&self) -> Vec<PeerId> {
+        self.trees.iter().map(|t| t.root()).collect()
+    }
+
     /// The first tree whose root is alive according to `alive`, i.e. the
     /// failover choice for a new netFilter run.
     pub fn active(&self, alive: impl Fn(PeerId) -> bool) -> Option<&Hierarchy> {
@@ -106,6 +112,30 @@ mod tests {
         let active = mh.active(|p| p != PeerId::new(0)).unwrap();
         assert_eq!(active.root(), PeerId::new(4));
         assert!(mh.active(|_| false).is_none());
+    }
+
+    #[test]
+    fn with_roots_preserves_order_and_roots_accessor_matches() {
+        let topo = Topology::ring(8);
+        let order = [PeerId::new(5), PeerId::new(1), PeerId::new(3)];
+        let mh = MultiHierarchy::with_roots(&topo, &order);
+        assert_eq!(mh.roots(), order.to_vec());
+        assert_eq!(mh.primary().root(), PeerId::new(5));
+    }
+
+    #[test]
+    fn active_falls_through_multiple_dead_roots_in_order() {
+        let topo = Topology::ring(8);
+        let mh =
+            MultiHierarchy::with_roots(&topo, &[PeerId::new(0), PeerId::new(4), PeerId::new(6)]);
+        // Primary and first successor dead: the third tree is chosen.
+        let dead = [PeerId::new(0), PeerId::new(4)];
+        let active = mh.active(|p| !dead.contains(&p)).unwrap();
+        assert_eq!(active.root(), PeerId::new(6));
+        // Only the primary dead: the *first* live successor wins, not any
+        // later one.
+        let active = mh.active(|p| p != PeerId::new(0)).unwrap();
+        assert_eq!(active.root(), PeerId::new(4));
     }
 
     #[test]

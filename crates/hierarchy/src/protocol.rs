@@ -355,8 +355,16 @@ impl Protocol for MaintainProtocol {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: MaintainTimer) {
         match timer {
             MaintainTimer::Tick => {
-                let (out, _changed) = self.core.on_tick(ctx.now());
-                self.flush(ctx, out);
+                let outcome = self.core.on_tick(ctx.now());
+                // Stop retransmitting toward peers that just died: every
+                // pending frame to them would otherwise burn its full retry
+                // budget against a silent destination.
+                if let Some(link) = self.rel.as_mut() {
+                    for &d in &outcome.newly_dead {
+                        link.abandon(d);
+                    }
+                }
+                self.flush(ctx, outcome.out);
                 ctx.set_timer(self.core.config().interval, MaintainTimer::Tick);
             }
             MaintainTimer::Retransmit(seq) => {

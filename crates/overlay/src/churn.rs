@@ -32,6 +32,18 @@ pub enum SessionModel {
         /// Mean offline duration.
         mean_off: Duration,
     },
+    /// Weibull online times with exponential offline times — the classic
+    /// fit for measured P2P session lengths (shape `< 1` gives the
+    /// heavy-but-not-power-law tail; shape `= 1` degenerates to
+    /// [`Exponential`](Self::Exponential)).
+    Weibull {
+        /// Scale parameter of the online-time distribution.
+        scale: Duration,
+        /// Shape parameter; `< 1` is heavy-tailed.
+        shape: f64,
+        /// Mean offline duration.
+        mean_off: Duration,
+    },
 }
 
 impl SessionModel {
@@ -48,6 +60,9 @@ impl SessionModel {
                 // Truncate at 1000x scale to bound event horizons.
                 Duration::from_micros(x.min(scale.as_micros() as f64 * 1e3) as u64)
             }
+            SessionModel::Weibull { scale, shape, .. } => {
+                Duration::from_micros(rng.weibull(scale.as_micros() as f64, shape).max(1.0) as u64)
+            }
         }
     }
 
@@ -56,6 +71,7 @@ impl SessionModel {
         let mean_off = match *self {
             SessionModel::Exponential { mean_off, .. } => mean_off,
             SessionModel::ParetoOn { mean_off, .. } => mean_off,
+            SessionModel::Weibull { mean_off, .. } => mean_off,
         };
         Duration::from_micros(rng.exponential(mean_off.as_micros() as f64).max(1.0) as u64)
     }
@@ -192,6 +208,43 @@ impl ChurnSchedule {
             }
         }
     }
+
+    /// Schedules every event directly into a [`World`](ifi_sim::World) as
+    /// kill/revive kernel events, so a run executes under this schedule.
+    pub fn install_world<P: ifi_sim::Protocol>(&self, world: &mut ifi_sim::World<P>) {
+        for &e in &self.events {
+            match e {
+                ChurnEvent::Down(t, p) => world.schedule_kill(t, p),
+                ChurnEvent::Up(t, p) => world.schedule_revive(t, p),
+            }
+        }
+    }
+
+    /// A copy of this schedule with every event touching one of `peers`
+    /// removed — the excluded peers stay online for the whole horizon (and
+    /// score maximal stability). Used to protect peers whose failures the
+    /// experiment injects explicitly (e.g. a root killed at a pinned time).
+    pub fn excluding(&self, peers: &[PeerId]) -> ChurnSchedule {
+        let events = self
+            .events
+            .iter()
+            .copied()
+            .filter(|e| match e {
+                ChurnEvent::Down(_, p) | ChurnEvent::Up(_, p) => !peers.contains(p),
+            })
+            .collect();
+        let mut online_time = self.online_time.clone();
+        for p in peers {
+            if p.index() < online_time.len() {
+                online_time[p.index()] = self.horizon - SimTime::ZERO;
+            }
+        }
+        ChurnSchedule {
+            events,
+            online_time,
+            horizon: self.horizon,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +344,54 @@ mod tests {
         let total = sched.events().len();
         assert_eq!(downs + ups, total);
         assert!(downs >= ups, "cannot revive before going down");
+    }
+
+    #[test]
+    fn weibull_sessions_sample_and_alternate() {
+        let m = SessionModel::Weibull {
+            scale: Duration::from_secs(60),
+            shape: 0.6,
+            mean_off: Duration::from_secs(20),
+        };
+        let sched = ChurnSchedule::generate(25, m, SimTime::from_micros(2_000_000_000), &mut rng());
+        assert!(
+            !sched.events().is_empty(),
+            "weibull churn produced no events"
+        );
+        for i in 0..25 {
+            assert!(sched.online_time(PeerId::new(i)) > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn excluding_removes_only_those_peers_and_maxes_their_stability() {
+        let horizon = SimTime::from_micros(1_000_000_000);
+        let sched = ChurnSchedule::generate(12, model(), horizon, &mut rng());
+        let shielded = [PeerId::new(0), PeerId::new(7)];
+        let filtered = sched.excluding(&shielded);
+        for e in filtered.events() {
+            let p = match e {
+                ChurnEvent::Down(_, p) | ChurnEvent::Up(_, p) => *p,
+            };
+            assert!(!shielded.contains(&p), "event for excluded peer {p}");
+        }
+        for p in shielded {
+            assert_eq!(filtered.online_time(p), horizon - SimTime::ZERO);
+        }
+        // Everyone else keeps their original events and scores.
+        let kept = |s: &ChurnSchedule| {
+            s.events()
+                .iter()
+                .filter(|e| match e {
+                    ChurnEvent::Down(_, p) | ChurnEvent::Up(_, p) => !shielded.contains(p),
+                })
+                .count()
+        };
+        assert_eq!(kept(&sched), filtered.events().len());
+        assert_eq!(
+            sched.online_time(PeerId::new(3)),
+            filtered.online_time(PeerId::new(3))
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub struct MsgClass(pub u8);
 
 impl MsgClass {
     /// Number of distinct classes tracked by [`Metrics`].
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Generic payload traffic.
     pub const DATA: MsgClass = MsgClass(0);
@@ -43,6 +43,14 @@ impl MsgClass {
     /// traffic a lossy network provokes lands here, so phase-class totals
     /// remain comparable to the instant engine's loss-free cost model.
     pub const RETRANSMIT: MsgClass = MsgClass(8);
+    /// Failover overhead: root-succession control traffic and the
+    /// contributor-census / epoch-fence fields piggybacked on other
+    /// messages.
+    ///
+    /// Like [`RETRANSMIT`](Self::RETRANSMIT), this class isolates the price
+    /// of a robustness mechanism so the paper's phase classes stay
+    /// byte-identical to the loss-free, churn-free cost model.
+    pub const FAILOVER: MsgClass = MsgClass(9);
 
     /// Dense index of this class.
     ///
@@ -67,6 +75,7 @@ impl MsgClass {
             6 => "gossip",
             7 => "sampling",
             8 => "retransmit",
+            9 => "failover",
             _ => "unknown",
         }
     }
@@ -114,6 +123,13 @@ impl Metrics {
         let t = &mut self.per_peer[peer.index()][class.index()];
         t.bytes += bytes;
         t.messages += 1;
+    }
+
+    /// Charges `bytes` piggybacked by `peer` on an already-counted message
+    /// in `class`: the bytes hit the wire inside another frame, so no
+    /// message is counted.
+    pub fn record_piggyback(&mut self, peer: PeerId, class: MsgClass, bytes: u64) {
+        self.per_peer[peer.index()][class.index()].bytes += bytes;
     }
 
     /// Records a message dropped by the network.
@@ -261,6 +277,17 @@ mod tests {
         assert_eq!(m.dropped_messages(), 0);
         assert_eq!(m.delivered_messages(), 0);
         assert_eq!(m.peer_count(), 2);
+    }
+
+    #[test]
+    fn piggyback_adds_bytes_without_a_message() {
+        let mut m = Metrics::new(2);
+        m.record_send(PeerId::new(0), MsgClass::FILTERING, 100);
+        m.record_piggyback(PeerId::new(0), MsgClass::FAILOVER, 12);
+        assert_eq!(m.peer_class(PeerId::new(0), MsgClass::FAILOVER).bytes, 12);
+        assert_eq!(m.peer_class(PeerId::new(0), MsgClass::FAILOVER).messages, 0);
+        assert_eq!(m.total_bytes(), 112);
+        assert_eq!(m.total_messages(), 1);
     }
 
     #[test]

@@ -175,6 +175,21 @@ impl EventSink {
         self.events += 1;
     }
 
+    /// Records `bytes` piggybacked by `peer` inside an already-recorded
+    /// send, attributed to the phase named after `class`'s label (never to
+    /// the carrier's span or mark — the piggyback belongs to its own
+    /// mechanism, not to the phase that happened to carry it). No message
+    /// or event is counted.
+    pub fn record_piggyback(&mut self, peer: PeerId, class: MsgClass, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        let idx = self.resolve(class.label());
+        let phase = &mut self.phases[idx];
+        phase.per_peer[peer.index()] += bytes;
+        phase.by_class[class.index()].bytes += bytes;
+    }
+
     /// Charges a whole per-peer byte vector into the phase `label` at once
     /// — the instant-engine path, where a post-order walk produces each
     /// phase's per-peer costs in one shot. Every nonzero entry counts as
@@ -500,6 +515,20 @@ mod tests {
         let r = sink.report();
         assert_eq!(r.phase_bytes("handler"), 3);
         assert_eq!(r.phase_bytes("span"), 4);
+    }
+
+    #[test]
+    fn piggyback_ignores_marks_and_counts_no_event() {
+        let mut sink = EventSink::new(2);
+        sink.mark("filtering");
+        sink.record(PeerId::new(1), MsgClass::FILTERING, 50);
+        sink.record_piggyback(PeerId::new(1), MsgClass::FAILOVER, 12);
+        sink.clear_mark();
+        let r = sink.report();
+        assert_eq!(r.phase_bytes("filtering"), 50);
+        assert_eq!(r.phase_bytes("failover"), 12);
+        assert_eq!(r.phase("failover").unwrap().messages(), 0);
+        assert_eq!(r.events, 1);
     }
 
     #[test]

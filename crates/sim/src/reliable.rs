@@ -246,6 +246,27 @@ impl<M: Clone> ReliableLink<M> {
         }
     }
 
+    /// Sender side: drops every in-flight frame addressed to `peer`,
+    /// counting each as abandoned. Called when a failure detector declares
+    /// `peer` dead — capped retries to a corpse would otherwise keep
+    /// burning metered retransmit bytes until `max_retries` runs out. Any
+    /// still-armed retransmit timer for a dropped frame finds it gone and
+    /// reports [`Retransmit::Acked`] (a no-op), so callers need not track
+    /// timer handles. Returns the number of frames dropped.
+    pub fn abandon(&mut self, peer: PeerId) -> usize {
+        let doomed: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, p)| p.to == peer)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in &doomed {
+            self.in_flight.remove(seq);
+        }
+        self.abandoned += doomed.len() as u64;
+        doomed.len()
+    }
+
     /// Frames currently awaiting acknowledgement.
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
@@ -324,6 +345,26 @@ mod tests {
         assert_eq!(l.abandoned(), 1);
         // Once abandoned, stray timers are no-ops.
         assert_eq!(l.retransmit(seq), Retransmit::Acked);
+    }
+
+    #[test]
+    fn abandon_drops_only_frames_to_the_dead_peer() {
+        let mut l = link();
+        let dead = PeerId::new(3);
+        let (s0, _) = l.send_data(dead, "a", 4);
+        let (s1, _) = l.send_data(PeerId::new(5), "b", 4);
+        let (s2, _) = l.send_data(dead, "c", 4);
+        assert_eq!(l.abandon(dead), 2);
+        assert_eq!(l.in_flight(), 1);
+        assert_eq!(l.abandoned(), 2);
+        // Stray timers for the abandoned frames are silent no-ops, not
+        // GaveUp escalations; the live peer's frame still retransmits.
+        assert_eq!(l.retransmit(s0), Retransmit::Acked);
+        assert_eq!(l.retransmit(s2), Retransmit::Acked);
+        assert!(matches!(l.retransmit(s1), Retransmit::Resend { .. }));
+        // Abandoning a peer with nothing in flight is harmless.
+        assert_eq!(l.abandon(dead), 0);
+        assert_eq!(l.abandoned(), 2);
     }
 
     #[test]

@@ -112,6 +112,29 @@ impl DetRng {
         -mean * u.ln()
     }
 
+    /// Draws a Weibull-distributed value with the given scale and shape
+    /// (inverse-CDF sampling: `scale * (-ln U)^(1/shape)`).
+    ///
+    /// Shape `< 1` gives the heavy-tailed session lengths measured in P2P
+    /// systems (many short sessions, a few very long ones); shape `= 1`
+    /// reduces to the exponential with mean `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` or `shape` is not finite and positive.
+    pub fn weibull(&mut self, scale: f64, shape: f64) -> f64 {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "weibull: scale must be finite and positive"
+        );
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "weibull: shape must be finite and positive"
+        );
+        let u: f64 = (1.0 - self.unit_f64()).max(f64::MIN_POSITIVE); // in (0, 1]
+        scale * (-u.ln()).powf(1.0 / shape)
+    }
+
     /// Fisher–Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
@@ -221,6 +244,30 @@ mod tests {
         let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
         let emp = sum / n as f64;
         assert!((emp - mean).abs() < 0.1 * mean, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn weibull_shape_one_matches_exponential_mean() {
+        let mut r = DetRng::new(13);
+        let n = 20_000;
+        let scale = 5.0;
+        let emp: f64 = (0..n).map(|_| r.weibull(scale, 1.0)).sum::<f64>() / n as f64;
+        assert!((emp - scale).abs() < 0.1 * scale, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn weibull_below_one_is_heavier_tailed() {
+        let mut r = DetRng::new(17);
+        let n = 20_000;
+        let frac_beyond = |shape: f64, r: &mut DetRng| {
+            (0..n).filter(|_| r.weibull(1.0, shape) > 5.0).count() as f64 / n as f64
+        };
+        let heavy = frac_beyond(0.5, &mut r);
+        let light = frac_beyond(2.0, &mut r);
+        assert!(
+            heavy > 10.0 * (light + 1e-9),
+            "shape 0.5 tail {heavy} not heavier than shape 2 tail {light}"
+        );
     }
 
     #[test]

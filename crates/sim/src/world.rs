@@ -233,8 +233,10 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     }
 
     /// Whether `peer` is currently up. Real peers cannot query remote
-    /// liveness instantaneously — protocols in this workspace only use this
-    /// for assertions and tracing, never for decisions.
+    /// liveness instantaneously — protocols in this workspace use this only
+    /// for assertions, tracing, and as a stand-in for an out-of-band
+    /// membership service when *labeling* results (the resilient
+    /// protocol's epoch-roster snapshot), never to steer control flow.
     pub fn is_up(&self, peer: PeerId) -> bool {
         self.kernel.is_up(peer)
     }
@@ -244,6 +246,20 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     /// for deterministic drop schedules; most protocols ignore it.
     pub fn send(&mut self, to: PeerId, msg: P::Msg, bytes: u64, class: MsgClass) -> u64 {
         self.kernel.send(self.self_id, to, msg, bytes, class)
+    }
+
+    /// Charges `bytes` piggybacked by this peer on an already-sent message
+    /// in `class`, without putting a frame on the wire. Used for small
+    /// fields riding inside another message (the resilient protocol's
+    /// contributor census and epoch-fence stamps) whose cost must be
+    /// metered in their own class rather than inflating the carrier's.
+    pub fn charge(&mut self, class: MsgClass, bytes: u64) {
+        self.kernel
+            .metrics
+            .record_piggyback(self.self_id, class, bytes);
+        self.kernel
+            .sink
+            .record_piggyback(self.self_id, class, bytes);
     }
 
     /// Schedules `tag` to fire at this peer after `delay`.

@@ -46,6 +46,7 @@ fn main() {
         },
         query_period: Duration::from_secs(8),
         epoch_timeout: Duration::from_secs(24),
+        ..ResilientConfig::default()
     };
     let mut w = ResilientProtocol::build_world(
         &config,
@@ -72,11 +73,13 @@ fn main() {
 
     let root = w.peer(PeerId::new(0));
     println!("\ncompleted epochs at the root:");
-    for (epoch, result) in root.completed_epochs() {
+    for er in root.completed_epochs() {
         println!(
-            "  epoch {epoch:>2}: {} frequent items, top = {:?}",
-            result.len(),
-            result.first()
+            "  epoch {:>2}: {} frequent items, top = {:?}, certificate = {:?}",
+            er.epoch,
+            er.answer.len(),
+            er.answer.first(),
+            er.certificate
         );
     }
 

@@ -7,6 +7,7 @@ use ifi_overlay::churn::{ChurnEvent, ChurnSchedule, SessionModel};
 use ifi_overlay::{HeartbeatConfig, Topology};
 use ifi_sim::{DetRng, Duration, PeerId, SimConfig, SimTime, World};
 use ifi_workload::{GroundTruth, SystemData, WorkloadParams};
+use netfilter::resilient::{ResilientConfig, ResilientProtocol};
 use netfilter::{NetFilter, NetFilterConfig, Threshold};
 
 fn maintain_world(topo: &Topology, h: &Hierarchy, seed: u64) -> World<MaintainProtocol> {
@@ -132,6 +133,130 @@ fn multi_hierarchy_masks_root_failure() {
     )
     .run(fallback, &data);
     assert_eq!(run.frequent_items(), &truth.frequent_items(t)[..]);
+}
+
+fn resilient_rc() -> ResilientConfig {
+    ResilientConfig {
+        heartbeat: HeartbeatConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_millis(1600),
+            bytes: 8,
+        },
+        query_period: Duration::from_secs(8),
+        epoch_timeout: Duration::from_secs(24),
+        takeover_grace: Duration::from_secs(4),
+        takeover_stagger: Duration::from_secs(3),
+    }
+}
+
+fn resilient_setup(n: usize, seed: u64) -> (Topology, SystemData, NetFilterConfig) {
+    let topo = Topology::random_regular(n, 5, &mut DetRng::new(seed));
+    let data = SystemData::generate_paper(
+        &WorkloadParams {
+            peers: n,
+            items: 2_000,
+            instances_per_item: 10,
+            theta: 1.0,
+        },
+        seed,
+    );
+    let cfg = NetFilterConfig::builder()
+        .filter_size(40)
+        .filters(3)
+        .threshold(Threshold::Ratio(0.01))
+        .build();
+    (topo, data, cfg)
+}
+
+#[test]
+fn single_hierarchy_root_kill_stalls_epochs_forever() {
+    // The pinned single-point-of-failure regression: without a succession
+    // line, killing the root stops the query stream permanently — no peer
+    // may promote itself, so no epoch ever completes again. This is the
+    // exact vulnerability §III-A.1 calls out and that
+    // `live_failover_keeps_epochs_coming_past_a_dead_root` (below) fixes.
+    let n = 60;
+    let (topo, data, cfg) = resilient_setup(n, 71);
+    let h = Hierarchy::bfs(&topo, PeerId::new(0));
+    let mut w = ResilientProtocol::build_world(
+        &cfg,
+        resilient_rc(),
+        &topo,
+        &h,
+        &data,
+        SimConfig::default().with_seed(72),
+    );
+    w.start();
+    let kill_at = SimTime::from_micros(12_300_000);
+    w.schedule_kill(kill_at, PeerId::new(0));
+    w.run_until(SimTime::from_micros(90_000_000));
+
+    let root = w.peer(PeerId::new(0));
+    let done = root.completed_epochs();
+    assert!(!done.is_empty(), "pre-kill epochs must have completed");
+    assert!(
+        done.iter().all(|er| er.started_at < kill_at),
+        "no epoch may start after the lone root dies"
+    );
+    // Nobody else stepped up: with one hierarchy there is no succession.
+    assert!((1..n).all(|i| !w.peer(PeerId::new(i)).is_active_root()));
+    assert!(
+        (1..n).all(|i| w.peer(PeerId::new(i)).completed_epochs().is_empty()),
+        "no other peer may complete epochs"
+    );
+}
+
+#[test]
+fn live_failover_keeps_epochs_coming_past_a_dead_root() {
+    // The flipped assertion: the same kill against a 3-deep succession
+    // line keeps the epoch stream alive — the rank-1 successor detects the
+    // death (continuous detachment past its staggered grace), promotes
+    // itself, and certifies Complete epochs over the survivors.
+    let n = 60;
+    let (topo, data, cfg) = resilient_setup(n, 71);
+    let mh = MultiHierarchy::with_roots(&topo, &[PeerId::new(0), PeerId::new(9), PeerId::new(31)]);
+    let mut w = ResilientProtocol::build_world_multi(
+        &cfg,
+        resilient_rc(),
+        &topo,
+        &mh,
+        &data,
+        SimConfig::default().with_seed(72),
+    );
+    w.start();
+    let kill_at = SimTime::from_micros(12_300_000);
+    w.schedule_kill(kill_at, PeerId::new(0));
+    w.run_until(SimTime::from_micros(90_000_000));
+
+    let successor = w.peer(PeerId::new(9));
+    assert!(successor.is_active_root(), "rank-1 successor takes over");
+    let post = successor
+        .completed_epochs()
+        .iter()
+        .filter(|er| er.started_at > kill_at)
+        .count();
+    assert!(post >= 2, "only {post} post-failover epochs completed");
+
+    // Steady state certifies Complete and is exact over the survivors.
+    let surviving = SystemData::from_local_sets(
+        (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Vec::new()
+                } else {
+                    data.local_items(PeerId::new(i)).to_vec()
+                }
+            })
+            .collect(),
+        data.universe(),
+    );
+    let truth = GroundTruth::compute(&surviving);
+    let t = cfg.threshold.resolve(data.total_value());
+    let lc = successor
+        .last_complete()
+        .expect("a post-failover epoch certifies Complete");
+    assert_eq!(lc.roster.count as usize, n - 1);
+    assert_eq!(lc.answer, truth.frequent_items(t));
 }
 
 #[test]

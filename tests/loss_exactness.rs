@@ -221,6 +221,7 @@ fn resilient_epochs_stay_exact_across_the_loss_grid() {
         },
         query_period: Duration::from_secs(8),
         epoch_timeout: Duration::from_secs(24),
+        ..ResilientConfig::default()
     };
 
     for (i, &drop) in DROP_GRID.iter().enumerate() {
@@ -246,11 +247,17 @@ fn resilient_epochs_stay_exact_across_the_loss_grid() {
             "drop={drop}: only {} epochs completed",
             done.len()
         );
-        for (e, result) in done {
+        for er in done {
             assert_eq!(
-                result,
-                &truth.frequent_items(t),
-                "drop={drop}: epoch {e} inexact"
+                er.answer,
+                truth.frequent_items(t),
+                "drop={drop}: epoch {} inexact",
+                er.epoch
+            );
+            assert!(
+                er.is_complete(),
+                "drop={drop}: epoch {} must be certified complete on a churn-free network",
+                er.epoch
             );
         }
         if drop > 0.0 {
