@@ -8,6 +8,8 @@
 //! cargo run -p ifi-bench --release --bin experiments -- check-baselines --tolerance 0.01
 //! cargo run -p ifi-bench --release --bin experiments -- loss-smoke --drop 0.10
 //! cargo run -p ifi-bench --release --bin experiments -- churn-smoke
+//! cargo run -p ifi-bench --release --bin experiments -- simcheck-smoke
+//! cargo run -p ifi-bench --release --bin experiments -- simcheck-replay results/simcheck/bug-churn-race-20080617.repro
 //! ```
 
 use std::path::PathBuf;
@@ -15,13 +17,16 @@ use std::process::ExitCode;
 
 use ifi_bench::output::DataFile;
 use ifi_bench::{
-    ablation, baseline, churn, depth, fig5, fig6, fig7, fig8, loss, report_checks, Scale,
+    ablation, baseline, churn, depth, fig5, fig6, fig7, fig8, loss, report_checks, simcheck_smoke,
+    Scale, ShapeCheck,
 };
+use ifi_simcheck::{find_case, parse_artifact};
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all]\n\
          \x20                  [check-baselines] [write-baselines] [loss-smoke] [churn-smoke]\n\
+         \x20                  [simcheck-smoke] [simcheck-replay <artifact>]\n\
          \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
          \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]\n\
          \x20                  [--drop <f64>]"
@@ -66,6 +71,7 @@ fn main() -> ExitCode {
     let mut tolerance = 0.01f64;
     let mut metrics_out: Option<PathBuf> = None;
     let mut drop = loss::DEFAULT_DROP;
+    let mut replay_artifact: Option<PathBuf> = None;
     let mut which: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -101,10 +107,14 @@ fn main() -> ExitCode {
                 }
                 drop = v;
             }
-            "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
-            | "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke" => {
-                which.push(Box::leak(arg.clone().into_boxed_str()))
+            "simcheck-replay" => {
+                let Some(p) = it.next() else { usage() };
+                replay_artifact = Some(PathBuf::from(p));
+                which.push("simcheck-replay");
             }
+            "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
+            | "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke"
+            | "simcheck-smoke" => which.push(Box::leak(arg.clone().into_boxed_str())),
             _ => usage(),
         }
     }
@@ -201,10 +211,57 @@ fn main() -> ExitCode {
             }
         }
     }
+    if which.contains(&"simcheck-smoke") {
+        println!("simcheck smoke — schedule exploration + invariant oracles, seed {seed}");
+        let artifacts = out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/simcheck"));
+        let runs = simcheck_smoke::run_smoke(seed, &artifacts);
+        for run in &runs {
+            all_ok &= report_checks(&format!("simcheck — {}", run.name), &run.checks);
+        }
+    }
+    if which.contains(&"simcheck-replay") {
+        let path = replay_artifact.clone().expect("parser sets the path");
+        println!("simcheck replay — {}", path.display());
+        let check = match parse_artifact(&path) {
+            Err(e) => ShapeCheck::new("artifact parses", false, e),
+            Ok(artifact) => match find_case(&artifact.case, artifact.seed) {
+                None => ShapeCheck::new(
+                    "artifact names a registered case",
+                    false,
+                    format!("unknown case {:?}", artifact.case),
+                ),
+                Some(case) => match case.replay(&artifact.perturbation) {
+                    Some(v) if v.oracle == artifact.oracle => ShapeCheck::new(
+                        format!("replay re-fires oracle {:?}", artifact.oracle),
+                        true,
+                        v.detail,
+                    ),
+                    Some(v) => ShapeCheck::new(
+                        format!("replay re-fires oracle {:?}", artifact.oracle),
+                        false,
+                        format!("different oracle {} fired: {}", v.oracle, v.detail),
+                    ),
+                    None => ShapeCheck::new(
+                        format!("replay re-fires oracle {:?}", artifact.oracle),
+                        false,
+                        "all oracles passed on replay",
+                    ),
+                },
+            },
+        };
+        all_ok &= report_checks("simcheck replay", std::slice::from_ref(&check));
+    }
     if which.iter().all(|m| {
         matches!(
             *m,
-            "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke"
+            "check-baselines"
+                | "write-baselines"
+                | "loss-smoke"
+                | "churn-smoke"
+                | "simcheck-smoke"
+                | "simcheck-replay"
         )
     }) {
         return if all_ok {

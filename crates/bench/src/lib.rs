@@ -30,6 +30,7 @@ pub mod loss;
 pub mod output;
 pub mod par;
 mod runner;
+pub mod simcheck_smoke;
 pub mod table;
 
 pub use runner::{instrumented_summary, summarize_netfilter, RunSummary, Scale};

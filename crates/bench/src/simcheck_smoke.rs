@@ -1,0 +1,157 @@
+//! CI smoke pass over the `ifi-simcheck` case registry.
+//!
+//! Drives every registered case with its shipped budget and converts the
+//! outcomes into [`ShapeCheck`]s: clean cases must survive the full
+//! exploration with a healthy distinct-schedule count, pinned historical
+//! bugs must be rediscovered, shrunk, replayed, and serialized to an
+//! artifact that parses back to the same perturbation. Run via
+//! `experiments simcheck-smoke`.
+
+use std::path::Path;
+
+use ifi_simcheck::{all_cases, parse_artifact, write_artifact, Case, ExploreReport};
+
+use crate::ShapeCheck;
+
+/// The distinct-schedule floor each clean case must clear (the ISSUE's
+/// "≥ 50 distinct schedules per (protocol, seed)" acceptance bar).
+pub const MIN_DISTINCT_SCHEDULES: usize = 50;
+
+/// One explored case plus its derived checks.
+pub struct SmokeRun {
+    /// Case name from the registry.
+    pub name: &'static str,
+    /// Shape checks derived from the exploration outcome.
+    pub checks: Vec<ShapeCheck>,
+}
+
+fn clean_checks(case: &Case, report: &ExploreReport) -> Vec<ShapeCheck> {
+    let mut checks = Vec::new();
+    let detail = match &report.violation {
+        None => format!(
+            "{} trials, {} distinct schedules, no violation",
+            report.trials_run, report.distinct_schedules
+        ),
+        Some(f) => format!(
+            "trial {} violated {}: {}",
+            f.trial, f.violation.oracle, f.violation.detail
+        ),
+    };
+    checks.push(ShapeCheck::new(
+        format!(
+            "{}: every oracle holds on every explored schedule",
+            case.name
+        ),
+        report.violation.is_none(),
+        detail,
+    ));
+    checks.push(ShapeCheck::new(
+        format!(
+            "{}: >= {MIN_DISTINCT_SCHEDULES} distinct schedules explored",
+            case.name
+        ),
+        report.distinct_schedules >= MIN_DISTINCT_SCHEDULES,
+        format!("{} distinct", report.distinct_schedules),
+    ));
+    checks
+}
+
+fn bug_checks(case: &Case, report: &ExploreReport, out_dir: &Path) -> Vec<ShapeCheck> {
+    let expected = case.expect_violation.expect("bug case");
+    let mut checks = Vec::new();
+    let Some(found) = &report.violation else {
+        checks.push(ShapeCheck::new(
+            format!("{}: pinned bug rediscovered within budget", case.name),
+            false,
+            format!(
+                "no violation in {} trials / {} distinct schedules",
+                report.trials_run, report.distinct_schedules
+            ),
+        ));
+        return checks;
+    };
+    checks.push(ShapeCheck::new(
+        format!("{}: pinned bug rediscovered within budget", case.name),
+        true,
+        format!("trial {} of {}", found.trial, report.trials_run),
+    ));
+    checks.push(ShapeCheck::new(
+        format!("{}: the matching oracle fired", case.name),
+        found.shrunk_violation.oracle == expected,
+        format!(
+            "expected {expected}, got {}: {}",
+            found.shrunk_violation.oracle, found.shrunk_violation.detail
+        ),
+    ));
+    checks.push(ShapeCheck::new(
+        format!("{}: shrinking never grows the repro", case.name),
+        found.shrunk.len() <= found.perturbation.len(),
+        format!(
+            "{} perturbation elements -> {}",
+            found.perturbation.len(),
+            found.shrunk.len()
+        ),
+    ));
+    let replayed = case.replay(&found.shrunk);
+    checks.push(ShapeCheck::new(
+        format!("{}: shrunk repro replays to the same oracle", case.name),
+        replayed.as_ref().is_some_and(|v| v.oracle == expected),
+        match &replayed {
+            Some(v) => format!("replay violated {}", v.oracle),
+            None => "replay passed all oracles".into(),
+        },
+    ));
+    let artifact = write_artifact(out_dir, case.name, case.config.seed, found)
+        .map_err(|e| e.to_string())
+        .and_then(|path| parse_artifact(&path).map(|a| (path, a)));
+    checks.push(ShapeCheck::new(
+        format!("{}: artifact round-trips through the parser", case.name),
+        artifact.as_ref().is_ok_and(|(_, a)| {
+            a.case == case.name && a.seed == case.config.seed && a.perturbation == found.shrunk
+        }),
+        match &artifact {
+            Ok((path, _)) => format!("wrote {}", path.display()),
+            Err(e) => e.clone(),
+        },
+    ));
+    checks
+}
+
+/// Explores every registered case and writes bug artifacts to `out_dir`.
+pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<SmokeRun> {
+    all_cases(seed)
+        .iter()
+        .map(|case| {
+            let report = case.explore();
+            let checks = if case.expect_violation.is_none() {
+                clean_checks(case, &report)
+            } else {
+                bug_checks(case, &report, out_dir)
+            };
+            SmokeRun {
+                name: case.name,
+                checks,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full CI smoke at the default seed: clean cases hold, all three
+    /// pinned bugs are rediscovered, shrunk, replayed, and serialized.
+    #[test]
+    fn smoke_passes_at_the_default_seed() {
+        let dir = std::env::temp_dir().join("ifi-simcheck-smoke-test");
+        let runs = run_smoke(20080617, &dir);
+        assert_eq!(runs.len(), 6);
+        for run in &runs {
+            for c in &run.checks {
+                assert!(c.holds, "{}: {} ({})", run.name, c.claim, c.detail);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -347,6 +347,12 @@ pub struct ResilientProtocol {
     started_before: bool,
     /// Ack/retransmit envelope for query-critical traffic, when enabled.
     rel: Option<ReliableLink<RMsg>>,
+    /// Regression toggle: restore the pre-fix aggregation bug where the
+    /// per-sender insert-guard did not protect the merge, so a duplicated
+    /// `GroupAgg`/`CandidateAgg` frame was folded in twice. Exists only so
+    /// the schedule-exploration harness (`ifi-simcheck`) can prove it
+    /// rediscovers the historical double-merge; never set in production.
+    legacy_double_merge: bool,
 }
 
 impl ResilientProtocol {
@@ -446,7 +452,17 @@ impl ResilientProtocol {
             epoch_started_at: SimTime::ZERO,
             started_before: false,
             rel: None,
+            legacy_double_merge: false,
         }
+    }
+
+    /// Re-enables the historical pre-fix behavior where the insert-guard on
+    /// aggregation frames did not protect the merge, so duplicated frames
+    /// inflated the aggregate. Test tooling only (see `ifi-simcheck`'s
+    /// pinned regression cases).
+    #[doc(hidden)]
+    pub fn enable_legacy_double_merge(&mut self) {
+        self.legacy_double_merge = true;
     }
 
     /// Enables the ack/retransmit envelope for query-critical messages.
@@ -973,15 +989,15 @@ impl ResilientProtocol {
             } => {
                 // The insert-guard runs *before* the merge so a duplicated
                 // frame (plain mode under duplication faults) can corrupt
-                // neither the aggregate nor the census.
-                if epoch == self.epoch
-                    && !self.p1_sent
-                    && self.p1_acc.is_some()
-                    && self.p1_received.insert(from)
-                {
-                    self.p1_acc.as_mut().expect("guarded above").merge(&vector);
-                    self.p1_census.merge(census);
-                    self.check_p1(ctx);
+                // neither the aggregate nor the census. The legacy toggle
+                // re-opens exactly that hole: a duplicate merges again.
+                if epoch == self.epoch && !self.p1_sent && self.p1_acc.is_some() {
+                    let fresh = self.p1_received.insert(from);
+                    if fresh || self.legacy_double_merge {
+                        self.p1_acc.as_mut().expect("guarded above").merge(&vector);
+                        self.p1_census.merge(census);
+                        self.check_p1(ctx);
+                    }
                 }
             }
             RMsg::Heavy { epoch, lists } => {
@@ -995,17 +1011,16 @@ impl ResilientProtocol {
                 candidates,
                 census,
             } => {
-                if epoch == self.epoch
-                    && !self.p2_sent
-                    && self.p2_acc.is_some()
-                    && self.p2_received.insert(from)
-                {
-                    self.p2_acc
-                        .as_mut()
-                        .expect("guarded above")
-                        .merge(&candidates);
-                    self.p2_census.merge(census);
-                    self.check_p2(ctx);
+                if epoch == self.epoch && !self.p2_sent && self.p2_acc.is_some() {
+                    let fresh = self.p2_received.insert(from);
+                    if fresh || self.legacy_double_merge {
+                        self.p2_acc
+                            .as_mut()
+                            .expect("guarded above")
+                            .merge(&candidates);
+                        self.p2_census.merge(census);
+                        self.check_p2(ctx);
+                    }
                 }
             }
         }

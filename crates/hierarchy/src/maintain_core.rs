@@ -61,6 +61,17 @@ pub struct MaintainCore {
     last_suspected: BTreeSet<PeerId>,
     /// Number of detach events this peer underwent.
     pub detach_count: u32,
+    /// Regression toggle: restore the pre-fix tick order that forgot
+    /// suspected neighbors before the parent status check, combined with
+    /// the tracker's strict (panicking) status lookup. Reproduces the
+    /// historical heartbeat churn-race panic for `ifi-simcheck`'s pinned
+    /// regression cases; never set in production code.
+    legacy_churn_race: bool,
+    /// Regression toggle: drop the parent-depth following and the
+    /// universe-size attach bound, restoring the count-to-infinity freeze
+    /// (stale attachment cycles whose finite depths never climb). For
+    /// `ifi-simcheck` only.
+    legacy_unbounded_depth: bool,
 }
 
 impl MaintainCore {
@@ -86,7 +97,29 @@ impl MaintainCore {
             tracker,
             last_suspected: BTreeSet::new(),
             detach_count: 0,
+            legacy_churn_race: false,
+            legacy_unbounded_depth: false,
         }
+    }
+
+    /// Re-introduces the historical churn-race bug (PR 2's heartbeat
+    /// panic): the tick sweep forgets suspected neighbors *before* the
+    /// parent status check, and the tracker's status lookup panics on
+    /// untracked peers, so a dying parent crashes the peer. Test tooling
+    /// only.
+    #[doc(hidden)]
+    pub fn enable_legacy_churn_race(&mut self) {
+        self.legacy_churn_race = true;
+        self.tracker.set_legacy_strict_status(true);
+    }
+
+    /// Re-introduces the historical count-to-infinity freeze (PR 3's
+    /// maintenance bug): no parent-depth following, no universe-size
+    /// attach bound, so attachment cycles formed after a root death keep
+    /// their stale finite depths forever. Test tooling only.
+    #[doc(hidden)]
+    pub fn enable_legacy_unbounded_depth(&mut self) {
+        self.legacy_unbounded_depth = true;
     }
 
     /// The heartbeat configuration.
@@ -182,11 +215,16 @@ impl MaintainCore {
         match msg {
             MaintainMsg::Heartbeat { depth } => {
                 self.tracker.on_heartbeat(from, depth, now);
-                if self.is_detached() && depth != DEPTH_INF && depth + 1 < self.max_depth {
+                // The legacy toggle drops the universe-size bound (any
+                // finite depth attracts a detached peer) and the
+                // parent-depth following below.
+                let attach_ok = depth != DEPTH_INF
+                    && (self.legacy_unbounded_depth || depth + 1 < self.max_depth);
+                if self.is_detached() && attach_ok {
                     self.depth = depth + 1;
                     self.parent = Some(from);
                     out.push((from, MaintainMsg::Attach));
-                } else if self.parent == Some(from) {
+                } else if self.parent == Some(from) && !self.legacy_unbounded_depth {
                     // Follow the parent's advertised depth. Without this,
                     // stale attachment loops (possible once the root dies:
                     // a detached peer re-attaches to a branch whose own
@@ -233,6 +271,15 @@ impl MaintainCore {
         let mut out = Outbox::new();
         for &nb in &self.neighbors {
             out.push((nb, MaintainMsg::Heartbeat { depth: self.depth }));
+        }
+        if self.legacy_churn_race {
+            // Pre-fix sweep order: act on failures (forget the tracker
+            // entry) before the parent status check. Combined with the
+            // strict status lookup this panics whenever the parent itself
+            // is among the suspects — the historical churn-race crash.
+            for p in self.tracker.suspected(now) {
+                self.tracker.forget(p);
+            }
         }
         let mut changed = false;
         if let Some(p) = self.parent {
@@ -412,6 +459,40 @@ mod tests {
             second.newly_dead.is_empty(),
             "a dead peer must be reported exactly once"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "is not tracked")]
+    fn legacy_churn_race_panics_when_the_parent_dies() {
+        let mut c = core_at(1);
+        c.enable_legacy_churn_race();
+        // Child 2 keeps heartbeating; parent 0 goes silent past the
+        // timeout. The pre-fix sweep forgets the suspected parent, then
+        // the parent status check hits the strict lookup.
+        c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 2 }, t(350));
+        let _ = c.on_tick(t(400));
+    }
+
+    #[test]
+    fn legacy_unbounded_depth_restores_the_freeze_ingredients() {
+        let mut c = core_at(1);
+        c.enable_legacy_unbounded_depth();
+        let _ = c.on_tick(t(400)); // detach (parent silent)
+        assert!(c.is_detached());
+        // The universe-size bound is gone: a depth-2 heartbeat in a
+        // 3-peer universe attracts us to the impossible depth 3.
+        let out = c.on_message(PeerId::new(2), MaintainMsg::Heartbeat { depth: 2 }, t(450));
+        assert_eq!(c.depth(), Some(3));
+        assert!(out.contains(&(PeerId::new(2), MaintainMsg::Attach)));
+        // Parent-depth following is gone too: the stale finite depth
+        // freezes in place even as the parent advertises ∞.
+        let out = c.on_message(
+            PeerId::new(2),
+            MaintainMsg::Heartbeat { depth: DEPTH_INF },
+            t(500),
+        );
+        assert!(out.is_empty());
+        assert_eq!(c.depth(), Some(3), "count-to-infinity freeze restored");
     }
 
     #[test]

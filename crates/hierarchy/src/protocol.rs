@@ -258,6 +258,20 @@ impl MaintainProtocol {
         self.core.detach_count
     }
 
+    /// Re-introduces the historical churn-race panic (see
+    /// [`MaintainCore::enable_legacy_churn_race`]). Test tooling only.
+    #[doc(hidden)]
+    pub fn enable_legacy_churn_race(&mut self) {
+        self.core.enable_legacy_churn_race();
+    }
+
+    /// Re-introduces the historical count-to-infinity freeze (see
+    /// [`MaintainCore::enable_legacy_unbounded_depth`]). Test tooling only.
+    #[doc(hidden)]
+    pub fn enable_legacy_unbounded_depth(&mut self) {
+        self.core.enable_legacy_unbounded_depth();
+    }
+
     fn flush(&mut self, ctx: &mut Ctx<'_, Self>, out: crate::maintain_core::Outbox) {
         ctx.mark_phase("maintenance");
         let hb_bytes = self.core.config().bytes;

@@ -56,6 +56,12 @@ pub struct HeartbeatTracker {
     /// tracking epoch starts at [`HeartbeatTracker::start`].
     last: HashMap<PeerId, (SimTime, Option<u32>)>,
     started: Option<SimTime>,
+    /// Regression toggle: restore the pre-fix behavior where
+    /// [`status`](Self::status) panicked on an untracked peer. Exists only
+    /// so the schedule-exploration harness (`ifi-simcheck`) can prove it
+    /// rediscovers the historical churn-race panic; never set in
+    /// production code.
+    legacy_strict_status: bool,
 }
 
 impl HeartbeatTracker {
@@ -68,7 +74,16 @@ impl HeartbeatTracker {
                 .map(|p| (p, (SimTime::ZERO, None)))
                 .collect(),
             started: None,
+            legacy_strict_status: false,
         }
+    }
+
+    /// Re-enables the historical pre-fix behavior: [`status`](Self::status)
+    /// panics on an untracked peer instead of reporting `Suspected`. Test
+    /// tooling only (see `ifi-simcheck`'s pinned regression cases).
+    #[doc(hidden)]
+    pub fn set_legacy_strict_status(&mut self, on: bool) {
+        self.legacy_strict_status = on;
     }
 
     /// The timing parameters.
@@ -123,6 +138,7 @@ impl HeartbeatTracker {
     pub fn status(&self, peer: PeerId, now: SimTime) -> NeighborStatus {
         assert!(self.started.is_some(), "tracker not started");
         match self.last.get(&peer) {
+            None if self.legacy_strict_status => panic!("peer {peer} is not tracked"),
             None => NeighborStatus::Suspected,
             Some(&(heard, depth)) => {
                 if now.duration_since(heard) > self.config.timeout {
@@ -289,5 +305,14 @@ mod tests {
     fn status_before_start_panics() {
         let hb = HeartbeatTracker::new(HeartbeatConfig::default(), [PeerId::new(1)]);
         let _ = hb.status(PeerId::new(1), t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not tracked")]
+    fn legacy_strict_status_restores_the_pre_fix_panic() {
+        let mut hb = tracker();
+        hb.set_legacy_strict_status(true);
+        hb.forget(PeerId::new(2));
+        let _ = hb.status(PeerId::new(2), t(400));
     }
 }

@@ -68,6 +68,31 @@ impl Topology {
         t
     }
 
+    /// A `rows × cols` grid in row-major order: peer `r·cols + c` links to
+    /// its 4-neighborhood. Deterministic; the schedule-exploration harness
+    /// uses small grids because they maximize same-time delivery ties
+    /// (every interior peer has degree 4 and symmetric distances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid requires rows > 0 and cols > 0");
+        let mut t = Topology::empty(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    t.add_edge(PeerId::new(i), PeerId::new(i + 1));
+                }
+                if r + 1 < rows {
+                    t.add_edge(PeerId::new(i), PeerId::new(i + cols));
+                }
+            }
+        }
+        t
+    }
+
     /// An approximately `d`-regular random graph via the configuration
     /// model: `d` stubs per peer are paired uniformly; self-loops and
     /// parallel edges are discarded and patched by targeted rewiring, and a
@@ -426,6 +451,22 @@ mod tests {
         let star = Topology::star(5);
         assert_eq!(star.degree(PeerId::new(0)), 4);
         assert!(star.is_connected());
+    }
+
+    #[test]
+    fn grid_shape_and_connectivity() {
+        let g = Topology::grid(3, 4);
+        assert_eq!(g.peer_count(), 12);
+        // rows·(cols-1) horizontal + (rows-1)·cols vertical edges.
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        // Corner, edge, and interior degrees.
+        assert_eq!(g.degree(PeerId::new(0)), 2);
+        assert_eq!(g.degree(PeerId::new(1)), 3);
+        assert_eq!(g.degree(PeerId::new(5)), 4);
+        assert!(g.is_connected());
+        g.check_invariants();
+        // Degenerate 1×n grid is the line.
+        assert_eq!(Topology::grid(1, 6), Topology::line(6));
     }
 
     #[test]

@@ -81,6 +81,15 @@ impl<M, T> EventQueue<M, T> {
         self.heap.pop()
     }
 
+    /// Puts back an event popped for inspection, or re-schedules one at a
+    /// new time, *without* assigning a fresh `seq`. Preserving `seq` keeps
+    /// the FIFO tie-break position stable and — crucially — keeps timer
+    /// identity intact, since a timer's `seq` doubles as its cancellation
+    /// id. Used by the schedule-exploration hook in `World`.
+    pub fn reinsert(&mut self, ev: Event<M, T>) {
+        self.heap.push(ev);
+    }
+
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
     }
@@ -151,5 +160,115 @@ mod tests {
         ev(&mut q, 42);
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(42)));
+    }
+
+    #[test]
+    fn reinsert_preserves_seq_and_tie_break_position() {
+        let mut q: EventQueue<u8, ()> = EventQueue::new();
+        let s0 = q.push(
+            SimTime::from_micros(5),
+            EventKind::Kill {
+                peer: PeerId::new(0),
+            },
+        );
+        let s1 = q.push(
+            SimTime::from_micros(5),
+            EventKind::Kill {
+                peer: PeerId::new(1),
+            },
+        );
+        // Pop both, put them back in the opposite order: the pop order
+        // must still follow seq, not reinsertion order.
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        q.reinsert(b);
+        q.reinsert(a);
+        assert_eq!(q.pop().unwrap().seq, s0);
+        assert_eq!(q.pop().unwrap().seq, s1);
+        // A fresh push continues the monotone seq sequence.
+        let s2 = q.push(
+            SimTime::from_micros(1),
+            EventKind::Kill {
+                peer: PeerId::new(2),
+            },
+        );
+        assert_eq!(s2, s1 + 1);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The queue is a *stable* priority queue: events pop sorted by
+            /// time, and events with equal timestamps pop in insertion
+            /// order (ascending `seq`). The schedule-exploration hook
+            /// builds its tied-batch semantics on exactly this contract.
+            #[test]
+            fn fifo_stable_under_equal_timestamps(
+                times in prop::collection::vec(0u64..8, 1..64),
+            ) {
+                let mut q: EventQueue<u8, ()> = EventQueue::new();
+                let seqs: Vec<u64> = times
+                    .iter()
+                    .map(|&t| {
+                        q.push(
+                            SimTime::from_micros(t),
+                            EventKind::Start { peer: PeerId::new(0) },
+                        )
+                    })
+                    .collect();
+                // Seqs are assigned monotonically in push order.
+                prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+
+                let popped: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+                    .map(|e| (e.time.as_micros(), e.seq))
+                    .collect();
+                prop_assert_eq!(popped.len(), times.len());
+                // Lexicographic (time, seq) order — time-sorted, FIFO on
+                // ties — is exactly "sorted by (time, seq)".
+                let mut expect: Vec<(u64, u64)> = times
+                    .iter()
+                    .zip(&seqs)
+                    .map(|(&t, &s)| (t, s))
+                    .collect();
+                expect.sort_unstable();
+                prop_assert_eq!(popped, expect);
+            }
+
+            /// Reinserting any prefix of popped events restores the exact
+            /// pop order: inspection through pop/reinsert is invisible.
+            #[test]
+            fn reinsert_round_trip_is_invisible(
+                times in prop::collection::vec(0u64..6, 1..32),
+                take in 0usize..32,
+            ) {
+                let build = |times: &[u64]| {
+                    let mut q: EventQueue<u8, ()> = EventQueue::new();
+                    for &t in times {
+                        q.push(
+                            SimTime::from_micros(t),
+                            EventKind::Start { peer: PeerId::new(0) },
+                        );
+                    }
+                    q
+                };
+                let mut q = build(&times);
+                let take = take.min(times.len());
+                let held: Vec<_> = (0..take).map(|_| q.pop().unwrap()).collect();
+                for ev in held {
+                    q.reinsert(ev);
+                }
+                let after: Vec<u64> =
+                    std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+                let baseline: Vec<u64> = {
+                    let mut q = build(&times);
+                    std::iter::from_fn(move || q.pop()).map(|e| e.seq).collect()
+                };
+                prop_assert_eq!(after, baseline);
+            }
+        }
     }
 }

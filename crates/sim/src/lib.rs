@@ -67,6 +67,7 @@ mod network;
 mod obs;
 mod reliable;
 mod rng;
+mod sched;
 mod time;
 mod trace;
 mod world;
@@ -78,6 +79,7 @@ pub use network::LatencyModel;
 pub use obs::{EventSink, MetricsReport, PhaseMetrics};
 pub use reliable::{RelConfig, ReliableLink, ReliableMsg, Retransmit};
 pub use rng::{mix64, DetRng};
+pub use sched::{EventInfo, EventTag, ScheduleDecision, ScheduleStrategy, MAX_CONSECUTIVE_DELAYS};
 pub use time::{Duration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceKind};
 pub use world::{Ctx, Protocol, SimConfig, TimerId, World};

@@ -156,6 +156,21 @@ impl EventSink {
         self.mark = None;
     }
 
+    /// Resets all recorded state — phases, the span stack, any handler
+    /// mark, and the event count — keeping the sink enabled for the same
+    /// peer population. Back-to-back instrumented runs call this via
+    /// `World::reset_metrics` so phase boundaries from one run cannot leak
+    /// into the next report.
+    pub fn reset(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        self.phases.clear();
+        self.stack.clear();
+        self.mark = None;
+        self.events = 0;
+    }
+
     /// Records one send of `bytes` by `peer` in `class`, attributed to the
     /// handler mark, else the innermost span, else a phase named after the
     /// class label.

@@ -406,4 +406,129 @@ mod tests {
         assert_eq!(w.next, 3, "watermark compacted past the filled gap");
         assert!(w.sparse.is_empty());
     }
+
+    mod abandon_world {
+        use super::*;
+        use crate::metrics::MsgClass;
+        use crate::time::{Duration, SimTime};
+        use crate::world::{Ctx, Protocol, SimConfig, World};
+
+        const FRAME_BYTES: u64 = 16;
+
+        #[derive(Debug, Clone, Copy)]
+        enum Tm {
+            Retransmit(u64),
+            Abandon,
+        }
+
+        /// Peer 0 sends one reliable frame to peer 1 (dead for the whole
+        /// run), retransmits on timers, and abandons the peer at t = 1 s.
+        #[derive(Debug)]
+        struct Sender {
+            rel: ReliableLink<&'static str>,
+            resends: u32,
+            resends_at_abandon: Option<u32>,
+            gave_up: u32,
+        }
+
+        impl Default for Sender {
+            fn default() -> Self {
+                Sender {
+                    rel: ReliableLink::new(RelConfig::default()),
+                    resends: 0,
+                    resends_at_abandon: None,
+                    gave_up: 0,
+                }
+            }
+        }
+
+        impl Protocol for Sender {
+            type Msg = ReliableMsg<&'static str>;
+            type Timer = Tm;
+
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+                if ctx.self_id().index() != 0 {
+                    return;
+                }
+                let dead = PeerId::new(1);
+                let (seq, frame) = self.rel.send_data(dead, "payload", FRAME_BYTES);
+                let delay = self.rel.rto(seq, 0);
+                ctx.send(dead, frame, FRAME_BYTES, MsgClass::DATA);
+                ctx.set_timer(delay, Tm::Retransmit(seq));
+                ctx.set_timer(Duration::from_secs(1), Tm::Abandon);
+            }
+
+            fn on_message(
+                &mut self,
+                _ctx: &mut Ctx<'_, Self>,
+                from: PeerId,
+                msg: ReliableMsg<&'static str>,
+            ) {
+                if let ReliableMsg::Ack { seq } = msg {
+                    self.rel.on_ack(from, seq);
+                }
+            }
+
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, t: Tm) {
+                match t {
+                    Tm::Abandon => {
+                        self.rel.abandon(PeerId::new(1));
+                        self.resends_at_abandon = Some(self.resends);
+                    }
+                    Tm::Retransmit(seq) => match self.rel.retransmit(seq) {
+                        Retransmit::Resend {
+                            to,
+                            frame,
+                            bytes,
+                            next_delay,
+                        } => {
+                            self.resends += 1;
+                            ctx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+                            ctx.set_timer(next_delay, Tm::Retransmit(seq));
+                        }
+                        Retransmit::Acked => {}
+                        Retransmit::GaveUp { .. } => self.gave_up += 1,
+                    },
+                }
+            }
+        }
+
+        #[test]
+        fn abandoned_peer_stops_retransmitting_without_double_metering() {
+            let mut w = World::new(
+                SimConfig::default().with_seed(31),
+                vec![Sender::default(), Sender::default()],
+            );
+            w.kill_now(PeerId::new(1));
+            w.start();
+            w.run_to_quiescence();
+
+            let s = w.peer(PeerId::new(0));
+            let at_abandon = s
+                .resends_at_abandon
+                .expect("abandon timer fired before quiescence");
+            // The default base RTO (400 ms + jitter) guarantees at least
+            // one resend before the 1 s abandon, so the assertion below is
+            // not vacuous.
+            assert!(at_abandon >= 1, "no resend happened before abandon");
+            // No retransmission fires for the abandoned peer: every timer
+            // pending at abandon time resolved to a silent no-op.
+            assert_eq!(s.resends, at_abandon, "retransmission fired after abandon");
+            assert_eq!(s.gave_up, 0, "abandon escalated to GaveUp");
+            assert_eq!(s.rel.in_flight(), 0);
+            assert_eq!(s.rel.abandoned(), 1);
+            // In-flight bytes are metered exactly once per wire frame —
+            // the original plus each pre-abandon resend; abandoning the
+            // peer charges nothing extra.
+            let expect = FRAME_BYTES * (1 + u64::from(at_abandon));
+            assert_eq!(w.metrics().total_bytes(), expect);
+            assert_eq!(
+                w.metrics().class_bytes(MsgClass::RETRANSMIT),
+                FRAME_BYTES * u64::from(at_abandon)
+            );
+            // And quiescence itself proves no retransmit timer re-armed
+            // after the abandon; the clock stopped at the last no-op timer.
+            assert!(w.now() >= SimTime::from_micros(1_000_000));
+        }
+    }
 }

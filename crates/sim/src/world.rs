@@ -3,13 +3,16 @@
 
 use std::collections::HashSet;
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::FaultPlan;
 use crate::id::PeerId;
 use crate::metrics::{Metrics, MsgClass};
 use crate::network::LatencyModel;
 use crate::obs::{EventSink, MetricsReport};
-use crate::rng::DetRng;
+use crate::rng::{mix64, DetRng};
+use crate::sched::{
+    EventInfo, EventTag, ScheduleDecision, ScheduleStrategy, MAX_CONSECUTIVE_DELAYS,
+};
 use crate::time::{Duration, SimTime};
 use crate::trace::{Trace, TraceKind};
 
@@ -122,8 +125,31 @@ struct Kernel<M, T> {
     up: Vec<bool>,
     cancelled_timers: HashSet<u64>,
     events_processed: u64,
+    /// Order-sensitive digest of the executed schedule: folds every fired
+    /// event's `seq` through [`mix64`]. Two runs with the same fingerprint
+    /// fired the same events in the same order.
+    sched_fingerprint: u64,
     trace: Option<Trace>,
     sink: EventSink,
+}
+
+/// Scheduling metadata of a pending event, as shown to a strategy.
+fn event_info<M, T>(ev: &Event<M, T>) -> EventInfo {
+    let tag = match &ev.kind {
+        EventKind::Deliver { from, to, .. } => EventTag::Deliver {
+            from: *from,
+            to: *to,
+        },
+        EventKind::Timer { peer, .. } => EventTag::Timer { peer: *peer },
+        EventKind::Start { peer } => EventTag::Start { peer: *peer },
+        EventKind::Kill { peer } => EventTag::Kill { peer: *peer },
+        EventKind::Revive { peer } => EventTag::Revive { peer: *peer },
+    };
+    EventInfo {
+        time: ev.time,
+        seq: ev.seq,
+        tag,
+    }
 }
 
 impl<M: std::fmt::Debug + Clone, T: std::fmt::Debug> Kernel<M, T> {
@@ -294,6 +320,9 @@ impl<'a, P: Protocol> Ctx<'a, P> {
 pub struct World<P: Protocol> {
     kernel: Kernel<P::Msg, P::Timer>,
     peers: Vec<Option<P>>,
+    /// Schedule-exploration hook ([`ScheduleStrategy`]); `None` runs the
+    /// classic FIFO tie-break with zero overhead.
+    strategy: Option<Box<dyn ScheduleStrategy>>,
 }
 
 impl<P: Protocol> World<P> {
@@ -314,10 +343,12 @@ impl<P: Protocol> World<P> {
                 up: vec![true; n],
                 cancelled_timers: HashSet::new(),
                 events_processed: 0,
+                sched_fingerprint: 0,
                 trace: None,
                 sink: EventSink::disabled(),
             },
             peers: peers.into_iter().map(Some).collect(),
+            strategy: None,
         }
     }
 
@@ -393,9 +424,39 @@ impl<P: Protocol> World<P> {
     }
 
     /// Resets communication metrics (e.g. after a warm-up phase), keeping
-    /// protocol and clock state.
+    /// protocol and clock state. The event sink is reset too — including
+    /// span stacks and handler phase marks — so a subsequent
+    /// [`MetricsReport`] reflects only post-reset activity.
     pub fn reset_metrics(&mut self) {
         self.kernel.metrics.reset();
+        self.kernel.sink.reset();
+    }
+
+    /// Installs a schedule strategy: from now on every event pop presents
+    /// the batch of events tied at the minimum time to `strategy` (see
+    /// [`ScheduleStrategy`]). Installing `None`-like behavior back is done
+    /// by [`clear_strategy`](Self::clear_strategy).
+    pub fn install_strategy(&mut self, strategy: Box<dyn ScheduleStrategy>) {
+        self.strategy = Some(strategy);
+    }
+
+    /// Removes the schedule strategy, restoring the FIFO tie-break.
+    pub fn clear_strategy(&mut self) {
+        self.strategy = None;
+    }
+
+    /// Order-sensitive digest of the schedule executed so far: every fired
+    /// event's `seq` folded through [`mix64`]. Distinct interleavings of
+    /// the same event population yield distinct fingerprints (up to hash
+    /// collisions), which is how the exploration harness counts how many
+    /// genuinely different schedules it has covered.
+    pub fn schedule_fingerprint(&self) -> u64 {
+        self.kernel.sched_fingerprint
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.kernel.queue.peek_time()
     }
 
     /// Enables the structured event sink: from now on every send is also
@@ -478,15 +539,12 @@ impl<P: Protocol> World<P> {
 
     /// Runs all events with `time <= until`, then advances the clock to
     /// exactly `until`. Suitable for protocols with periodic timers that
-    /// never quiesce (heartbeats).
+    /// never quiesce (heartbeats). A schedule strategy cannot smuggle an
+    /// event past the horizon: a delay that would land beyond `until`
+    /// degrades to firing the event in place.
     pub fn run_until(&mut self, until: SimTime) {
         let t0 = self.kernel.sink.is_enabled().then(std::time::Instant::now);
-        while let Some(t) = self.kernel.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            self.step();
-        }
+        while self.step_until(until) {}
         if self.kernel.now < until {
             self.kernel.now = until;
         }
@@ -497,9 +555,87 @@ impl<P: Protocol> World<P> {
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.kernel.queue.pop() else {
+        self.step_bounded(None)
+    }
+
+    /// Processes a single event scheduled at or before `bound`. Returns
+    /// `false` when no such event is pending (the clock is *not* advanced
+    /// to `bound`; [`run_until`](Self::run_until) does that).
+    pub fn step_until(&mut self, bound: SimTime) -> bool {
+        self.step_bounded(Some(bound))
+    }
+
+    /// Pops the next event to fire, consulting the installed strategy on
+    /// the batch of events tied at the minimum pending time. With no
+    /// strategy this is exactly `queue.pop()` gated on `bound`.
+    fn pop_scheduled(&mut self, bound: Option<SimTime>) -> Option<Event<P::Msg, P::Timer>> {
+        if self.strategy.is_none() {
+            let t = self.kernel.queue.peek_time()?;
+            if bound.is_some_and(|b| t > b) {
+                return None;
+            }
+            return self.kernel.queue.pop();
+        }
+        let mut delays = 0usize;
+        'batch: loop {
+            let t = self.kernel.queue.peek_time()?;
+            if bound.is_some_and(|b| t > b) {
+                return None;
+            }
+            // Gather the tied batch; heap pop order at equal time is
+            // ascending seq, so the batch arrives FIFO-sorted.
+            let mut batch = Vec::new();
+            while self.kernel.queue.peek_time() == Some(t) {
+                batch.push(self.kernel.queue.pop().expect("peeked event present"));
+            }
+            loop {
+                let infos: Vec<EventInfo> = batch.iter().map(event_info).collect();
+                let decision = self
+                    .strategy
+                    .as_mut()
+                    .expect("strategy checked above")
+                    .decide(&infos);
+                let (index, delay_by) = match decision {
+                    ScheduleDecision::Take(i) => (i % batch.len(), None),
+                    ScheduleDecision::Delay { index, micros } => {
+                        (index % batch.len(), Some(micros.max(1)))
+                    }
+                };
+                if let Some(micros) = delay_by {
+                    let target = t + Duration::from_micros(micros);
+                    // Delays apply to deliveries only (timer durations are
+                    // protocol semantics, kills/revives are the driver's
+                    // churn script), within the livelock budget, and never
+                    // across the caller's horizon.
+                    let honorable = matches!(batch[index].kind, EventKind::Deliver { .. })
+                        && delays < MAX_CONSECUTIVE_DELAYS
+                        && bound.is_none_or(|b| target <= b);
+                    if honorable {
+                        delays += 1;
+                        let mut ev = batch.remove(index);
+                        ev.time = target;
+                        self.kernel.queue.reinsert(ev);
+                        if batch.is_empty() {
+                            continue 'batch;
+                        }
+                        continue;
+                    }
+                    // Degrade to Take(index).
+                }
+                let ev = batch.remove(index);
+                for rest in batch {
+                    self.kernel.queue.reinsert(rest);
+                }
+                return Some(ev);
+            }
+        }
+    }
+
+    fn step_bounded(&mut self, bound: Option<SimTime>) -> bool {
+        let Some(ev) = self.pop_scheduled(bound) else {
             return false;
         };
+        self.kernel.sched_fingerprint = mix64(self.kernel.sched_fingerprint ^ mix64(ev.seq));
         self.kernel.events_processed += 1;
         assert!(
             self.kernel.events_processed <= self.kernel.config.max_events,
@@ -967,5 +1103,164 @@ mod tests {
         w.run_to_quiescence();
         assert!(w.peer(PeerId::new(1)).seen);
         assert_eq!(w.metrics().class_bytes(MsgClass::CONTROL), 16);
+    }
+
+    /// Records the payloads it receives, in delivery order.
+    #[derive(Debug, Default)]
+    struct Recorder {
+        got: Vec<u8>,
+    }
+
+    impl Protocol for Recorder {
+        type Msg = u8;
+        type Timer = ();
+
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Self>, _f: PeerId, m: u8) {
+            self.got.push(m);
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _t: ()) {}
+    }
+
+    fn two_simultaneous(strategy: Option<Box<dyn ScheduleStrategy>>) -> World<Recorder> {
+        // Two injected messages with identical (constant) latency: they tie
+        // at the same delivery time and FIFO order is payload order.
+        let mut w = World::new(
+            SimConfig::default().with_seed(21),
+            vec![Recorder::default(), Recorder::default()],
+        );
+        if let Some(s) = strategy {
+            w.install_strategy(s);
+        }
+        w.inject(PeerId::new(0), PeerId::new(1), 1, 4, MsgClass::DATA);
+        w.inject(PeerId::new(0), PeerId::new(1), 2, 4, MsgClass::DATA);
+        w
+    }
+
+    #[derive(Debug)]
+    struct TakeLast;
+    impl ScheduleStrategy for TakeLast {
+        fn decide(&mut self, batch: &[EventInfo]) -> ScheduleDecision {
+            ScheduleDecision::Take(batch.len() - 1)
+        }
+    }
+
+    #[derive(Debug)]
+    struct TakeFirst;
+    impl ScheduleStrategy for TakeFirst {
+        fn decide(&mut self, _batch: &[EventInfo]) -> ScheduleDecision {
+            ScheduleDecision::Take(0)
+        }
+    }
+
+    #[derive(Debug)]
+    struct AlwaysDelay;
+    impl ScheduleStrategy for AlwaysDelay {
+        fn decide(&mut self, _batch: &[EventInfo]) -> ScheduleDecision {
+            ScheduleDecision::Delay {
+                index: 0,
+                micros: 1_000,
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_take_reverses_the_tie_break() {
+        let mut w = two_simultaneous(None);
+        w.run_to_quiescence();
+        assert_eq!(w.peer(PeerId::new(1)).got, vec![1, 2]);
+
+        let mut w = two_simultaneous(Some(Box::new(TakeLast)));
+        w.run_to_quiescence();
+        assert_eq!(w.peer(PeerId::new(1)).got, vec![2, 1]);
+    }
+
+    #[test]
+    fn take_zero_strategy_is_the_identity() {
+        let mut base = two_simultaneous(None);
+        base.run_to_quiescence();
+        let mut hooked = two_simultaneous(Some(Box::new(TakeFirst)));
+        hooked.run_to_quiescence();
+        assert_eq!(
+            hooked.peer(PeerId::new(1)).got,
+            base.peer(PeerId::new(1)).got
+        );
+        assert_eq!(hooked.schedule_fingerprint(), base.schedule_fingerprint());
+        assert_eq!(hooked.now(), base.now());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_interleavings() {
+        let mut a = two_simultaneous(Some(Box::new(TakeFirst)));
+        a.run_to_quiescence();
+        let mut b = two_simultaneous(Some(Box::new(TakeLast)));
+        b.run_to_quiescence();
+        assert_ne!(a.schedule_fingerprint(), b.schedule_fingerprint());
+        // Same strategy, same seed: bit-for-bit the same schedule.
+        let mut c = two_simultaneous(Some(Box::new(TakeLast)));
+        c.run_to_quiescence();
+        assert_eq!(b.schedule_fingerprint(), c.schedule_fingerprint());
+    }
+
+    #[test]
+    fn adversarial_delay_cannot_livelock_the_world() {
+        let mut w = two_simultaneous(Some(Box::new(AlwaysDelay)));
+        w.run_to_quiescence();
+        // The livelock guard forces takes; both messages still arrive,
+        // later than the unperturbed schedule.
+        assert_eq!(w.peer(PeerId::new(1)).got.len(), 2);
+        assert!(w.now() > SimTime::from_micros(50_000));
+    }
+
+    #[test]
+    fn delay_degrades_to_take_for_timers() {
+        let run = |strategy: Option<Box<dyn ScheduleStrategy>>| {
+            let mut w = World::new(SimConfig::default().with_seed(3), vec![Ticker::default()]);
+            if let Some(s) = strategy {
+                w.install_strategy(s);
+            }
+            w.start();
+            w.run_to_quiescence();
+            (w.peer(PeerId::new(0)).fired.clone(), w.now())
+        };
+        // Timers are protocol semantics: a delay-everything strategy must
+        // not move them, so the run is identical to the baseline.
+        assert_eq!(run(None), run(Some(Box::new(AlwaysDelay))));
+    }
+
+    #[test]
+    fn run_until_holds_the_horizon_against_delays() {
+        let mut w = two_simultaneous(Some(Box::new(AlwaysDelay)));
+        let horizon = SimTime::from_micros(50_000);
+        w.run_until(horizon);
+        // Deliveries tied at exactly the horizon cannot be pushed past it:
+        // the delay degrades and both fire at the horizon.
+        assert_eq!(w.now(), horizon);
+        assert_eq!(w.peer(PeerId::new(1)).got.len(), 2);
+    }
+
+    #[test]
+    fn reset_metrics_clears_sink_phases_and_marks() {
+        let mut w = World::new(
+            SimConfig::default().with_seed(9),
+            vec![Marked::default(), Marked::default()],
+        );
+        w.enable_metrics_sink();
+        w.start();
+        w.run_to_quiescence();
+        assert!(w.metrics_report().phase_bytes("probe") > 0);
+        w.sink_mut().enter("leftover-span");
+        w.reset_metrics();
+        // Phases, spans, marks, and counters are gone; the sink is still
+        // enabled and meters new traffic from a clean slate.
+        assert!(w.sink().is_enabled());
+        assert_eq!(w.sink().events_recorded(), 0);
+        assert!(w.metrics_report().phases.is_empty());
+        w.inject(PeerId::new(0), PeerId::new(1), (), 5, MsgClass::DATA);
+        w.run_to_quiescence();
+        let report = w.metrics_report();
+        assert_eq!(report.phase_bytes("probe"), 0);
+        assert_eq!(report.phase_bytes("leftover-span"), 0);
+        assert_eq!(report.phase_bytes("data"), 5);
     }
 }

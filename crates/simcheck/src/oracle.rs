@@ -1,0 +1,299 @@
+//! Invariant oracles: small structs judging a [`World`] mid-run or at the
+//! end of a trial.
+//!
+//! Oracles are pure observers — they read protocol state through public
+//! accessors and never mutate the world. Each returns `Err(detail)` on
+//! the first violated invariant; the explorer converts that (or a handler
+//! panic) into a [`Violation`] and hands the schedule to the shrinker.
+
+use std::collections::BTreeMap;
+
+use ifi_hierarchy::{Hierarchy, MaintainProtocol};
+use ifi_overlay::Topology;
+use ifi_sim::{PeerId, Protocol, World};
+use ifi_workload::{GroundTruth, ItemId};
+use netfilter::phases;
+use netfilter::protocol::NetFilterProtocol;
+use netfilter::resilient::ResilientProtocol;
+use netfilter::CostBreakdown;
+
+/// When an oracle is being consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Checkpoint {
+    /// A periodic mid-run check (the world may be in a transient state).
+    Interval,
+    /// The end of the trial: quiescence, or the configured horizon.
+    End,
+}
+
+/// One violated invariant (or a captured handler panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The oracle that fired — `"panic"` for a captured handler panic.
+    pub oracle: String,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+    /// A window of the world's event trace leading up to the violation
+    /// (empty when tracing was off or the run died in a panic).
+    pub trace: Vec<String>,
+}
+
+/// An invariant over a `World<P>`, checked at interval and end
+/// checkpoints. Implementations may carry state across checkpoints (e.g.
+/// the epoch-fence oracle remembers the last epoch seen per peer).
+pub trait Oracle<P: Protocol> {
+    /// Stable oracle name, used in artifacts and expectations.
+    fn name(&self) -> &'static str;
+    /// Checks the invariant; `Err` describes the first violation.
+    fn check(&mut self, world: &World<P>, at: Checkpoint) -> Result<(), String>;
+}
+
+/// netFilter exactness: at the end of the run the root must hold exactly
+/// the ground-truth frequent-item set, values included.
+#[derive(Debug)]
+pub struct ExactnessOracle {
+    /// The query root.
+    pub root: PeerId,
+    /// The ground-truth IFI answer.
+    pub expected: Vec<(ItemId, u64)>,
+}
+
+impl Oracle<NetFilterProtocol> for ExactnessOracle {
+    fn name(&self) -> &'static str {
+        "exactness"
+    }
+
+    fn check(&mut self, world: &World<NetFilterProtocol>, at: Checkpoint) -> Result<(), String> {
+        if at != Checkpoint::End {
+            return Ok(());
+        }
+        match world.peer(self.root).result() {
+            None => Err("root never produced a result".into()),
+            Some(got) if got == self.expected.as_slice() => Ok(()),
+            Some(got) => Err(format!(
+                "root answer diverges from ground truth: {} items reported, {} expected",
+                got.len(),
+                self.expected.len()
+            )),
+        }
+    }
+}
+
+/// Cost reconciliation: the metrics report must match the instant
+/// engine's per-phase [`CostBreakdown`] byte-for-byte, with any extra
+/// bytes confined to the declared retransmit overhead phase.
+#[derive(Debug)]
+pub struct CostOracle {
+    /// The instant engine's per-phase byte accounting for this workload.
+    pub cost: CostBreakdown,
+}
+
+impl Oracle<NetFilterProtocol> for CostOracle {
+    fn name(&self) -> &'static str {
+        "cost-reconcile"
+    }
+
+    fn check(&mut self, world: &World<NetFilterProtocol>, at: Checkpoint) -> Result<(), String> {
+        if at != Checkpoint::End {
+            return Ok(());
+        }
+        let report = world.metrics_report();
+        self.cost
+            .reconcile_with_overhead(&report, &[phases::RETRANSMIT])
+    }
+}
+
+/// Hierarchy well-formedness at the end of a maintenance run: with the
+/// root alive every live peer is attached and parent/depth links form a
+/// consistent tree over topology edges (then double-checked through
+/// [`Hierarchy::check_invariants`]); with the root dead every live peer
+/// must have converged to the detached state — a frozen finite depth is
+/// exactly the count-to-infinity failure.
+#[derive(Debug)]
+pub struct TreeOracle {
+    /// The overlay the tree must be embedded in.
+    pub topology: Topology,
+    /// The hierarchy root.
+    pub root: PeerId,
+}
+
+impl Oracle<MaintainProtocol> for TreeOracle {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn check(&mut self, world: &World<MaintainProtocol>, at: Checkpoint) -> Result<(), String> {
+        if at != Checkpoint::End {
+            return Ok(());
+        }
+        let n = world.peer_count();
+        if !world.is_up(self.root) {
+            // No live root anywhere: depth-following must have squeezed
+            // every stale finite depth out of the system by now.
+            for i in 0..n {
+                let p = PeerId::new(i);
+                if world.is_up(p) && !world.peer(p).is_detached() {
+                    return Err(format!(
+                        "root {} is dead but peer {p} still holds depth {:?} under parent {:?}",
+                        self.root,
+                        world.peer(p).depth(),
+                        world.peer(p).parent()
+                    ));
+                }
+            }
+            return Ok(());
+        }
+        let mut parents: Vec<Option<PeerId>> = vec![None; n];
+        for (i, slot) in parents.iter_mut().enumerate() {
+            let p = PeerId::new(i);
+            if !world.is_up(p) {
+                continue;
+            }
+            let peer = world.peer(p);
+            let Some(d) = peer.depth() else {
+                return Err(format!("peer {p} is still detached with the root alive"));
+            };
+            if p == self.root {
+                if d != 0 || peer.parent().is_some() {
+                    return Err(format!(
+                        "root {p} has depth {d} / parent {:?}",
+                        peer.parent()
+                    ));
+                }
+                continue;
+            }
+            if d == 0 {
+                return Err(format!("non-root peer {p} claims depth 0"));
+            }
+            let Some(q) = peer.parent() else {
+                return Err(format!("peer {p} has depth {d} but no parent"));
+            };
+            if !world.is_up(q) {
+                return Err(format!("peer {p}'s parent {q} is dead"));
+            }
+            if !self.topology.neighbors(p).contains(&q) {
+                return Err(format!("peer {p}'s parent {q} is not an overlay neighbor"));
+            }
+            let pd = world
+                .peer(q)
+                .depth()
+                .ok_or_else(|| format!("peer {p}'s parent {q} is detached"))?;
+            if pd + 1 != d {
+                return Err(format!(
+                    "depth mismatch: peer {p} at depth {d} under parent {q} at depth {pd}"
+                ));
+            }
+            *slot = Some(q);
+        }
+        // Depth consistency makes parent chains strictly descend to the
+        // unique depth-0 peer, so this cannot panic on a cycle. Structural
+        // check only: repair re-attaches along whatever live edge is
+        // available first, so post-crash depths are consistent but not
+        // BFS-minimal, and edge membership was already checked above.
+        let snapshot = Hierarchy::from_parents(self.root, &parents);
+        snapshot.check_invariants(None);
+        Ok(())
+    }
+}
+
+/// Epoch-fence monotonicity: no peer's served epoch ever regresses.
+#[derive(Debug, Default)]
+pub struct EpochFenceOracle {
+    last: Vec<u64>,
+}
+
+impl EpochFenceOracle {
+    /// Creates the oracle with no epochs observed yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Oracle<ResilientProtocol> for EpochFenceOracle {
+    fn name(&self) -> &'static str {
+        "epoch-fence"
+    }
+
+    fn check(&mut self, world: &World<ResilientProtocol>, _at: Checkpoint) -> Result<(), String> {
+        if self.last.is_empty() {
+            self.last = vec![0; world.peer_count()];
+        }
+        for (i, peer) in world.peers().enumerate() {
+            let e = peer.epoch();
+            if e < self.last[i] {
+                return Err(format!("peer {i} epoch regressed {} -> {e}", self.last[i]));
+            }
+            self.last[i] = e;
+        }
+        Ok(())
+    }
+}
+
+/// Answer non-inflation: no completed epoch, complete *or* partial, may
+/// report an item above its true global value. Double-merging a
+/// duplicated aggregation frame violates this immediately, even though
+/// the inflated census demotes the epoch's certificate to `Partial`.
+#[derive(Debug)]
+pub struct NoInflationOracle {
+    /// The ground-truth fold of the workload.
+    pub truth: GroundTruth,
+}
+
+impl Oracle<ResilientProtocol> for NoInflationOracle {
+    fn name(&self) -> &'static str {
+        "no-inflation"
+    }
+
+    fn check(&mut self, world: &World<ResilientProtocol>, _at: Checkpoint) -> Result<(), String> {
+        for (i, peer) in world.peers().enumerate() {
+            for er in peer.completed_epochs() {
+                for &(item, v) in &er.answer {
+                    let t = self.truth.value_of(item);
+                    if v > t {
+                        return Err(format!(
+                            "peer {i} epoch {}: item {item:?} reported {v} > true value {t}",
+                            er.epoch
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Certificate soundness: an epoch certified `Complete` must equal the
+/// exact IFI over the full roster — the certified answer, the whole
+/// answer, and nothing but the answer.
+#[derive(Debug)]
+pub struct CensusSoundnessOracle {
+    /// The exact IFI answer over the full peer set.
+    pub expected: Vec<(ItemId, u64)>,
+}
+
+impl Oracle<ResilientProtocol> for CensusSoundnessOracle {
+    fn name(&self) -> &'static str {
+        "census-soundness"
+    }
+
+    fn check(&mut self, world: &World<ResilientProtocol>, _at: Checkpoint) -> Result<(), String> {
+        for (i, peer) in world.peers().enumerate() {
+            for er in peer.completed_epochs() {
+                if er.is_complete() && er.answer != self.expected {
+                    let got: BTreeMap<ItemId, u64> = er.answer.iter().copied().collect();
+                    let want: BTreeMap<ItemId, u64> = self.expected.iter().copied().collect();
+                    let diff = got
+                        .iter()
+                        .find(|(k, v)| want.get(k) != Some(v))
+                        .map(|(k, v)| format!("item {k:?} reported {v}"))
+                        .unwrap_or_else(|| "an expected item is missing".into());
+                    return Err(format!(
+                        "peer {i} epoch {} certified Complete but diverges from ground truth: {diff}",
+                        er.epoch
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -5,7 +5,7 @@
 //! change its answer.
 
 use ifi_hierarchy::Hierarchy;
-use ifi_sim::{EventSink, MsgClass, PeerId};
+use ifi_sim::{Ctx, EventSink, MsgClass, PeerId, Protocol, SimConfig, World};
 use ifi_workload::{SystemData, WorkloadParams};
 use netfilter::{NetFilter, NetFilterConfig, Threshold};
 use proptest::prelude::*;
@@ -92,4 +92,60 @@ proptest! {
         prop_assert_eq!(report.total_messages(), 0);
         prop_assert!(report.phase("phase-a").is_none());
     }
+}
+
+/// Two-peer probe whose handlers tag their traffic with distinct phase
+/// marks, so a stale mark from before a reset is visible in the report.
+#[derive(Debug, Default)]
+struct MarkedProbe;
+
+impl Protocol for MarkedProbe {
+    type Msg = u8;
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if ctx.self_id().index() == 0 {
+            ctx.mark_phase("warmup");
+            ctx.send(PeerId::new(1), 1, 11, MsgClass::CONTROL);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, _from: PeerId, msg: u8) {
+        if msg == 2 {
+            ctx.mark_phase("measured");
+            ctx.send(PeerId::new(0), 3, 7, MsgClass::DATA);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _t: ()) {}
+}
+
+/// Regression: `World::reset_metrics` used to reset byte counters but not
+/// the sink's span stack and handler phase marks, so back-to-back
+/// instrumented runs leaked the warm-up run's phase boundaries into the
+/// next `MetricsReport`. After a reset the report must reflect only
+/// post-reset activity under post-reset marks.
+#[test]
+fn reset_metrics_clears_phase_marks_between_instrumented_runs() {
+    let mut w = World::new(
+        SimConfig::default().with_seed(5),
+        vec![MarkedProbe, MarkedProbe],
+    );
+    w.enable_metrics_sink();
+    w.start();
+    w.run_to_quiescence();
+    assert_eq!(w.metrics_report().phase_bytes("warmup"), 11);
+
+    w.reset_metrics();
+    assert!(w.sink().is_enabled(), "reset must not disable the sink");
+    assert!(w.metrics_report().phases.is_empty());
+    assert_eq!(w.metrics().total_bytes(), 0);
+
+    // Second instrumented run over the same world: its traffic lands
+    // under its own mark, and nothing resurfaces under the stale one.
+    w.inject(PeerId::new(0), PeerId::new(1), 2, 5, MsgClass::CONTROL);
+    w.run_to_quiescence();
+    let report = w.metrics_report();
+    assert_eq!(report.phase_bytes("warmup"), 0, "stale phase mark leaked");
+    assert_eq!(report.phase_bytes("measured"), 7);
 }
