@@ -68,7 +68,7 @@ pub fn aggregate<A: Aggregate>(
             let child_value = acc[c.index()]
                 .take()
                 .expect("post-order guarantees children are evaluated first");
-            value.merge(&child_value);
+            value.merge_owned(child_value);
         }
         if p != hierarchy.root() {
             // The peer forwards its merged subtree value upward.
@@ -154,7 +154,7 @@ impl<A: Aggregate + 'static> Protocol for ConvergecastProtocol<A> {
         self.acc
             .as_mut()
             .expect("internal node still holds its accumulator")
-            .merge(&msg);
+            .merge_owned(msg);
         self.pending_children -= 1;
         self.maybe_forward(ctx);
     }

@@ -16,6 +16,15 @@ pub trait Aggregate: Clone + std::fmt::Debug {
     /// Folds `other` into `self`.
     fn merge(&mut self, other: &Self);
 
+    /// Folds an **owned** `other` into `self`. Must compute exactly the
+    /// same value as [`merge`](Aggregate::merge); implementations may
+    /// exploit ownership (e.g. keeping the larger of two containers) to
+    /// avoid re-inserting the bigger side. The default delegates to
+    /// `merge`, so overriding is purely an optimization.
+    fn merge_owned(&mut self, other: Self) {
+        self.merge(&other);
+    }
+
     /// Bytes needed to transmit this value under the given size model.
     fn encoded_bytes(&self, sizes: &WireSizes) -> u64;
 }
@@ -80,12 +89,22 @@ pub struct MapSum(pub BTreeMap<ItemId, u64>);
 
 impl MapSum {
     /// Builds from `(item, value)` pairs, summing duplicates.
+    ///
+    /// Sorts the pairs and folds duplicate keys first, so the map is built
+    /// from a sorted deduplicated run — `BTreeMap::from_iter` bulk-loads
+    /// sorted input in linear time, vs one `O(log n)` rebalancing insert
+    /// per pair.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (ItemId, u64)>) -> Self {
-        let mut m = BTreeMap::new();
-        for (k, v) in pairs {
-            *m.entry(k).or_insert(0) += v;
+        let mut v: Vec<(ItemId, u64)> = pairs.into_iter().collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        let mut folded: Vec<(ItemId, u64)> = Vec::with_capacity(v.len());
+        for (k, val) in v {
+            match folded.last_mut() {
+                Some((lk, lv)) if *lk == k => *lv += val,
+                _ => folded.push((k, val)),
+            }
         }
-        MapSum(m)
+        MapSum(folded.into_iter().collect())
     }
 
     /// Number of entries.
@@ -107,6 +126,20 @@ impl MapSum {
 impl Aggregate for MapSum {
     fn merge(&mut self, other: &Self) {
         for (&k, &v) in &other.0 {
+            *self.0.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Union-by-size: keeps the larger map and re-inserts only the smaller
+    /// side. Addition is commutative, so the result (and therefore
+    /// [`encoded_bytes`](Aggregate::encoded_bytes) of the merged value) is
+    /// identical to [`merge`](Aggregate::merge) — only the insert count
+    /// changes, which is what makes deep naive-approach unions cheap.
+    fn merge_owned(&mut self, mut other: Self) {
+        if other.0.len() > self.0.len() {
+            std::mem::swap(&mut self.0, &mut other.0);
+        }
+        for (k, v) in other.0 {
             *self.0.entry(k).or_insert(0) += v;
         }
     }
@@ -164,6 +197,32 @@ mod tests {
         assert_eq!(m.value(ItemId(1)), 5);
         assert_eq!(m.len(), 1);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn merge_owned_matches_merge_in_both_directions() {
+        // The swap-to-larger fast path must be observationally identical
+        // to the by-reference merge, whichever side is bigger.
+        let small = MapSum::from_pairs([(ItemId(2), 2), (ItemId(9), 7)]);
+        let big = MapSum::from_pairs([(ItemId(1), 5), (ItemId(2), 1), (ItemId(3), 3)]);
+        for (a, b) in [(small.clone(), big.clone()), (big, small)] {
+            let mut by_ref = a.clone();
+            by_ref.merge(&b);
+            let mut by_own = a;
+            by_own.merge_owned(b);
+            assert_eq!(by_own, by_ref);
+            assert_eq!(
+                by_own.encoded_bytes(&WireSizes::default()),
+                by_ref.encoded_bytes(&WireSizes::default())
+            );
+        }
+        // Default delegation path (no override).
+        let mut s = ScalarSum(1);
+        s.merge_owned(ScalarSum(2));
+        assert_eq!(s, ScalarSum(3));
+        let mut v = VecSum(vec![1, 2]);
+        v.merge_owned(VecSum(vec![3, 4]));
+        assert_eq!(v.0, vec![4, 6]);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use netfilter::approx::{self, ApproxRun};
 use netfilter::gossip_filter::{self, GossipFilterConfig};
 use netfilter::{analysis, tuning, NetFilter, NetFilterConfig, Threshold, WireSizes};
 
+use crate::par::par_map;
 use crate::runner::{summarize_netfilter, Scale};
 use crate::table::{f1, Table};
 use crate::ShapeCheck;
@@ -63,10 +64,15 @@ pub fn run(scale: Scale, seed: u64) -> Ablation {
         truth.avg_value(),
         tuning::G_SLACK,
     );
+    let g_points: Vec<u32> = (10..=500).step_by(10).collect();
+    let g_costs = par_map(g_points.clone(), |g| {
+        summarize_netfilter(&h, &data, g, 3, phi).total
+    });
     let mut best_g = (0u32, f64::INFINITY);
     let mut cost_at_analytic_g = f64::NAN;
-    for g in (10..=500).step_by(10) {
-        let c = summarize_netfilter(&h, &data, g, 3, phi).total;
+    // Serial fold over in-order results keeps the first-minimum
+    // tie-break identical to the old serial sweep.
+    for (&g, &c) in g_points.iter().zip(&g_costs) {
         if c < best_g.1 {
             best_g = (g, c);
         }
@@ -80,10 +86,13 @@ pub fn run(scale: Scale, seed: u64) -> Ablation {
 
     // --- Eq. 6: analytic f_opt vs empirical sweep (g = 100). ---
     let f_analytic = analysis::optimal_f(&sizes, data.universe(), truth.heavy_count(t) as u64, 100);
+    let f_points: Vec<u32> = (1..=10).collect();
+    let f_costs = par_map(f_points.clone(), |f| {
+        summarize_netfilter(&h, &data, 100, f, phi).total
+    });
     let mut best_f = (0u32, f64::INFINITY);
     let mut cost_at_analytic_f = f64::NAN;
-    for f in 1..=10 {
-        let c = summarize_netfilter(&h, &data, 100, f, phi).total;
+    for (&f, &c) in f_points.iter().zip(&f_costs) {
         if c < best_f.1 {
             best_f = (f, c);
         }

@@ -10,6 +10,8 @@
 //! cargo run -p ifi-bench --release --bin experiments -- churn-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-replay results/simcheck/bug-churn-race-20080617.repro
+//! cargo run -p ifi-bench --release --bin experiments -- bench --write-baselines
+//! cargo run -p ifi-bench --release --bin experiments -- bench --check --tolerance 0.5
 //! ```
 
 use std::path::PathBuf;
@@ -17,8 +19,8 @@ use std::process::ExitCode;
 
 use ifi_bench::output::DataFile;
 use ifi_bench::{
-    ablation, baseline, churn, depth, fig5, fig6, fig7, fig8, loss, report_checks, simcheck_smoke,
-    Scale, ShapeCheck,
+    ablation, baseline, churn, depth, fig5, fig6, fig7, fig8, loss, perfbench, report_checks,
+    simcheck_smoke, Scale, ShapeCheck,
 };
 use ifi_simcheck::{find_case, parse_artifact};
 
@@ -27,6 +29,7 @@ fn usage() -> ! {
         "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all]\n\
          \x20                  [check-baselines] [write-baselines] [loss-smoke] [churn-smoke]\n\
          \x20                  [simcheck-smoke] [simcheck-replay <artifact>]\n\
+         \x20                  [bench [--write-baselines] [--check]]\n\
          \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
          \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]\n\
          \x20                  [--drop <f64>]"
@@ -72,6 +75,8 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<PathBuf> = None;
     let mut drop = loss::DEFAULT_DROP;
     let mut replay_artifact: Option<PathBuf> = None;
+    let mut bench_write = false;
+    let mut bench_check = false;
     let mut which: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -112,9 +117,11 @@ fn main() -> ExitCode {
                 replay_artifact = Some(PathBuf::from(p));
                 which.push("simcheck-replay");
             }
+            "--write-baselines" => bench_write = true,
+            "--check" => bench_check = true,
             "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
             | "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke"
-            | "simcheck-smoke" => which.push(Box::leak(arg.clone().into_boxed_str())),
+            | "simcheck-smoke" | "bench" => which.push(Box::leak(arg.clone().into_boxed_str())),
             _ => usage(),
         }
     }
@@ -221,6 +228,53 @@ fn main() -> ExitCode {
             all_ok &= report_checks(&format!("simcheck — {}", run.name), &run.checks);
         }
     }
+    if which.contains(&"bench") {
+        println!("perf benchmarks — fixed seeds, warmup + median-of-k, counters exact");
+        let reports = perfbench::run_all();
+        perfbench::print_table(&reports);
+        let bench_out = out.clone().unwrap_or_else(|| PathBuf::from("."));
+        match perfbench::write_reports(&bench_out, &reports) {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot write bench reports: {e}");
+                all_ok = false;
+            }
+        }
+        if bench_write {
+            match perfbench::write_baselines(&baselines_dir, &reports) {
+                Ok(paths) => {
+                    for p in &paths {
+                        println!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: writing perf baselines failed: {e}");
+                    all_ok = false;
+                }
+            }
+        }
+        if bench_check {
+            println!(
+                "checking perf baselines in {}/{} (wall tolerance {:.0}%)",
+                baselines_dir.display(),
+                perfbench::BASELINE_SUBDIR,
+                tolerance * 100.0
+            );
+            let problems = perfbench::check_baselines(&baselines_dir, &reports, tolerance);
+            if problems.is_empty() {
+                println!("  [PASS] all {} perf baselines match", reports.len());
+            } else {
+                for p in &problems {
+                    println!("  [FAIL] {p}");
+                }
+                all_ok = false;
+            }
+        }
+    }
     if which.contains(&"simcheck-replay") {
         let path = replay_artifact.clone().expect("parser sets the path");
         println!("simcheck replay — {}", path.display());
@@ -262,6 +316,7 @@ fn main() -> ExitCode {
                 | "churn-smoke"
                 | "simcheck-smoke"
                 | "simcheck-replay"
+                | "bench"
         )
     }) {
         return if all_ok {

@@ -29,6 +29,7 @@ pub mod fig8;
 pub mod loss;
 pub mod output;
 pub mod par;
+pub mod perfbench;
 mod runner;
 pub mod simcheck_smoke;
 pub mod table;

@@ -22,6 +22,18 @@ where
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    par_map_with_workers(items, workers, f)
+}
+
+/// [`par_map`] with an explicit worker count. Exposed so tests can force
+/// the multi-threaded path on single-core machines (where [`par_map`]
+/// would otherwise take the serial fallback).
+fn par_map_with_workers<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
     if workers <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -34,7 +46,11 @@ where
         queue.push(pair);
     }
     crossbeam::thread::scope(|scope| {
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, U)>();
+        // Bounded to `n`: the channel can never hold more than one result
+        // per item, so a capacity of `n` makes the bound explicit (and a
+        // stalled collector backpressures workers instead of buffering
+        // without limit).
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, U)>(n);
         for _ in 0..workers.min(n) {
             let queue = &queue;
             let f = &f;
@@ -138,6 +154,24 @@ mod tests {
         );
         // Durations are measured (non-negative by type; at least present).
         assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn preserves_order_under_shuffled_completion() {
+        // Force completion order to differ from input order: each item
+        // sleeps for a duration drawn from a seeded shuffle, so late
+        // inputs routinely finish first. Results must still come back in
+        // input order, and the bounded channel must absorb every result
+        // (capacity = n) without deadlocking.
+        let n = 24u64;
+        let seed = 0x5EED_5EED;
+        let out = par_map_with_workers((0..n).collect(), 4, |i: u64| {
+            let rank = ifi_sim::mix64(seed ^ i) % n;
+            std::thread::sleep(std::time::Duration::from_millis(rank / 4));
+            (i, rank)
+        });
+        let expect: Vec<(u64, u64)> = (0..n).map(|i| (i, ifi_sim::mix64(seed ^ i) % n)).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

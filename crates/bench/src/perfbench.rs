@@ -1,0 +1,367 @@
+//! Named perf benchmarks for `experiments bench`.
+//!
+//! Each benchmark runs a *fixed, seeded* workload through the
+//! [`ifi_perf`] harness (warmup + median-of-k), so its counters — events
+//! processed, messages sent, wire bytes, answer digests — are
+//! bit-reproducible on any machine, while its wall-clock median is
+//! machine-dependent and only alarm-gated. The five benches cover the
+//! simulator's hot paths end to end:
+//!
+//! | bench | exercises |
+//! |-------|-----------|
+//! | `event_queue`   | DES kernel: timer + message scheduling on a ring |
+//! | `codec`         | wire codec: `encode_into` buffer reuse + decode |
+//! | `epoch_n1000`   | a full netFilter epoch at `N = 1000` over the DES |
+//! | `maintain_tick` | heartbeat/maintenance tick loop, 200 peers, 30 s |
+//! | `fig7_quick`    | the fig. 7 sweep at `--quick` scale (both panels) |
+//!
+//! Reports land as `BENCH_<name>.json` in the output directory; baselines
+//! live under `baselines/perf/` and are checked with counters exact.
+
+use std::path::{Path, PathBuf};
+
+use ifi_agg::{MapSum, VecSum};
+use ifi_hierarchy::{Hierarchy, MaintainProtocol};
+use ifi_overlay::{HeartbeatConfig, Topology};
+use ifi_perf::{run_bench, BenchConfig, BenchReport, Sample};
+use ifi_sim::{
+    mix64, Ctx, DetRng, Duration, LatencyModel, MsgClass, PeerId, Protocol, SimConfig, SimTime,
+    World,
+};
+use ifi_workload::{ItemId, SystemData, WorkloadParams};
+use netfilter::codec::Codec;
+use netfilter::protocol::{NetFilterProtocol, NfMsg};
+use netfilter::{NetFilterConfig, Threshold, WireSizes};
+
+use crate::fig7;
+use crate::runner::Scale;
+
+/// Seed shared by every perf workload (the harness default).
+pub const PERF_SEED: u64 = 20080617;
+
+/// Subdirectory of the baselines dir holding perf snapshots.
+pub const BASELINE_SUBDIR: &str = "perf";
+
+fn fold(acc: u64, v: u64) -> u64 {
+    mix64(acc ^ v)
+}
+
+// --- event_queue: DES kernel timer/message scheduling on a ring. ---
+
+/// Each peer re-arms a 1 ms timer `remaining` times, sending one message
+/// around the ring per tick — a pure event-queue workload (every event is
+/// a heap push/pop with trivial handler work).
+struct RingTicker {
+    next: PeerId,
+    remaining: u32,
+    received: u64,
+}
+
+impl Protocol for RingTicker {
+    type Msg = u64;
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        ctx.set_timer(Duration::from_millis(1), ());
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Self>, _from: PeerId, msg: u64) {
+        self.received = fold(self.received, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, _t: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(self.next, self.remaining as u64, 16, MsgClass::DATA);
+            ctx.set_timer(Duration::from_millis(1), ());
+        }
+    }
+}
+
+fn bench_event_queue() -> BenchReport {
+    const PEERS: usize = 500;
+    const TICKS: u32 = 100;
+    run_bench("event_queue", &BenchConfig { warmup: 1, reps: 5 }, || {
+        let peers: Vec<RingTicker> = (0..PEERS)
+            .map(|i| RingTicker {
+                next: PeerId::new((i + 1) % PEERS),
+                remaining: TICKS,
+                received: 0,
+            })
+            .collect();
+        let mut w = World::new(SimConfig::default().with_seed(PERF_SEED), peers);
+        w.start();
+        w.run_to_quiescence();
+        let digest = (0..PEERS).fold(0u64, |acc, i| fold(acc, w.peer(PeerId::new(i)).received));
+        Sample {
+            ops: w.events_processed(),
+            bytes: w.metrics().total_bytes(),
+            counters: vec![
+                ("messages".into(), w.metrics().total_messages()),
+                ("digest".into(), digest),
+            ],
+        }
+    })
+}
+
+// --- codec: encode_into buffer reuse + decode over a message mix. ---
+
+fn codec_messages() -> Vec<NfMsg> {
+    let mut rng = DetRng::new(PERF_SEED ^ 0xC0DE);
+    (0..2_000u64)
+        .map(|i| match i % 3 {
+            0 => NfMsg::GroupAgg(VecSum((0..100).map(|_| rng.below(1_000)).collect())),
+            1 => NfMsg::Heavy(
+                (0..3)
+                    .map(|_| (0..20).map(|_| rng.below(100) as u32).collect())
+                    .collect(),
+            ),
+            _ => NfMsg::CandidateAgg(MapSum::from_pairs(
+                (0..50).map(|_| (ItemId(rng.below(10_000)), rng.below(500))),
+            )),
+        })
+        .collect()
+}
+
+fn bench_codec() -> BenchReport {
+    let codec = Codec::new(WireSizes::default());
+    let msgs = codec_messages();
+    run_bench("codec", &BenchConfig { warmup: 1, reps: 5 }, || {
+        let mut buf = bytes::BytesMut::new();
+        let mut encoded_bytes = 0u64;
+        let mut digest = 0u64;
+        for msg in &msgs {
+            codec.encode_into(msg, &mut buf).expect("encodes");
+            encoded_bytes += buf.len() as u64;
+            digest = buf.iter().fold(digest, |acc, &b| {
+                acc.wrapping_mul(31).wrapping_add(b as u64)
+            });
+            let decoded = codec.decode(&buf).expect("decodes");
+            digest = fold(digest, codec.payload_len(&decoded));
+        }
+        Sample {
+            ops: 2 * msgs.len() as u64, // one encode + one decode per message
+            bytes: encoded_bytes,
+            counters: vec![
+                ("frames".into(), msgs.len() as u64),
+                ("digest".into(), digest),
+            ],
+        }
+    })
+}
+
+// --- epoch_n1000: a full netFilter epoch at N = 1000 over the DES. ---
+
+fn bench_epoch_n1000() -> BenchReport {
+    const PEERS: usize = 1_000;
+    let data = SystemData::generate_paper(
+        &WorkloadParams {
+            peers: PEERS,
+            items: 20_000,
+            instances_per_item: 10,
+            theta: 1.0,
+        },
+        PERF_SEED,
+    );
+    let h = Hierarchy::balanced(PEERS, 3);
+    let cfg = NetFilterConfig::builder()
+        .filter_size(100)
+        .filters(3)
+        .threshold(Threshold::Ratio(0.01))
+        .hash_seed(PERF_SEED)
+        .build();
+    run_bench("epoch_n1000", &BenchConfig { warmup: 1, reps: 3 }, || {
+        let mut w = NetFilterProtocol::build_world(
+            &cfg,
+            &h,
+            &data,
+            SimConfig::default().with_seed(PERF_SEED),
+        );
+        w.start();
+        w.run_to_quiescence();
+        let result = w.peer(PeerId::new(0)).result().expect("epoch finishes");
+        let digest = result
+            .iter()
+            .fold(0u64, |acc, &(id, v)| fold(fold(acc, id.0), v));
+        Sample {
+            ops: w.events_processed(),
+            bytes: w.metrics().total_bytes(),
+            counters: vec![
+                ("messages".into(), w.metrics().total_messages()),
+                ("result_items".into(), result.len() as u64),
+                ("digest".into(), digest),
+            ],
+        }
+    })
+}
+
+// --- maintain_tick: heartbeat/maintenance loop, 200 peers, 30 s. ---
+
+fn bench_maintain_tick() -> BenchReport {
+    const PEERS: usize = 200;
+    let topo = Topology::random_regular(PEERS, 4, &mut DetRng::new(PERF_SEED));
+    let h = Hierarchy::bfs(&topo, PeerId::new(0));
+    let cfg = HeartbeatConfig {
+        interval: Duration::from_millis(500),
+        timeout: Duration::from_millis(1_600),
+        bytes: 8,
+    };
+    run_bench("maintain_tick", &BenchConfig { warmup: 1, reps: 3 }, || {
+        let peers: Vec<MaintainProtocol> = topo
+            .peers()
+            .map(|p| MaintainProtocol::new(&h, p, topo.neighbors(p).to_vec(), cfg))
+            .collect();
+        let mut w = World::new(
+            SimConfig::default()
+                .with_seed(PERF_SEED)
+                .with_latency(LatencyModel::Constant(Duration::from_millis(20))),
+            peers,
+        );
+        w.start();
+        w.run_until(SimTime::from_micros(30_000_000));
+        Sample {
+            ops: w.events_processed(),
+            bytes: w.metrics().total_bytes(),
+            counters: vec![("messages".into(), w.metrics().total_messages())],
+        }
+    })
+}
+
+// --- fig7_quick: the fig. 7 skew sweep at --quick scale. ---
+
+fn bench_fig7_quick() -> BenchReport {
+    run_bench("fig7_quick", &BenchConfig { warmup: 1, reps: 3 }, || {
+        let (a, b) = fig7::run(Scale::Quick, PERF_SEED);
+        let mut ops = 0u64;
+        let mut bytes = 0u64;
+        let mut digest = 0u64;
+        for panel in [&a, &b] {
+            for row in &panel.rows {
+                ops += 1;
+                bytes += (row.netfilter + row.naive) as u64;
+                digest = fold(digest, row.netfilter.to_bits());
+                digest = fold(digest, row.naive.to_bits());
+            }
+        }
+        Sample {
+            ops,
+            bytes,
+            counters: vec![("digest".into(), digest)],
+        }
+    })
+}
+
+/// Runs all five benchmarks at their fixed seeds, in a stable order.
+pub fn run_all() -> Vec<BenchReport> {
+    vec![
+        bench_event_queue(),
+        bench_codec(),
+        bench_epoch_n1000(),
+        bench_maintain_tick(),
+        bench_fig7_quick(),
+    ]
+}
+
+/// Writes each report as `<dir>/BENCH_<name>.json` (the CI artifact).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_reports(dir: &Path, reports: &[BenchReport]) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for r in reports {
+        let path = dir.join(format!("BENCH_{}.json", r.name));
+        std::fs::write(&path, r.to_json())?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Prints the human-readable summary table.
+pub fn print_table(reports: &[BenchReport]) {
+    println!("\n== perf benchmarks (median of k, counters exact) ==");
+    println!("{}", ifi_perf::report::table_header());
+    for r in reports {
+        println!("{}", r.table_row());
+    }
+}
+
+/// Writes (or refreshes) every perf baseline under `<baselines>/perf/`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_baselines(
+    baselines_dir: &Path,
+    reports: &[BenchReport],
+) -> std::io::Result<Vec<PathBuf>> {
+    let dir = baselines_dir.join(BASELINE_SUBDIR);
+    reports
+        .iter()
+        .map(|r| ifi_perf::write_baseline(&dir, r))
+        .collect()
+}
+
+/// Checks every report against its committed baseline. Returns
+/// human-readable problem lines (empty = pass).
+pub fn check_baselines(
+    baselines_dir: &Path,
+    reports: &[BenchReport],
+    tolerance: f64,
+) -> Vec<String> {
+    let dir = baselines_dir.join(BASELINE_SUBDIR);
+    reports
+        .iter()
+        .flat_map(|r| ifi_perf::check_baseline(&dir, r, tolerance))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_queue_counters_are_deterministic_across_runs() {
+        let a = bench_event_queue();
+        let b = bench_event_queue();
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.counters, b.counters);
+        assert!(a.ops > 0 && a.bytes > 0);
+    }
+
+    #[test]
+    fn codec_counters_are_deterministic_across_runs() {
+        let a = bench_codec();
+        let b = bench_codec();
+        assert_eq!((a.ops, a.bytes, a.counters), (b.ops, b.bytes, b.counters));
+    }
+
+    #[test]
+    fn reports_round_trip_and_name_their_files() {
+        let r = bench_codec();
+        let parsed = BenchReport::parse(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+        let dir = std::env::temp_dir().join(format!("ifi_perfbench_{}", std::process::id()));
+        let paths = write_reports(&dir, std::slice::from_ref(&r)).expect("writable");
+        assert!(paths[0].ends_with("BENCH_codec.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn baseline_check_catches_op_drift() {
+        let dir = std::env::temp_dir().join(format!("ifi_perfbench_bl_{}", std::process::id()));
+        let r = bench_codec();
+        write_baselines(&dir, std::slice::from_ref(&r)).expect("writable");
+        assert!(check_baselines(&dir, std::slice::from_ref(&r), 0.0).is_empty());
+        let mut drifted = r.clone();
+        drifted.ops += 1;
+        let problems = check_baselines(&dir, std::slice::from_ref(&drifted), 10.0);
+        assert!(
+            problems.iter().any(|p| p.contains("exact field ops")),
+            "{problems:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

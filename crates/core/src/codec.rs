@@ -127,12 +127,29 @@ impl Codec {
     pub fn encode(&self, msg: &NfMsg) -> Result<Bytes, CodecError> {
         let mut buf =
             BytesMut::with_capacity((self.frame_len(msg) + self.payload_len(msg)) as usize);
+        self.encode_into(msg, &mut buf)?;
+        Ok(buf.freeze())
+    }
+
+    /// Serializes `msg` into a caller-supplied buffer, clearing it first.
+    ///
+    /// The allocation-free sibling of [`encode`](Self::encode): callers on
+    /// hot paths keep one scratch [`BytesMut`] and reuse its capacity
+    /// across messages instead of allocating (and refcounting) a fresh
+    /// buffer per encode.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`encode`](Self::encode).
+    pub fn encode_into(&self, msg: &NfMsg, buf: &mut BytesMut) -> Result<(), CodecError> {
+        buf.clear();
+        buf.reserve((self.frame_len(msg) + self.payload_len(msg)) as usize);
         match msg {
             NfMsg::GroupAgg(v) => {
                 buf.put_u8(TAG_GROUP_AGG);
                 buf.put_u32(v.0.len() as u32);
                 for &slot in &v.0 {
-                    Self::put_uint(&mut buf, slot, self.sizes.sa)?;
+                    Self::put_uint(buf, slot, self.sizes.sa)?;
                 }
             }
             NfMsg::Heavy(lists) => {
@@ -141,7 +158,7 @@ impl Codec {
                 for list in lists {
                     buf.put_u32(list.len() as u32);
                     for &grp in list {
-                        Self::put_uint(&mut buf, grp as u64, self.sizes.sg)?;
+                        Self::put_uint(buf, grp as u64, self.sizes.sg)?;
                     }
                 }
             }
@@ -149,8 +166,8 @@ impl Codec {
                 buf.put_u8(TAG_CANDIDATE_AGG);
                 buf.put_u32(m.0.len() as u32);
                 for (&id, &value) in &m.0 {
-                    Self::put_uint(&mut buf, id.0, self.sizes.si)?;
-                    Self::put_uint(&mut buf, value, self.sizes.sa)?;
+                    Self::put_uint(buf, id.0, self.sizes.si)?;
+                    Self::put_uint(buf, value, self.sizes.sa)?;
                 }
             }
         }
@@ -159,7 +176,7 @@ impl Codec {
             self.frame_len(msg) + self.payload_len(msg),
             "encoded length must equal frame + payload"
         );
-        Ok(buf.freeze())
+        Ok(())
     }
 
     /// Deserializes one message, requiring the buffer to be fully consumed.
@@ -260,6 +277,26 @@ mod tests {
             // compare via re-encoding.
             assert_eq!(c.encode(&dec).unwrap(), enc, "round-trip mismatch");
         }
+    }
+
+    #[test]
+    fn encode_into_reuses_one_buffer_across_messages() {
+        let c = codec();
+        let mut scratch = BytesMut::new();
+        for msg in msgs() {
+            c.encode_into(&msg, &mut scratch).expect("encodes");
+            let fresh = c.encode(&msg).unwrap();
+            assert_eq!(&scratch[..], &fresh[..], "scratch encoding differs");
+            // The scratch keeps only the latest message.
+            assert_eq!(scratch.len(), fresh.len());
+        }
+        // Errors leave the buffer in a cleared-then-partial state but do
+        // not poison subsequent encodes.
+        let too_big = NfMsg::GroupAgg(VecSum(vec![1u64 << 32]));
+        assert!(c.encode_into(&too_big, &mut scratch).is_err());
+        let ok = NfMsg::Heavy(vec![vec![1, 2]]);
+        c.encode_into(&ok, &mut scratch).expect("recovers");
+        assert_eq!(&scratch[..], &c.encode(&ok).unwrap()[..]);
     }
 
     #[test]

@@ -247,9 +247,12 @@ impl NetFilterProtocol {
     }
 
     fn start_phase2(&mut self, ctx: &mut Ctx<'_, Self>, heavy: HeavyGroups) {
-        // Forward the heavy lists to every downstream neighbor.
+        // Forward the heavy lists to every downstream neighbor. The child
+        // list is moved aside (not cloned) for the duration of the sends;
+        // each message still owns its own copy of the lists.
         let list_bytes = self.sizes.sg * heavy.total_heavy() as u64;
-        for &c in &self.children.clone() {
+        let children = std::mem::take(&mut self.children);
+        for &c in &children {
             self.send_phase(
                 ctx,
                 c,
@@ -258,6 +261,7 @@ impl NetFilterProtocol {
                 MsgClass::DISSEMINATION,
             );
         }
+        self.children = children;
         // Materialize the local partial candidate set (Algorithm 2 line 2).
         self.p2_acc = Some(
             self.local_filter
@@ -304,7 +308,7 @@ impl NetFilterProtocol {
                 self.p1_acc
                     .as_mut()
                     .expect("phase-1 accumulator initialized at start")
-                    .merge(&v);
+                    .merge_owned(v);
                 self.p1_pending -= 1;
                 if self.p1_pending == 0 {
                     self.phase1_complete(ctx);
@@ -320,7 +324,7 @@ impl NetFilterProtocol {
                 self.p2_acc
                     .as_mut()
                     .expect("phase-2 accumulator set when heavy lists arrived")
-                    .merge(&m);
+                    .merge_owned(m);
                 self.p2_pending -= 1;
                 if self.p2_pending == 0 && self.heavy.is_some() {
                     self.phase2_complete(ctx);

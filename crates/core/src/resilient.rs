@@ -994,7 +994,10 @@ impl ResilientProtocol {
                 if epoch == self.epoch && !self.p1_sent && self.p1_acc.is_some() {
                     let fresh = self.p1_received.insert(from);
                     if fresh || self.legacy_double_merge {
-                        self.p1_acc.as_mut().expect("guarded above").merge(&vector);
+                        self.p1_acc
+                            .as_mut()
+                            .expect("guarded above")
+                            .merge_owned(vector);
                         self.p1_census.merge(census);
                         self.check_p1(ctx);
                     }
@@ -1017,7 +1020,7 @@ impl ResilientProtocol {
                         self.p2_acc
                             .as_mut()
                             .expect("guarded above")
-                            .merge(&candidates);
+                            .merge_owned(candidates);
                         self.p2_census.merge(census);
                         self.check_p2(ctx);
                     }

@@ -1,0 +1,150 @@
+//! Warmup + median-of-k benchmark runner with a determinism oracle.
+
+use crate::report::{BenchReport, WallStats};
+
+/// What one benchmark repetition reports back: deterministic counters
+/// describing the work just performed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Logical operations performed (events popped, messages coded, …).
+    pub ops: u64,
+    /// Bytes moved (wire bytes simulated, bytes encoded, …).
+    pub bytes: u64,
+    /// Named auxiliary counters (answer digests, message counts, …).
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Repetition policy for [`run_bench`].
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed repetitions run first (page in code and data).
+    pub warmup: usize,
+    /// Timed repetitions; the report's median is over these.
+    pub reps: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { warmup: 1, reps: 5 }
+    }
+}
+
+/// Runs `f` `warmup + reps` times, timing the last `reps`, and returns a
+/// [`BenchReport`] with the median/min/max repetition time.
+///
+/// Every repetition must return the *same* [`Sample`] — the workload is
+/// fixed and seeded, so differing counters mean the benchmark (or the
+/// code under test) is nondeterministic, which would silently invalidate
+/// the committed baselines.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or if any repetition's counters differ from the
+/// first repetition's.
+pub fn run_bench<F>(name: &str, cfg: &BenchConfig, mut f: F) -> BenchReport
+where
+    F: FnMut() -> Sample,
+{
+    assert!(cfg.reps > 0, "bench {name}: reps must be >= 1");
+    for _ in 0..cfg.warmup {
+        let _ = f();
+    }
+    let mut durations = Vec::with_capacity(cfg.reps);
+    let mut first: Option<Sample> = None;
+    for rep in 0..cfg.reps {
+        let t0 = std::time::Instant::now();
+        let sample = f();
+        durations.push(t0.elapsed());
+        match &first {
+            None => first = Some(sample),
+            Some(want) => assert_eq!(
+                want, &sample,
+                "bench {name}: rep {rep} produced different counters — \
+                 the workload is nondeterministic"
+            ),
+        }
+    }
+    let sample = first.expect("reps >= 1");
+    durations.sort_unstable();
+    let wall = WallStats {
+        reps: cfg.reps as u64,
+        warmup: cfg.warmup as u64,
+        median_ns: durations[cfg.reps / 2].as_nanos() as u64,
+        min_ns: durations[0].as_nanos() as u64,
+        max_ns: durations[cfg.reps - 1].as_nanos() as u64,
+    };
+    BenchReport {
+        name: name.to_string(),
+        ops: sample.ops,
+        bytes: sample.bytes,
+        counters: sample.counters,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_sample(spin: u64) -> Sample {
+        // Deterministic busywork so timings are nonzero.
+        let mut acc = 0u64;
+        for i in 0..spin {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        Sample {
+            ops: spin,
+            bytes: spin * 8,
+            counters: vec![("acc".into(), acc)],
+        }
+    }
+
+    #[test]
+    fn report_carries_counters_and_ordered_wall_stats() {
+        let r = run_bench("busy", &BenchConfig { warmup: 1, reps: 5 }, || {
+            busy_sample(10_000)
+        });
+        assert_eq!(r.name, "busy");
+        assert_eq!(r.ops, 10_000);
+        assert_eq!(r.bytes, 80_000);
+        assert_eq!(r.counters.len(), 1);
+        assert_eq!(r.wall.reps, 5);
+        assert!(r.wall.min_ns <= r.wall.median_ns);
+        assert!(r.wall.median_ns <= r.wall.max_ns);
+    }
+
+    #[test]
+    fn counters_identical_across_runs_at_same_seed() {
+        // Two full harness invocations of the same seeded workload must
+        // agree on every counter (wall-clock will differ).
+        let a = run_bench("det", &BenchConfig::default(), || busy_sample(5_000));
+        let b = run_bench("det", &BenchConfig::default(), || busy_sample(5_000));
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondeterministic")]
+    fn nondeterministic_workload_is_rejected() {
+        let mut calls = 0u64;
+        let _ = run_bench("drift", &BenchConfig { warmup: 0, reps: 3 }, || {
+            calls += 1;
+            Sample {
+                ops: calls, // changes every rep
+                bytes: 0,
+                counters: Vec::new(),
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reps must be")]
+    fn zero_reps_is_rejected() {
+        let _ = run_bench("empty", &BenchConfig { warmup: 0, reps: 0 }, || Sample {
+            ops: 0,
+            bytes: 0,
+            counters: Vec::new(),
+        });
+    }
+}

@@ -1,0 +1,268 @@
+//! Benchmark report schema with hand-rolled JSON encode/parse.
+//!
+//! The JSON layout is one field per line (matching the repository's
+//! baseline-snapshot idiom), which keeps the parser line-based and exact.
+//! Derived rates (`ops_per_sec`, `bytes_per_sec`) are emitted for human
+//! and tooling consumption but recomputed on parse, never trusted.
+
+/// Wall-clock summary over the timed repetitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallStats {
+    /// Timed repetitions (median is taken over these).
+    pub reps: u64,
+    /// Untimed warmup repetitions run first.
+    pub warmup: u64,
+    /// Median repetition duration in nanoseconds.
+    pub median_ns: u64,
+    /// Fastest repetition in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest repetition in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// One benchmark's snapshot: exact counters plus wall-clock stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark name (also the snapshot's file stem).
+    pub name: String,
+    /// Logical operations per repetition (exact, machine-independent).
+    pub ops: u64,
+    /// Bytes moved per repetition (exact, machine-independent).
+    pub bytes: u64,
+    /// Named auxiliary counters, in insertion order (exact).
+    pub counters: Vec<(String, u64)>,
+    /// Wall-clock summary (machine-dependent; tolerance-gated only).
+    pub wall: WallStats,
+}
+
+impl BenchReport {
+    /// Operations per second at the median repetition time.
+    pub fn ops_per_sec(&self) -> f64 {
+        rate(self.ops, self.wall.median_ns)
+    }
+
+    /// Bytes per second at the median repetition time.
+    pub fn bytes_per_sec(&self) -> f64 {
+        rate(self.bytes, self.wall.median_ns)
+    }
+
+    /// Serializes to the one-field-per-line JSON snapshot format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("\"bench\": {:?},\n", self.name));
+        s.push_str(&format!("\"ops\": {},\n", self.ops));
+        s.push_str(&format!("\"bytes\": {},\n", self.bytes));
+        s.push_str("\"counters\": {\n");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            s.push_str(&format!("{k:?}: {v}{comma}\n"));
+        }
+        s.push_str("},\n");
+        s.push_str("\"wall\": {\n");
+        s.push_str(&format!("\"reps\": {},\n", self.wall.reps));
+        s.push_str(&format!("\"warmup\": {},\n", self.wall.warmup));
+        s.push_str(&format!("\"median_ns\": {},\n", self.wall.median_ns));
+        s.push_str(&format!("\"min_ns\": {},\n", self.wall.min_ns));
+        s.push_str(&format!("\"max_ns\": {},\n", self.wall.max_ns));
+        s.push_str(&format!("\"ops_per_sec\": {:.1},\n", self.ops_per_sec()));
+        s.push_str(&format!("\"bytes_per_sec\": {:.1}\n", self.bytes_per_sec()));
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parses a snapshot produced by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when a required field is missing
+    /// or malformed. Derived rate fields are ignored.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        #[derive(PartialEq)]
+        enum Section {
+            Top,
+            Counters,
+            Wall,
+        }
+        let mut section = Section::Top;
+        let mut name: Option<String> = None;
+        let mut ops: Option<u64> = None;
+        let mut bytes: Option<u64> = None;
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut wall = [None::<u64>; 5]; // reps, warmup, median, min, max
+
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            match line {
+                "{" | "}" => continue,
+                "\"counters\": {" => {
+                    section = Section::Counters;
+                    continue;
+                }
+                "\"wall\": {" => {
+                    section = Section::Wall;
+                    continue;
+                }
+                _ => {}
+            }
+            let Some((k, v)) = line.split_once(':') else {
+                continue;
+            };
+            let key = k.trim().trim_matches('"');
+            let val = v.trim();
+            match section {
+                Section::Top => match key {
+                    "bench" => name = Some(val.trim_matches('"').to_string()),
+                    "ops" => ops = Some(parse_u64(key, val)?),
+                    "bytes" => bytes = Some(parse_u64(key, val)?),
+                    _ => return Err(format!("unexpected top-level field {key:?}")),
+                },
+                Section::Counters => counters.push((key.to_string(), parse_u64(key, val)?)),
+                Section::Wall => {
+                    let slot = match key {
+                        "reps" => 0,
+                        "warmup" => 1,
+                        "median_ns" => 2,
+                        "min_ns" => 3,
+                        "max_ns" => 4,
+                        // Derived rates: recomputed, not trusted.
+                        "ops_per_sec" | "bytes_per_sec" => continue,
+                        _ => return Err(format!("unexpected wall field {key:?}")),
+                    };
+                    wall[slot] = Some(parse_u64(key, val)?);
+                }
+            }
+        }
+
+        let get = |slot: usize, key: &str| wall[slot].ok_or(format!("missing wall.{key}"));
+        Ok(BenchReport {
+            name: name.ok_or("missing bench name")?,
+            ops: ops.ok_or("missing ops")?,
+            bytes: bytes.ok_or("missing bytes")?,
+            counters,
+            wall: WallStats {
+                reps: get(0, "reps")?,
+                warmup: get(1, "warmup")?,
+                median_ns: get(2, "median_ns")?,
+                min_ns: get(3, "min_ns")?,
+                max_ns: get(4, "max_ns")?,
+            },
+        })
+    }
+
+    /// One row of the human-readable table:
+    /// `name  ops  bytes  median  ops/s  MB/s`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<24} {:>12} {:>14} {:>10.3} ms {:>12.0} op/s {:>9.2} MB/s",
+            self.name,
+            self.ops,
+            self.bytes,
+            self.wall.median_ns as f64 / 1e6,
+            self.ops_per_sec(),
+            self.bytes_per_sec() / 1e6,
+        )
+    }
+}
+
+/// Header line matching [`BenchReport::table_row`].
+pub fn table_header() -> String {
+    format!(
+        "{:<24} {:>12} {:>14} {:>13} {:>17} {:>14}",
+        "benchmark", "ops", "bytes", "median", "throughput", "bandwidth"
+    )
+}
+
+fn rate(count: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    count as f64 * 1e9 / ns as f64
+}
+
+fn parse_u64(key: &str, val: &str) -> Result<u64, String> {
+    val.parse()
+        .map_err(|e| format!("field {key:?}: bad integer {val:?} ({e})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            name: "event_queue".into(),
+            ops: 120_000,
+            bytes: 960_000,
+            counters: vec![
+                ("events".into(), 120_001),
+                ("messages".into(), 60_000),
+                ("digest".into(), 0xDEAD_BEEF),
+            ],
+            wall: WallStats {
+                reps: 5,
+                warmup: 1,
+                median_ns: 1_234_567,
+                min_ns: 1_200_000,
+                max_ns: 1_500_000,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample_report();
+        let parsed = BenchReport::parse(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn round_trip_preserves_counter_order() {
+        let r = sample_report();
+        let parsed = BenchReport::parse(&r.to_json()).expect("parses");
+        let keys: Vec<&str> = parsed.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["events", "messages", "digest"]);
+    }
+
+    #[test]
+    fn empty_counters_round_trip() {
+        let mut r = sample_report();
+        r.counters.clear();
+        assert_eq!(BenchReport::parse(&r.to_json()).expect("parses"), r);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let r = sample_report();
+        let broken = r.to_json().replace("\"ops\": 120000,\n", "");
+        let err = BenchReport::parse(&broken).expect_err("must fail");
+        assert!(err.contains("ops"), "{err}");
+    }
+
+    #[test]
+    fn derived_rates_are_recomputed_not_parsed() {
+        let r = sample_report();
+        // Tamper with the emitted rate: parse must ignore it.
+        let tampered = r
+            .to_json()
+            .replace("\"ops_per_sec\": ", "\"ops_per_sec\": 9");
+        let parsed = BenchReport::parse(&tampered).expect("parses");
+        assert_eq!(parsed.ops_per_sec(), r.ops_per_sec());
+    }
+
+    #[test]
+    fn rates_handle_zero_time() {
+        let mut r = sample_report();
+        r.wall.median_ns = 0;
+        assert_eq!(r.ops_per_sec(), 0.0);
+        assert_eq!(r.bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = sample_report();
+        let row = r.table_row();
+        assert!(row.contains("event_queue"));
+        assert!(table_header().contains("benchmark"));
+    }
+}

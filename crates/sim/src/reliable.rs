@@ -254,17 +254,11 @@ impl<M: Clone> ReliableLink<M> {
     /// reports [`Retransmit::Acked`] (a no-op), so callers need not track
     /// timer handles. Returns the number of frames dropped.
     pub fn abandon(&mut self, peer: PeerId) -> usize {
-        let doomed: Vec<u64> = self
-            .in_flight
-            .iter()
-            .filter(|(_, p)| p.to == peer)
-            .map(|(&seq, _)| seq)
-            .collect();
-        for seq in &doomed {
-            self.in_flight.remove(seq);
-        }
-        self.abandoned += doomed.len() as u64;
-        doomed.len()
+        let before = self.in_flight.len();
+        self.in_flight.retain(|_, p| p.to != peer);
+        let dropped = before - self.in_flight.len();
+        self.abandoned += dropped as u64;
+        dropped
     }
 
     /// Frames currently awaiting acknowledgement.

@@ -323,6 +323,11 @@ pub struct World<P: Protocol> {
     /// Schedule-exploration hook ([`ScheduleStrategy`]); `None` runs the
     /// classic FIFO tie-break with zero overhead.
     strategy: Option<Box<dyn ScheduleStrategy>>,
+    /// Scratch for the strategy path's tied-at-minimum event batch,
+    /// retained across pops so consulted scheduling stays allocation-free.
+    batch_scratch: Vec<Event<P::Msg, P::Timer>>,
+    /// Scratch for the [`EventInfo`] view handed to the strategy.
+    info_scratch: Vec<EventInfo>,
 }
 
 impl<P: Protocol> World<P> {
@@ -349,6 +354,8 @@ impl<P: Protocol> World<P> {
             },
             peers: peers.into_iter().map(Some).collect(),
             strategy: None,
+            batch_scratch: Vec::new(),
+            info_scratch: Vec::new(),
         }
     }
 
@@ -577,19 +584,26 @@ impl<P: Protocol> World<P> {
             return self.kernel.queue.pop();
         }
         let mut delays = 0usize;
-        'batch: loop {
-            let t = self.kernel.queue.peek_time()?;
+        // The batch and info vectors are session-lived scratch: taken out
+        // for the borrow checker's benefit, always returned before exit.
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        let mut infos = std::mem::take(&mut self.info_scratch);
+        debug_assert!(batch.is_empty() && infos.is_empty());
+        let picked = 'batch: loop {
+            let Some(t) = self.kernel.queue.peek_time() else {
+                break None;
+            };
             if bound.is_some_and(|b| t > b) {
-                return None;
+                break None;
             }
             // Gather the tied batch; heap pop order at equal time is
             // ascending seq, so the batch arrives FIFO-sorted.
-            let mut batch = Vec::new();
             while self.kernel.queue.peek_time() == Some(t) {
                 batch.push(self.kernel.queue.pop().expect("peeked event present"));
             }
             loop {
-                let infos: Vec<EventInfo> = batch.iter().map(event_info).collect();
+                infos.clear();
+                infos.extend(batch.iter().map(event_info));
                 let decision = self
                     .strategy
                     .as_mut()
@@ -623,12 +637,20 @@ impl<P: Protocol> World<P> {
                     // Degrade to Take(index).
                 }
                 let ev = batch.remove(index);
-                for rest in batch {
+                for rest in batch.drain(..) {
                     self.kernel.queue.reinsert(rest);
                 }
-                return Some(ev);
+                break 'batch Some(ev);
             }
-        }
+        };
+        // Every exit path drained the batch (events back in the queue or
+        // returned); clearing must never discard a pending event.
+        debug_assert!(batch.is_empty(), "pop_scheduled leaked batched events");
+        batch.clear();
+        infos.clear();
+        self.batch_scratch = batch;
+        self.info_scratch = infos;
+        picked
     }
 
     fn step_bounded(&mut self, bound: Option<SimTime>) -> bool {

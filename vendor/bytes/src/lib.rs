@@ -101,6 +101,16 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Empties the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)

@@ -98,12 +98,22 @@ pub mod channel {
     //! single-consumer pattern the workspace uses).
 
     pub use std::sync::mpsc::{IntoIter, RecvError, SendError};
-    use std::sync::mpsc::{Receiver as StdReceiver, Sender as StdSender};
+    use std::sync::mpsc::{
+        Receiver as StdReceiver, Sender as StdSender, SyncSender as StdSyncSender,
+    };
 
-    /// The sending half of an unbounded channel.
+    /// The sending half of a channel. As upstream, the same handle type
+    /// serves both [`unbounded`] and [`bounded`] channels; a bounded
+    /// sender blocks once the channel holds `cap` undelivered values.
     #[derive(Debug)]
     pub struct Sender<T> {
-        inner: StdSender<T>,
+        inner: Inner<T>,
+    }
+
+    #[derive(Debug)]
+    enum Inner<T> {
+        Unbounded(StdSender<T>),
+        Bounded(StdSyncSender<T>),
     }
 
     // Manual impl: cloning the handle must not require `T: Clone`,
@@ -111,15 +121,22 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
-                inner: self.inner.clone(),
+                inner: match &self.inner {
+                    Inner::Unbounded(tx) => Inner::Unbounded(tx.clone()),
+                    Inner::Bounded(tx) => Inner::Bounded(tx.clone()),
+                },
             }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends `value`, failing if the receiver is gone.
+        /// Sends `value`, failing if the receiver is gone. On a bounded
+        /// channel this blocks while the buffer is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value)
+            match &self.inner {
+                Inner::Unbounded(tx) => tx.send(value),
+                Inner::Bounded(tx) => tx.send(value),
+            }
         }
     }
 
@@ -160,7 +177,24 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = std::sync::mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (
+            Sender {
+                inner: Inner::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a channel buffering at most `cap` undelivered values;
+    /// senders block while it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: Inner::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
     }
 }
 
@@ -244,6 +278,36 @@ mod tests {
         })
         .expect("no panics");
         assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_channel_delivers_everything_under_backpressure() {
+        // Capacity far below the item count: senders must block-and-resume
+        // rather than drop, and per-sender FIFO order must hold.
+        super::thread::scope(|scope| {
+            let (tx, rx) = super::channel::bounded::<u32>(2);
+            scope.spawn(move |_| {
+                for x in 0..100 {
+                    tx.send(x).expect("receiver alive");
+                }
+            });
+            let got: Vec<u32> = rx.into_iter().collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        })
+        .expect("no panics");
+    }
+
+    #[test]
+    fn bounded_sender_clones_share_the_channel() {
+        let (tx, rx) = super::channel::bounded::<u32>(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        let mut got: Vec<u32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
     }
 
     #[test]
