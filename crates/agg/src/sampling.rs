@@ -23,7 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ifi_hierarchy::Hierarchy;
-use ifi_sim::{DetRng, EventSink, MsgClass, PeerId};
+use ifi_sim::{DetRng, EventSink, MsgClass, PeerSet};
 use ifi_workload::{ItemId, SystemData};
 
 use crate::wire::WireSizes;
@@ -129,7 +129,7 @@ pub fn estimate_with_sink(
     let v = data.total_value();
 
     // 1. Sample peers: union of random root-to-leaf branches.
-    let mut sampled: BTreeSet<PeerId> = BTreeSet::new();
+    let mut sampled = PeerSet::new();
     for _ in 0..config.branches {
         sampled.extend(hierarchy.random_branch(rng));
     }
@@ -138,7 +138,7 @@ pub fn estimate_with_sink(
     //    sampled item set X.
     let mut selected: BTreeSet<ItemId> = BTreeSet::new();
     let mut bytes = 0u64;
-    for &p in &sampled {
+    for p in sampled.iter() {
         let items = data.local_items(p);
         let k = config.items_per_peer.min(items.len());
         if k == 0 {
@@ -153,7 +153,7 @@ pub fn estimate_with_sink(
 
     // 3. Aggregates for X over the sampled peers only: v'_i.
     let mut partial: BTreeMap<ItemId, u64> = selected.iter().map(|&i| (i, 0)).collect();
-    for &p in &sampled {
+    for p in sampled.iter() {
         for &(id, val) in data.local_items(p) {
             if let Some(acc) = partial.get_mut(&id) {
                 *acc += val;
@@ -189,7 +189,7 @@ pub fn estimate_with_sink(
     //    Chao1 richness estimator handles skewed tails; take the larger of
     //    the two lower-bound-flavoured estimates.
     let mut abundance: BTreeMap<ItemId, u64> = BTreeMap::new();
-    for &p in &sampled {
+    for p in sampled.iter() {
         for &(id, val) in data.local_items(p) {
             *abundance.entry(id).or_insert(0) += val;
         }

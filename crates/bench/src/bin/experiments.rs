@@ -12,6 +12,7 @@
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-replay results/simcheck/bug-churn-race-20080617.repro
 //! cargo run -p ifi-bench --release --bin experiments -- bench --write-baselines
 //! cargo run -p ifi-bench --release --bin experiments -- bench --check --tolerance 0.5
+//! cargo run -p ifi-bench --release --bin experiments -- bench --check --only epoch_n100000,fig7_n10000
 //! ```
 
 use std::path::PathBuf;
@@ -29,7 +30,7 @@ fn usage() -> ! {
         "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all]\n\
          \x20                  [check-baselines] [write-baselines] [loss-smoke] [churn-smoke]\n\
          \x20                  [simcheck-smoke] [simcheck-replay <artifact>]\n\
-         \x20                  [bench [--write-baselines] [--check]]\n\
+         \x20                  [bench [--write-baselines] [--check] [--only <names>]]\n\
          \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
          \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]\n\
          \x20                  [--drop <f64>]"
@@ -71,12 +72,13 @@ fn main() -> ExitCode {
     let mut seed = 20080617u64; // ICDCS 2008
     let mut out: Option<PathBuf> = None;
     let mut baselines_dir = PathBuf::from("baselines");
-    let mut tolerance = 0.01f64;
+    let mut tolerance: Option<f64> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut drop = loss::DEFAULT_DROP;
     let mut replay_artifact: Option<PathBuf> = None;
     let mut bench_write = false;
     let mut bench_check = false;
+    let mut bench_only: Option<Vec<String>> = None;
     let mut which: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -98,7 +100,20 @@ fn main() -> ExitCode {
             "--tolerance" => {
                 let Some(s) = it.next() else { usage() };
                 let Ok(v) = s.parse() else { usage() };
-                tolerance = v;
+                tolerance = Some(v);
+            }
+            "--only" => {
+                let Some(s) = it.next() else { usage() };
+                let names: Vec<String> = s
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|n| !n.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if names.is_empty() {
+                    usage()
+                }
+                bench_only = Some(names);
             }
             "--metrics-out" => {
                 let Some(dir) = it.next() else { usage() };
@@ -148,12 +163,13 @@ fn main() -> ExitCode {
         }
     }
     if which.contains(&"check-baselines") {
+        let byte_tol = tolerance.unwrap_or(0.01);
         println!(
             "checking metrics baselines in {} (byte tolerance {:.2}%)",
             baselines_dir.display(),
-            tolerance * 100.0
+            byte_tol * 100.0
         );
-        let problems = baseline::check_baselines(&baselines_dir, tolerance);
+        let problems = baseline::check_baselines(&baselines_dir, byte_tol);
         if problems.is_empty() {
             println!(
                 "  [PASS] all {} baseline scenarios match",
@@ -230,7 +246,19 @@ fn main() -> ExitCode {
     }
     if which.contains(&"bench") {
         println!("perf benchmarks — fixed seeds, warmup + median-of-k, counters exact");
-        let reports = perfbench::run_all();
+        let reports = match &bench_only {
+            None => perfbench::run_all(),
+            Some(names) => {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                match perfbench::run_named(&refs) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        usage()
+                    }
+                }
+            }
+        };
         perfbench::print_table(&reports);
         let bench_out = out.clone().unwrap_or_else(|| PathBuf::from("."));
         match perfbench::write_reports(&bench_out, &reports) {
@@ -258,20 +286,34 @@ fn main() -> ExitCode {
             }
         }
         if bench_check {
+            let wall_tol = perfbench::wall_tolerance(tolerance);
             println!(
                 "checking perf baselines in {}/{} (wall tolerance {:.0}%)",
                 baselines_dir.display(),
                 perfbench::BASELINE_SUBDIR,
-                tolerance * 100.0
+                wall_tol * 100.0
             );
-            let problems = perfbench::check_baselines(&baselines_dir, &reports, tolerance);
-            if problems.is_empty() {
-                println!("  [PASS] all {} perf baselines match", reports.len());
-            } else {
-                for p in &problems {
-                    println!("  [FAIL] {p}");
+            let verdicts = perfbench::check_baselines_per_bench(&baselines_dir, &reports, wall_tol);
+            let width = verdicts.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, problems) in &verdicts {
+                if problems.is_empty() {
+                    println!("  {name:width$}  [PASS]");
+                } else {
+                    println!("  {name:width$}  [FAIL] ({} problem(s))", problems.len());
+                    for p in problems {
+                        println!("    - {p}");
+                    }
+                    all_ok = false;
                 }
-                all_ok = false;
+            }
+            let failed = verdicts.iter().filter(|(_, p)| !p.is_empty()).count();
+            if failed == 0 {
+                println!("  [PASS] all {} perf baselines match", verdicts.len());
+            } else {
+                println!(
+                    "  [FAIL] {failed} of {} perf baselines drifted",
+                    verdicts.len()
+                );
             }
         }
     }

@@ -23,7 +23,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-use ifi_hierarchy::{Hierarchy, MultiHierarchy};
+use ifi_hierarchy::Hierarchy;
 use ifi_overlay::churn::{ChurnEvent, ChurnSchedule, SessionModel};
 use ifi_overlay::{HeartbeatConfig, Topology};
 use ifi_sim::{DetRng, Duration, MetricsReport, MsgClass, PeerId, SimConfig, SimTime, World};
@@ -119,7 +119,7 @@ fn control(seed: u64) -> ChurnRun {
     single.run_until(horizon);
     let single_profile = class_profile(&single);
 
-    let mh = MultiHierarchy::with_roots(&topo, &[PeerId::new(0), PeerId::new(17)]);
+    let mh = crate::par::build_multi_hierarchy(&topo, &[PeerId::new(0), PeerId::new(17)]);
     let mut multi = ResilientProtocol::build_world_multi(
         &cfg,
         rc(),
@@ -196,7 +196,7 @@ fn weibull_failover(seed: u64) -> ChurnRun {
     let data = workload(seed ^ 0xc0ffee);
     let cfg = config();
     let succession = [PeerId::new(0), PeerId::new(13), PeerId::new(37)];
-    let mh = MultiHierarchy::with_roots(&topo, &succession);
+    let mh = crate::par::build_multi_hierarchy(&topo, &succession);
     let horizon = SimTime::from_micros(120_000_000);
 
     // Heavy-tailed sessions for a flaky minority (the last fifth of the

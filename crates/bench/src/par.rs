@@ -75,6 +75,25 @@ where
         .collect()
 }
 
+/// Builds the redundant hierarchies of a [`MultiHierarchy`] in parallel,
+/// one BFS per root over [`par_map`]. Each tree derives only from the
+/// shared (immutable) topology and its own root, so the result is
+/// identical to the serial `MultiHierarchy::with_roots` — at `N = 10^5`
+/// the per-root BFS dominates multi-tree setup, and this fans it out.
+///
+/// # Panics
+///
+/// As `MultiHierarchy::from_trees`: empty or duplicate `roots`.
+pub fn build_multi_hierarchy(
+    topology: &ifi_overlay::Topology,
+    roots: &[ifi_sim::PeerId],
+) -> ifi_hierarchy::MultiHierarchy {
+    let trees = par_map(roots.to_vec(), |r| {
+        ifi_hierarchy::Hierarchy::bfs(topology, r)
+    });
+    ifi_hierarchy::MultiHierarchy::from_trees(trees)
+}
+
 /// [`par_map`] that additionally measures each sweep point's wall-clock
 /// duration on its worker thread, returning `(output, duration)` pairs in
 /// input order. Used to profile figure sweeps without perturbing their
@@ -172,6 +191,19 @@ mod tests {
         });
         let expect: Vec<(u64, u64)> = (0..n).map(|i| (i, ifi_sim::mix64(seed ^ i) % n)).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_multi_hierarchy_matches_serial_build() {
+        use ifi_sim::PeerId;
+        let topo = ifi_overlay::Topology::random_regular(300, 4, &mut ifi_sim::DetRng::new(21));
+        let roots = [PeerId::new(7), PeerId::new(42), PeerId::new(199)];
+        let parallel = build_multi_hierarchy(&topo, &roots);
+        let serial = ifi_hierarchy::MultiHierarchy::with_roots(&topo, &roots);
+        assert_eq!(parallel.roots(), serial.roots());
+        for (a, b) in parallel.trees().iter().zip(serial.trees()) {
+            assert_eq!(a, b, "parallel BFS must be bit-identical to serial");
+        }
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! [`ifi_perf`] harness (warmup + median-of-k), so its counters — events
 //! processed, messages sent, wire bytes, answer digests — are
 //! bit-reproducible on any machine, while its wall-clock median is
-//! machine-dependent and only alarm-gated. The five benches cover the
-//! simulator's hot paths end to end:
+//! machine-dependent and only alarm-gated. The five default benches cover
+//! the simulator's hot paths end to end; two scale benches push `N` past
+//! the paper and run in CI's dedicated `scale` job (via `--only`):
 //!
 //! | bench | exercises |
 //! |-------|-----------|
@@ -14,6 +15,14 @@
 //! | `epoch_n1000`   | a full netFilter epoch at `N = 1000` over the DES |
 //! | `maintain_tick` | heartbeat/maintenance tick loop, 200 peers, 30 s |
 //! | `fig7_quick`    | the fig. 7 sweep at `--quick` scale (both panels) |
+//! | `epoch_n100000` | scale lane: one netFilter epoch at `N = 10^5` |
+//! | `fig7_n10000`   | scale lane: fig. 7(a) skew sweep at `N = 10^4` |
+//!
+//! Alongside the behavioral counters, the simulator benches snapshot
+//! *occupancy* high-water marks — peak event-queue length and peak
+//! per-peer arena sizes (heartbeat tracker, children, dedup windows) — so
+//! a state-layout regression that balloons memory shows up as exact
+//! counter drift even when wall-clock stays inside tolerance.
 //!
 //! Reports land as `BENCH_<name>.json` in the output directory; baselines
 //! live under `baselines/perf/` and are checked with counters exact.
@@ -99,6 +108,7 @@ fn bench_event_queue() -> BenchReport {
             counters: vec![
                 ("messages".into(), w.metrics().total_messages()),
                 ("digest".into(), digest),
+                ("queue_high_water".into(), w.queue_high_water() as u64),
             ],
         }
     })
@@ -190,6 +200,53 @@ fn bench_epoch_n1000() -> BenchReport {
                 ("messages".into(), w.metrics().total_messages()),
                 ("result_items".into(), result.len() as u64),
                 ("digest".into(), digest),
+                ("queue_high_water".into(), w.queue_high_water() as u64),
+            ],
+        }
+    })
+}
+
+// --- epoch_n100000: the scale lane's full epoch at N = 10^5. ---
+
+fn bench_epoch_n100000() -> BenchReport {
+    const PEERS: usize = 100_000;
+    let data = SystemData::generate_paper(
+        &WorkloadParams {
+            peers: PEERS,
+            items: 200_000,
+            instances_per_item: 10,
+            theta: 1.0,
+        },
+        PERF_SEED,
+    );
+    let h = Hierarchy::balanced(PEERS, 3);
+    let cfg = NetFilterConfig::builder()
+        .filter_size(100)
+        .filters(3)
+        .threshold(Threshold::Ratio(0.01))
+        .hash_seed(PERF_SEED)
+        .build();
+    run_bench("epoch_n100000", &BenchConfig { warmup: 1, reps: 2 }, || {
+        let mut w = NetFilterProtocol::build_world(
+            &cfg,
+            &h,
+            &data,
+            SimConfig::default().with_seed(PERF_SEED),
+        );
+        w.start();
+        w.run_to_quiescence();
+        let result = w.peer(PeerId::new(0)).result().expect("epoch finishes");
+        let digest = result
+            .iter()
+            .fold(0u64, |acc, &(id, v)| fold(fold(acc, id.0), v));
+        Sample {
+            ops: w.events_processed(),
+            bytes: w.metrics().total_bytes(),
+            counters: vec![
+                ("messages".into(), w.metrics().total_messages()),
+                ("result_items".into(), result.len() as u64),
+                ("digest".into(), digest),
+                ("queue_high_water".into(), w.queue_high_water() as u64),
             ],
         }
     })
@@ -219,10 +276,21 @@ fn bench_maintain_tick() -> BenchReport {
         );
         w.start();
         w.run_until(SimTime::from_micros(30_000_000));
+        let (mut tracked_hw, mut children_hw) = (0u64, 0u64);
+        for i in 0..PEERS {
+            let p = w.peer(PeerId::new(i));
+            tracked_hw = tracked_hw.max(p.tracked_high_water() as u64);
+            children_hw = children_hw.max(p.children_high_water() as u64);
+        }
         Sample {
             ops: w.events_processed(),
             bytes: w.metrics().total_bytes(),
-            counters: vec![("messages".into(), w.metrics().total_messages())],
+            counters: vec![
+                ("messages".into(), w.metrics().total_messages()),
+                ("queue_high_water".into(), w.queue_high_water() as u64),
+                ("tracked_high_water".into(), tracked_hw),
+                ("children_high_water".into(), children_hw),
+            ],
         }
     })
 }
@@ -251,15 +319,87 @@ fn bench_fig7_quick() -> BenchReport {
     })
 }
 
-/// Runs all five benchmarks at their fixed seeds, in a stable order.
+// --- fig7_n10000: the scale lane's fig. 7(a) sweep at N = 10^4. ---
+
+fn bench_fig7_n10000() -> BenchReport {
+    let scale = Scale::Custom {
+        peers: 10_000,
+        items_small: 100_000,
+        items_large: 1_000_000,
+    };
+    run_bench("fig7_n10000", &BenchConfig { warmup: 0, reps: 2 }, || {
+        let panel = fig7::run_panel(scale, "a", scale.items_small(), 100, 3, PERF_SEED);
+        let mut ops = 0u64;
+        let mut bytes = 0u64;
+        let mut digest = 0u64;
+        for row in &panel.rows {
+            ops += 1;
+            bytes += (row.netfilter + row.naive) as u64;
+            digest = fold(digest, row.netfilter.to_bits());
+            digest = fold(digest, row.naive.to_bits());
+        }
+        Sample {
+            ops,
+            bytes,
+            counters: vec![("digest".into(), digest)],
+        }
+    })
+}
+
+type BenchFn = fn() -> BenchReport;
+
+/// Every benchmark by name: the five default hot-path benches first, then
+/// the scale-lane benches (selected by CI's `scale` job via `--only`).
+const REGISTRY: [(&str, BenchFn); 7] = [
+    ("event_queue", bench_event_queue),
+    ("codec", bench_codec),
+    ("epoch_n1000", bench_epoch_n1000),
+    ("maintain_tick", bench_maintain_tick),
+    ("fig7_quick", bench_fig7_quick),
+    ("epoch_n100000", bench_epoch_n100000),
+    ("fig7_n10000", bench_fig7_n10000),
+];
+
+/// How many of [`REGISTRY`]'s leading entries a plain `bench` runs (the
+/// scale benches only run when named via `--only`).
+const DEFAULT_BENCHES: usize = 5;
+
+/// Names of every registered benchmark, default set first.
+pub fn bench_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|&(n, _)| n).collect()
+}
+
+/// Runs the five default benchmarks at their fixed seeds, in a stable
+/// order.
 pub fn run_all() -> Vec<BenchReport> {
-    vec![
-        bench_event_queue(),
-        bench_codec(),
-        bench_epoch_n1000(),
-        bench_maintain_tick(),
-        bench_fig7_quick(),
-    ]
+    REGISTRY[..DEFAULT_BENCHES]
+        .iter()
+        .map(|(_, f)| f())
+        .collect()
+}
+
+/// Runs only the named benchmarks (any registered name, scale benches
+/// included), preserving the caller's order.
+///
+/// # Errors
+///
+/// Returns the offending name if it is not registered.
+pub fn run_named(names: &[&str]) -> Result<Vec<BenchReport>, String> {
+    names
+        .iter()
+        .map(|want| {
+            REGISTRY
+                .iter()
+                .find(|&&(n, _)| n == *want)
+                .map(|(_, f)| f())
+                .ok_or_else(|| {
+                    format!(
+                        "unknown bench {want:?} (known: {})",
+                        bench_names().join(", ")
+                    )
+                })
+        })
+        .collect()
 }
 
 /// Writes each report as `<dir>/BENCH_<name>.json` (the CI artifact).
@@ -303,6 +443,21 @@ pub fn write_baselines(
         .collect()
 }
 
+/// Checks every report against its committed baseline, keeping the
+/// verdicts per bench: `(name, problems)` in report order, `problems`
+/// empty on pass. `bench --check` renders this as its summary table.
+pub fn check_baselines_per_bench(
+    baselines_dir: &Path,
+    reports: &[BenchReport],
+    tolerance: f64,
+) -> Vec<(String, Vec<String>)> {
+    let dir = baselines_dir.join(BASELINE_SUBDIR);
+    reports
+        .iter()
+        .map(|r| (r.name.clone(), ifi_perf::check_baseline(&dir, r, tolerance)))
+        .collect()
+}
+
 /// Checks every report against its committed baseline. Returns
 /// human-readable problem lines (empty = pass).
 pub fn check_baselines(
@@ -310,11 +465,24 @@ pub fn check_baselines(
     reports: &[BenchReport],
     tolerance: f64,
 ) -> Vec<String> {
-    let dir = baselines_dir.join(BASELINE_SUBDIR);
-    reports
-        .iter()
-        .flat_map(|r| ifi_perf::check_baseline(&dir, r, tolerance))
+    check_baselines_per_bench(baselines_dir, reports, tolerance)
+        .into_iter()
+        .flat_map(|(_, problems)| problems)
         .collect()
+}
+
+/// Wall-clock tolerance for `bench --check`: an explicit `--tolerance`
+/// wins, then the `PERF_WALL_TOLERANCE` environment variable (CI sets it
+/// once at workflow level so every perf lane shares one knob), then a
+/// generous ±50 %.
+pub fn wall_tolerance(explicit: Option<f64>) -> f64 {
+    explicit
+        .or_else(|| {
+            std::env::var("PERF_WALL_TOLERANCE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(0.5)
 }
 
 #[cfg(test)]
@@ -347,6 +515,57 @@ mod tests {
         let paths = write_reports(&dir, std::slice::from_ref(&r)).expect("writable");
         assert!(paths[0].ends_with("BENCH_codec.json"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_named_selects_and_rejects() {
+        let reports = run_named(&["codec"]).expect("codec is registered");
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "codec");
+        let err = run_named(&["codec", "nope"]).unwrap_err();
+        assert!(err.contains("unknown bench"), "{err}");
+        assert!(err.contains("epoch_n100000"), "{err}");
+    }
+
+    #[test]
+    fn default_set_excludes_the_scale_benches() {
+        let names = bench_names();
+        assert_eq!(names.len(), REGISTRY.len());
+        assert!(!names[..DEFAULT_BENCHES].contains(&"epoch_n100000"));
+        assert!(names[DEFAULT_BENCHES..].contains(&"epoch_n100000"));
+        assert!(names[DEFAULT_BENCHES..].contains(&"fig7_n10000"));
+    }
+
+    #[test]
+    fn per_bench_check_separates_verdicts() {
+        let dir = std::env::temp_dir().join(format!("ifi_perfbench_pb_{}", std::process::id()));
+        let r = bench_codec();
+        write_baselines(&dir, std::slice::from_ref(&r)).expect("writable");
+        // A second report with no committed baseline must fail on its own
+        // row without polluting the passing bench's verdict.
+        let ghost = BenchReport {
+            name: "ghost".into(),
+            ops: 1,
+            bytes: 1,
+            counters: Vec::new(),
+            wall: r.wall.clone(),
+        };
+        let verdicts = check_baselines_per_bench(&dir, &[r.clone(), ghost], 10.0);
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(verdicts[0].0, "codec");
+        assert!(verdicts[0].1.is_empty(), "{:?}", verdicts[0].1);
+        assert_eq!(verdicts[1].0, "ghost");
+        assert!(!verdicts[1].1.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wall_tolerance_prefers_explicit_then_env_then_default() {
+        assert_eq!(wall_tolerance(Some(0.25)), 0.25);
+        std::env::set_var("PERF_WALL_TOLERANCE", "0.75");
+        assert_eq!(wall_tolerance(None), 0.75);
+        std::env::remove_var("PERF_WALL_TOLERANCE");
+        assert_eq!(wall_tolerance(None), 0.5);
     }
 
     #[test]

@@ -4,7 +4,8 @@ use ifi_hierarchy::Hierarchy;
 use ifi_workload::{SystemData, WorkloadParams};
 use netfilter::{MetricsReport, NetFilter, NetFilterConfig, Threshold, WireSizes};
 
-/// Experiment scale: the paper's full setting or a fast smoke setting.
+/// Experiment scale: the paper's full setting, a fast smoke setting, or an
+/// explicit point (used by the scale lane to push `N` past the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Table III: `N = 1000`, `n = 10^5` (and `10^6` where the paper uses
@@ -12,6 +13,15 @@ pub enum Scale {
     Paper,
     /// Scaled down ~10× for smoke runs and CI.
     Quick,
+    /// An explicit `(N, n_small, n_large)` point.
+    Custom {
+        /// `N` — number of peers.
+        peers: usize,
+        /// The base `n` (Figures 5, 6, 7a).
+        items_small: u64,
+        /// The large `n` (Figures 7b, 8).
+        items_large: u64,
+    },
 }
 
 impl Scale {
@@ -20,6 +30,7 @@ impl Scale {
         match self {
             Scale::Paper => 1000,
             Scale::Quick => 200,
+            Scale::Custom { peers, .. } => peers,
         }
     }
 
@@ -28,6 +39,7 @@ impl Scale {
         match self {
             Scale::Paper => 100_000,
             Scale::Quick => 20_000,
+            Scale::Custom { items_small, .. } => items_small,
         }
     }
 
@@ -36,6 +48,7 @@ impl Scale {
         match self {
             Scale::Paper => 1_000_000,
             Scale::Quick => 50_000,
+            Scale::Custom { items_large, .. } => items_large,
         }
     }
 
@@ -136,6 +149,19 @@ mod tests {
         assert!(Scale::Quick.peers() < Scale::Paper.peers());
         assert!(Scale::Quick.items_small() < Scale::Paper.items_small());
         assert!(Scale::Quick.items_large() < Scale::Paper.items_large());
+    }
+
+    #[test]
+    fn custom_scale_reports_its_explicit_point() {
+        let s = Scale::Custom {
+            peers: 10_000,
+            items_small: 100_000,
+            items_large: 1_000_000,
+        };
+        assert_eq!(s.peers(), 10_000);
+        assert_eq!(s.items_small(), 100_000);
+        assert_eq!(s.items_large(), 1_000_000);
+        assert_eq!(s.hierarchy().universe(), 10_000);
     }
 
     #[test]

@@ -74,14 +74,12 @@
 //! heartbeats and `Attach` refreshes are periodic (redundancy *is* their
 //! reliability).
 
-use std::collections::BTreeSet;
-
 use ifi_agg::{Aggregate, MapSum, VecSum};
 use ifi_hierarchy::{Hierarchy, MaintainCore, MaintainMsg, MultiHierarchy};
 use ifi_overlay::{HeartbeatConfig, Topology};
 use ifi_sim::{
-    mix64, Ctx, Duration, MsgClass, PeerId, Protocol, RelConfig, ReliableLink, ReliableMsg,
-    Retransmit, SimConfig, SimTime, TimerId, World,
+    mix64, Ctx, Duration, MsgClass, PeerId, PeerSet, Protocol, RelConfig, ReliableLink,
+    ReliableMsg, Retransmit, SimConfig, SimTime, TimerId, World,
 };
 use ifi_workload::{ItemId, SystemData};
 
@@ -326,12 +324,12 @@ pub struct ResilientProtocol {
     // --- state of the epoch this peer is currently serving ---
     epoch: u64,
     epoch_parent: Option<PeerId>,
-    p1_received: BTreeSet<PeerId>,
+    p1_received: PeerSet,
     p1_acc: Option<VecSum>,
     p1_census: Census,
     p1_sent: bool,
     heavy: Option<HeavyGroups>,
-    p2_received: BTreeSet<PeerId>,
+    p2_received: PeerSet,
     p2_acc: Option<MapSum>,
     p2_census: Census,
     p2_sent: bool,
@@ -437,12 +435,12 @@ impl ResilientProtocol {
             epoch_timer: None,
             epoch: 0,
             epoch_parent: None,
-            p1_received: BTreeSet::new(),
+            p1_received: PeerSet::new(),
             p1_acc: None,
             p1_census: Census::empty(),
             p1_sent: false,
             heavy: None,
-            p2_received: BTreeSet::new(),
+            p2_received: PeerSet::new(),
             p2_acc: None,
             p2_census: Census::empty(),
             p2_sent: false,
@@ -712,8 +710,8 @@ impl ResilientProtocol {
         self.p1_final = None;
     }
 
-    fn children_covered(&self, received: &BTreeSet<PeerId>) -> bool {
-        self.core.children().iter().all(|c| received.contains(c))
+    fn children_covered(&self, received: &PeerSet) -> bool {
+        self.core.children().iter().all(|&c| received.contains(c))
     }
 
     fn check_p1(&mut self, ctx: &mut Ctx<'_, Self>) {

@@ -9,10 +9,8 @@
 //! logic; handlers return the messages to transmit instead of sending
 //! them, so any transport (and any enclosing message enum) can drive it.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use ifi_overlay::{HeartbeatConfig, HeartbeatTracker, NeighborStatus};
-use ifi_sim::{PeerId, SimTime};
+use ifi_sim::{PeerId, PeerMap, PeerSet, SimTime};
 
 use crate::protocol::MaintainMsg;
 use crate::tree::Hierarchy;
@@ -54,11 +52,11 @@ pub struct MaintainCore {
     /// heartbeat timeout — a child that re-parented elsewhere is alive
     /// (so failure suspicion never fires) yet must still be dropped, or
     /// this peer waits on its reports forever.
-    children: BTreeMap<PeerId, SimTime>,
+    children: PeerMap<SimTime>,
     tracker: HeartbeatTracker,
     /// Neighbors suspected as of the previous tick, for edge-triggered
     /// death reporting in [`TickOutcome::newly_dead`].
-    last_suspected: BTreeSet<PeerId>,
+    last_suspected: PeerSet,
     /// Number of detach events this peer underwent.
     pub detach_count: u32,
     /// Regression toggle: restore the pre-fix tick order that forgot
@@ -95,7 +93,7 @@ impl MaintainCore {
                 .map(|&c| (c, SimTime::ZERO))
                 .collect(),
             tracker,
-            last_suspected: BTreeSet::new(),
+            last_suspected: PeerSet::new(),
             detach_count: 0,
             legacy_churn_race: false,
             legacy_unbounded_depth: false,
@@ -139,7 +137,19 @@ impl MaintainCore {
 
     /// Current children (sorted).
     pub fn children(&self) -> Vec<PeerId> {
-        self.children.keys().copied().collect()
+        self.children.keys().collect()
+    }
+
+    /// Peak number of children ever held — arena occupancy for the perf
+    /// benches' state-layout counters.
+    pub fn children_high_water(&self) -> usize {
+        self.children.high_water()
+    }
+
+    /// Peak number of neighbors the heartbeat tracker ever held — arena
+    /// occupancy for the perf benches' state-layout counters.
+    pub fn tracked_high_water(&self) -> usize {
+        self.tracker.tracked_high_water()
     }
 
     /// Whether the peer is detached (depth ∞ and not the root).
@@ -203,7 +213,7 @@ impl MaintainCore {
         self.depth = DEPTH_INF;
         self.parent = None;
         self.detach_count += 1;
-        for &c in self.children.keys() {
+        for c in self.children.keys() {
             out.push((c, MaintainMsg::Detach));
         }
         self.children.clear();
@@ -291,16 +301,15 @@ impl MaintainCore {
         // Drop children that failed, and children that stopped asserting
         // the link (they re-parented; they are alive, so suspicion alone
         // never fires for them).
-        let suspected: BTreeSet<PeerId> = self.tracker.suspected(now).into_iter().collect();
+        let suspected: PeerSet = self.tracker.suspected(now).into_iter().collect();
         let timeout = self.tracker.config().timeout;
         let before = self.children.len();
         self.children
-            .retain(|c, &mut stamp| !suspected.contains(c) && now.duration_since(stamp) <= timeout);
+            .retain(|c, stamp| !suspected.contains(c) && now.duration_since(*stamp) <= timeout);
         changed |= self.children.len() != before;
         let newly_dead: Vec<PeerId> = suspected
             .iter()
-            .filter(|p| !self.last_suspected.contains(p))
-            .copied()
+            .filter(|&p| !self.last_suspected.contains(p))
             .collect();
         self.last_suspected = suspected;
         // Re-assert the parent link every tick. Attach is idempotent at

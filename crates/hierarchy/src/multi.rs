@@ -53,6 +53,24 @@ impl MultiHierarchy {
         }
     }
 
+    /// Assembles a multi-hierarchy from already-built trees, primary
+    /// first. This is the seam for parallel construction: at large `N` the
+    /// per-root BFS dominates setup, and each tree is independent, so
+    /// callers can fan the builds out (e.g. over `par_map`) and hand the
+    /// results here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees` is empty or two trees share a root.
+    pub fn from_trees(trees: Vec<Hierarchy>) -> Self {
+        assert!(!trees.is_empty(), "need at least one hierarchy");
+        let mut roots: Vec<PeerId> = trees.iter().map(|t| t.root()).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        assert_eq!(roots.len(), trees.len(), "duplicate roots");
+        MultiHierarchy { trees }
+    }
+
     /// Number of redundant trees.
     pub fn len(&self) -> usize {
         self.trees.len()
@@ -143,6 +161,27 @@ mod tests {
     fn duplicate_roots_rejected() {
         let topo = Topology::ring(4);
         let _ = MultiHierarchy::with_roots(&topo, &[PeerId::new(1), PeerId::new(1)]);
+    }
+
+    #[test]
+    fn from_trees_matches_with_roots() {
+        let topo = Topology::random_regular(40, 4, &mut DetRng::new(9));
+        let roots = [PeerId::new(3), PeerId::new(11)];
+        let built = MultiHierarchy::with_roots(&topo, &roots);
+        let assembled =
+            MultiHierarchy::from_trees(roots.iter().map(|&r| Hierarchy::bfs(&topo, r)).collect());
+        assert_eq!(assembled.roots(), built.roots());
+        for (a, b) in assembled.trees().iter().zip(built.trees()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate roots")]
+    fn from_trees_rejects_duplicate_roots() {
+        let topo = Topology::ring(4);
+        let t = Hierarchy::bfs(&topo, PeerId::new(0));
+        let _ = MultiHierarchy::from_trees(vec![t.clone(), t]);
     }
 
     #[test]

@@ -258,6 +258,22 @@ impl MaintainProtocol {
         self.core.detach_count
     }
 
+    /// Peak children-arena occupancy (see `MaintainCore::children_high_water`).
+    pub fn children_high_water(&self) -> usize {
+        self.core.children_high_water()
+    }
+
+    /// Peak heartbeat-tracker arena occupancy (see
+    /// `MaintainCore::tracked_high_water`).
+    pub fn tracked_high_water(&self) -> usize {
+        self.core.tracked_high_water()
+    }
+
+    /// Peak reliable-link dedup-arena occupancy; 0 without reliability.
+    pub fn dedup_high_water(&self) -> usize {
+        self.rel.as_ref().map_or(0, |r| r.dedup_high_water())
+    }
+
     /// Re-introduces the historical churn-race panic (see
     /// [`MaintainCore::enable_legacy_churn_race`]). Test tooling only.
     #[doc(hidden)]
@@ -688,6 +704,116 @@ mod tests {
         assert_eq!(snap.member_count(), 40, "revived peer must rejoin");
         assert!(snap.is_member(victim));
         assert!(!w.peer(victim).is_detached());
+    }
+
+    #[test]
+    fn churn_revival_within_one_interval_does_not_double_the_tick_chain() {
+        // Regression: a peer killed and revived *inside* one heartbeat
+        // interval still has its pre-kill Tick pending at revival. Before
+        // timers carried an incarnation stamp, that stale Tick fired after
+        // the revival's fresh chain and the peer heartbeated at twice the
+        // configured rate forever.
+        use ifi_overlay::churn::{ChurnEvent, ChurnSchedule};
+        let topo = Topology::ring(4);
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let victim = PeerId::new(2);
+        let horizon = SimTime::from_micros(60_000_000);
+        // Interval 500ms: the Tick armed at 1.0s is due at 1.5s, after the
+        // 1.3s revival.
+        let sched = ChurnSchedule::from_events(
+            4,
+            vec![
+                ChurnEvent::Down(SimTime::from_micros(1_200_000), victim),
+                ChurnEvent::Up(SimTime::from_micros(1_300_000), victim),
+            ],
+            horizon,
+        );
+        let mut w = maintain_world(&topo, &h, 53);
+        w.start();
+        sched.install_world(&mut w);
+        w.run_until(horizon);
+        let hb_msgs = |i: usize| {
+            w.metrics()
+                .peer_class(PeerId::new(i), MsgClass::HEARTBEAT)
+                .messages
+        };
+        let untouched = hb_msgs(0);
+        let revived = hb_msgs(victim.index());
+        // The 0.1s outage can cost at most one tick (2 heartbeats on the
+        // ring); a doubled chain would show ~2x the untouched count.
+        assert!(
+            revived <= untouched && revived + 4 >= untouched,
+            "revived peer sent {revived} heartbeats vs {untouched} for an \
+             untouched peer: stale tick chain survived the revival"
+        );
+    }
+
+    #[test]
+    fn churn_revival_does_not_alias_stale_reliable_link_retransmits() {
+        // Regression: P1's send-once Detach is in flight (unacked) when P1
+        // dies; the Retransmit timer armed for it is still pending when P1
+        // revives moments later. Before timers carried an incarnation
+        // stamp, the stale timer fired in the new incarnation and resent a
+        // frame from the previous life.
+        use ifi_overlay::churn::{ChurnEvent, ChurnSchedule};
+        let topo = Topology::line(3);
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_millis(1600),
+            bytes: 8,
+        };
+        let peers: Vec<MaintainProtocol> = topo
+            .peers()
+            .map(|p| {
+                MaintainProtocol::new(&h, p, topo.neighbors(p).to_vec(), cfg)
+                    .with_reliability(ifi_sim::RelConfig::default())
+            })
+            .collect();
+        let mut w = World::new(
+            SimConfig::default()
+                .with_seed(59)
+                .with_latency(ifi_sim::LatencyModel::Constant(Duration::from_millis(20))),
+            peers,
+        );
+        let horizon = SimTime::from_micros(20_000_000);
+        // Root 0 dies at 2.0s; P1 suspects it and detaches on its 3.5s
+        // tick, sending the reliable Detach to P2 (delivered 3.52s, ack due
+        // back 3.54s). Killing P1 at 3.53s catches the ack in flight, so
+        // the frame stays unacked with a Retransmit timer due ~3.9-4.1s
+        // (base_rto 400ms + jitter) — after the 3.8s revival.
+        let sched = ChurnSchedule::from_events(
+            3,
+            vec![
+                ChurnEvent::Down(SimTime::from_micros(2_000_000), PeerId::new(0)),
+                ChurnEvent::Down(SimTime::from_micros(3_530_000), PeerId::new(1)),
+                ChurnEvent::Up(SimTime::from_micros(3_800_000), PeerId::new(1)),
+            ],
+            horizon,
+        );
+        w.start();
+        sched.install_world(&mut w);
+        w.run_until(horizon);
+        // Preconditions: the cascade really happened over the reliable
+        // envelope (P1 detached once and P2 heard it and acked).
+        assert_eq!(w.peer(PeerId::new(1)).detach_count(), 1);
+        assert!(w.peer(PeerId::new(2)).is_detached());
+        assert!(
+            w.metrics()
+                .peer_class(PeerId::new(2), MsgClass::RETRANSMIT)
+                .messages
+                >= 1,
+            "P2 must have acked the reliable Detach"
+        );
+        // The regression assertion: P1 never resends a frame from its
+        // previous incarnation.
+        assert_eq!(
+            w.metrics()
+                .peer_class(PeerId::new(1), MsgClass::RETRANSMIT)
+                .messages,
+            0,
+            "stale retransmit timer fired across the revival"
+        );
     }
 
     #[test]

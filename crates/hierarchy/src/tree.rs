@@ -161,10 +161,13 @@ impl Hierarchy {
 
     /// All members, sorted by id.
     pub fn members(&self) -> Vec<PeerId> {
-        (0..self.depth.len())
-            .filter(|&i| self.depth[i].is_some())
-            .map(PeerId::new)
-            .collect()
+        let mut out = Vec::with_capacity(self.member_count());
+        out.extend(
+            (0..self.depth.len())
+                .filter(|&i| self.depth[i].is_some())
+                .map(PeerId::new),
+        );
+        out
     }
 
     /// The upstream neighbor (parent); `None` for the root and non-members.

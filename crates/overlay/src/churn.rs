@@ -146,6 +146,48 @@ impl ChurnSchedule {
         }
     }
 
+    /// A schedule from an explicit event list, for tests that pin exact
+    /// kill/revive instants (e.g. a revival inside one heartbeat interval).
+    /// Events are sorted by time; online time is replayed per peer, with
+    /// every peer starting online at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event lies beyond `horizon`, names a peer `>= n`, or
+    /// breaks a peer's down/up alternation (down while down, up while up).
+    pub fn from_events(n: usize, mut events: Vec<ChurnEvent>, horizon: SimTime) -> Self {
+        events.sort_by_key(|e| e.time());
+        let mut online_time = vec![Duration::ZERO; n];
+        let mut up_since = vec![Some(SimTime::ZERO); n];
+        for &e in &events {
+            assert!(e.time() < horizon, "churn event beyond the horizon");
+            match e {
+                ChurnEvent::Down(t, p) => {
+                    let since = up_since[p.index()].expect("down event for a peer already down");
+                    online_time[p.index()] = online_time[p.index()] + (t - since);
+                    up_since[p.index()] = None;
+                }
+                ChurnEvent::Up(t, p) => {
+                    assert!(
+                        up_since[p.index()].is_none(),
+                        "up event for a peer already up"
+                    );
+                    up_since[p.index()] = Some(t);
+                }
+            }
+        }
+        for (i, since) in up_since.into_iter().enumerate() {
+            if let Some(t) = since {
+                online_time[i] = online_time[i] + (horizon - t);
+            }
+        }
+        ChurnSchedule {
+            events,
+            online_time,
+            horizon,
+        }
+    }
+
     /// A schedule with no churn at all.
     pub fn quiet(n: usize, horizon: SimTime) -> Self {
         ChurnSchedule {
@@ -392,6 +434,34 @@ mod tests {
             sched.online_time(PeerId::new(3)),
             filtered.online_time(PeerId::new(3))
         );
+    }
+
+    #[test]
+    fn from_events_sorts_and_replays_online_time() {
+        let horizon = SimTime::from_micros(10_000);
+        let p = PeerId::new(1);
+        // Deliberately out of order; peer 1 is down for 2000us total.
+        let events = vec![
+            ChurnEvent::Up(SimTime::from_micros(5_000), p),
+            ChurnEvent::Down(SimTime::from_micros(3_000), p),
+        ];
+        let s = ChurnSchedule::from_events(3, events, horizon);
+        let ts: Vec<_> = s.events().iter().map(|e| e.time()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s.online_time(p), Duration::from_micros(8_000));
+        assert_eq!(s.online_time(PeerId::new(0)), Duration::from_micros(10_000));
+        assert_eq!(s.horizon(), horizon);
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn from_events_rejects_double_down() {
+        let p = PeerId::new(0);
+        let events = vec![
+            ChurnEvent::Down(SimTime::from_micros(1), p),
+            ChurnEvent::Down(SimTime::from_micros(2), p),
+        ];
+        let _ = ChurnSchedule::from_events(1, events, SimTime::from_micros(10));
     }
 
     #[test]

@@ -11,9 +11,7 @@
 //! missed enough heartbeats to be declared failed. The hierarchy-repair
 //! protocol in `ifi-hierarchy` is its main consumer.
 
-use std::collections::HashMap;
-
-use ifi_sim::{Duration, PeerId, SimTime};
+use ifi_sim::{Duration, PeerId, PeerMap, SimTime};
 
 /// Timing parameters for the heartbeat protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,9 +50,10 @@ pub enum NeighborStatus {
 #[derive(Debug, Clone)]
 pub struct HeartbeatTracker {
     config: HeartbeatConfig,
-    /// `(last heard, last advertised depth)` per tracked neighbor. The
-    /// tracking epoch starts at [`HeartbeatTracker::start`].
-    last: HashMap<PeerId, (SimTime, Option<u32>)>,
+    /// `(last heard, last advertised depth)` per tracked neighbor, stored
+    /// in a degree-sized sorted arena. The tracking epoch starts at
+    /// [`HeartbeatTracker::start`].
+    last: PeerMap<(SimTime, Option<u32>)>,
     started: Option<SimTime>,
     /// Regression toggle: restore the pre-fix behavior where
     /// [`status`](Self::status) panicked on an untracked peer. Exists only
@@ -114,13 +113,13 @@ impl HeartbeatTracker {
     /// accept an `Attach` from a just-revived peer and then spuriously
     /// drop it on the next tick, before its first heartbeat lands.
     pub fn touch(&mut self, from: PeerId, now: SimTime) {
-        let depth = self.last.get(&from).and_then(|&(_, d)| d);
+        let depth = self.last.get(from).and_then(|&(_, d)| d);
         self.last.insert(from, (now, depth));
     }
 
     /// Stops tracking a neighbor (e.g. after acting on its failure).
     pub fn forget(&mut self, peer: PeerId) {
-        self.last.remove(&peer);
+        self.last.remove(peer);
     }
 
     /// The status of `peer` at time `now`.
@@ -137,7 +136,7 @@ impl HeartbeatTracker {
     /// Panics if [`start`](Self::start) was never called.
     pub fn status(&self, peer: PeerId, now: SimTime) -> NeighborStatus {
         assert!(self.started.is_some(), "tracker not started");
-        match self.last.get(&peer) {
+        match self.last.get(peer) {
             None if self.legacy_strict_status => panic!("peer {peer} is not tracked"),
             None => NeighborStatus::Suspected,
             Some(&(heard, depth)) => {
@@ -152,26 +151,26 @@ impl HeartbeatTracker {
 
     /// All neighbors currently suspected of failure.
     pub fn suspected(&self, now: SimTime) -> Vec<PeerId> {
-        let mut out: Vec<PeerId> = self
-            .last
+        self.last
             .keys()
-            .copied()
             .filter(|&p| self.status(p, now) == NeighborStatus::Suspected)
-            .collect();
-        out.sort_unstable();
-        out
+            .collect()
     }
 
     /// The last depth advertised by `peer`, if any heartbeat arrived.
     pub fn advertised_depth(&self, peer: PeerId) -> Option<u32> {
-        self.last.get(&peer).and_then(|&(_, d)| d)
+        self.last.get(peer).and_then(|&(_, d)| d)
     }
 
     /// Tracked neighbors (sorted).
     pub fn tracked(&self) -> Vec<PeerId> {
-        let mut v: Vec<PeerId> = self.last.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.last.keys().collect()
+    }
+
+    /// Peak number of neighbors ever tracked — arena occupancy for the perf
+    /// benches' state-layout counters.
+    pub fn tracked_high_water(&self) -> usize {
+        self.last.high_water()
     }
 }
 

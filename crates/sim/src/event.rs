@@ -1,7 +1,26 @@
 //! Internal event-queue plumbing.
+//!
+//! The queue is a *stable* priority queue over `(time, seq)`: events pop
+//! sorted by time, ties broken by insertion order. Internally it is split
+//! by event kind:
+//!
+//! * **Timers** go into a hierarchical timer wheel (11 levels × 64 slots,
+//!   6 bits per level — 66 bits of microsecond range). At `N = 10^5` peers
+//!   there are ~10^5 concurrent heartbeat/retransmit timers; wheel insert
+//!   and expiry are O(1) amortized, where a binary heap pays O(log n) per
+//!   operation and thrashes its cache at that population.
+//! * **Everything else** (deliveries, starts, kills, revives) — plus the
+//!   rare timer scheduled behind the wheel cursor, and strategy-path
+//!   reinsertions — stays in the classic binary heap.
+//!
+//! [`EventQueue::pop`] merges the two sources by `(time, seq)`, so the
+//! observable pop order is *identical* to the historical pure-heap
+//! implementation (the `wheel_matches_heap_semantics` proptest pins this).
+//! The `seq`-doubles-as-timer-id cancellation contract and the FIFO
+//! tie-break are untouched.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::id::PeerId;
 use crate::time::SimTime;
@@ -13,8 +32,15 @@ pub(crate) enum EventKind<M, T> {
     /// recorded at send time.)
     Deliver { from: PeerId, to: PeerId, msg: M },
     /// Fire a timer at a peer. The event's `seq` doubles as the timer id
-    /// for cancellation.
-    Timer { peer: PeerId, tag: T },
+    /// for cancellation. `incarnation` snapshots the peer's kill/revive
+    /// generation at arming time: the fire path swallows the timer if the
+    /// peer has been revived since, so a new incarnation never observes
+    /// timers leaked by its predecessor.
+    Timer {
+        peer: PeerId,
+        tag: T,
+        incarnation: u32,
+    },
     /// Run `Protocol::on_start` for a peer (initial boot or revival).
     Start { peer: PeerId },
     /// Administrative: take a peer down.
@@ -55,53 +81,251 @@ impl<M, T> Ord for Event<M, T> {
     }
 }
 
-/// Min-heap of events keyed by `(time, seq)`.
+/// Wheel geometry: 6 bits per level, 11 levels (66 bits ≥ the full u64
+/// microsecond range, so every future timestamp has a slot).
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+const LEVELS: usize = 11;
+
+/// Hierarchical timing wheel for timer events at or after the cursor.
+///
+/// Invariants (maintained by every method):
+///
+/// * every parked event's time `t` satisfies `t >= cur`;
+/// * an event at level `l`, slot `s` has all time fields above `l` equal
+///   to the cursor's, and `s >= field_l(cur)` (equality only at level 0);
+/// * whenever any event is parked in a slot, `batch` holds the wheel's
+///   earliest-time events (all at one exact time, ascending `seq`) — so
+///   peeking never needs `&mut self`.
+#[derive(Debug)]
+struct TimerWheel<M, T> {
+    /// The wheel cursor: one past the last drained microsecond. Only ever
+    /// advances.
+    cur: u64,
+    /// Events parked in slots (excludes `batch`).
+    parked: usize,
+    /// Per-level slot-occupancy bitmaps.
+    occ: [u64; LEVELS],
+    /// `LEVELS * SLOTS` buckets, level-major.
+    slots: Vec<Vec<Event<M, T>>>,
+    /// The wheel's earliest events, drained slot-at-a-time: one exact
+    /// timestamp, ascending `seq`.
+    batch: VecDeque<Event<M, T>>,
+}
+
+impl<M, T> TimerWheel<M, T> {
+    fn new() -> Self {
+        TimerWheel {
+            cur: 0,
+            parked: 0,
+            occ: [0; LEVELS],
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            batch: VecDeque::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.parked + self.batch.len()
+    }
+
+    /// Level holding time `t` relative to the cursor: the field of the
+    /// highest bit where `t` and `cur` differ.
+    fn level_of(&self, t: u64) -> usize {
+        debug_assert!(t >= self.cur, "wheel insert behind the cursor");
+        let diff = t ^ self.cur;
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        }
+    }
+
+    /// Parks an event in its slot without touching the batch.
+    fn park(&mut self, ev: Event<M, T>) {
+        let t = ev.time.as_micros();
+        let level = self.level_of(t);
+        let slot = (t >> (SLOT_BITS * level as u32)) & SLOT_MASK;
+        self.occ[level] |= 1 << slot;
+        self.slots[level * SLOTS + slot as usize].push(ev);
+        self.parked += 1;
+    }
+
+    /// Inserts a timer event (time must be `>= cur`), keeping the
+    /// earliest-in-batch invariant.
+    fn insert(&mut self, ev: Event<M, T>) {
+        self.park(ev);
+        if self.batch.is_empty() {
+            self.refill_batch();
+        }
+    }
+
+    /// The wheel's earliest pending event, if any.
+    fn peek(&self) -> Option<&Event<M, T>> {
+        debug_assert!(self.parked == 0 || !self.batch.is_empty());
+        self.batch.front()
+    }
+
+    /// Pops the wheel's earliest pending event, keeping the invariant.
+    fn pop(&mut self) -> Option<Event<M, T>> {
+        let ev = self.batch.pop_front()?;
+        if self.batch.is_empty() && self.parked > 0 {
+            self.refill_batch();
+        }
+        Some(ev)
+    }
+
+    /// Takes every event out of slot `(level, slot)`.
+    fn drain_slot(&mut self, level: usize, slot: u64) -> Vec<Event<M, T>> {
+        self.occ[level] &= !(1 << slot);
+        let evs = std::mem::take(&mut self.slots[level * SLOTS + slot as usize]);
+        self.parked -= evs.len();
+        evs
+    }
+
+    /// Re-parks every event sitting in an upper level's slot *at* the
+    /// cursor position: those share the cursor's field at that level, so
+    /// they belong at a lower level now. High-to-low so an event can
+    /// cascade through several levels in one pass. Without this pass, a
+    /// level-0 scan could fire a later event ahead of one still parked at
+    /// a higher level.
+    fn cascade_cursor_slots(&mut self) {
+        for level in (1..LEVELS).rev() {
+            let pos = (self.cur >> (SLOT_BITS * level as u32)) & SLOT_MASK;
+            if self.occ[level] & (1 << pos) != 0 {
+                for ev in self.drain_slot(level, pos) {
+                    self.park(ev);
+                }
+            }
+        }
+    }
+
+    /// Drains the wheel's earliest-time slot into `batch` and advances the
+    /// cursor past it. Called only when `batch` is empty and `parked > 0`.
+    fn refill_batch(&mut self) {
+        debug_assert!(self.batch.is_empty() && self.parked > 0);
+        loop {
+            self.cascade_cursor_slots();
+            // After the cascade, every parked event sits strictly after
+            // the cursor position of its level, so the smallest occupied
+            // level holds the global minimum (its candidate shares all
+            // upper fields with the cursor; a higher level's candidate
+            // exceeds the cursor in a more significant field).
+            let Some((level, slot)) = (0..LEVELS).find_map(|level| {
+                let pos = (self.cur >> (SLOT_BITS * level as u32)) & SLOT_MASK;
+                let mask = self.occ[level] & (!0u64 << pos);
+                (mask != 0).then(|| (level, mask.trailing_zeros() as u64))
+            }) else {
+                debug_assert_eq!(self.parked, 0, "parked events unreachable by scan");
+                return;
+            };
+            if level == 0 {
+                let t0 = (self.cur & !SLOT_MASK) | slot;
+                let mut evs = self.drain_slot(0, slot);
+                evs.sort_unstable_by_key(|e| e.seq);
+                debug_assert!(evs.iter().all(|e| e.time.as_micros() == t0));
+                // One past the drained time: a later same-time insert goes
+                // to the caller's heap and still merges in `seq` order.
+                self.cur = t0 + 1;
+                self.batch.extend(evs);
+                return;
+            }
+            // Jump the cursor to the start of the candidate block (zero
+            // every field below `level`, set field `level` to the slot) and
+            // loop: the cascade pass then breaks that slot downward. No
+            // per-slot walking — empty stretches are skipped in O(levels).
+            let below = SLOT_BITS * (level as u32 + 1);
+            let keep = if below >= 64 { 0 } else { !0u64 << below };
+            self.cur = (self.cur & keep) | (slot << (SLOT_BITS * level as u32));
+        }
+    }
+}
+
+/// Stable priority queue of events keyed by `(time, seq)`: a timer wheel
+/// for the timer population, a binary heap for everything else, merged on
+/// pop. See the module docs for the split and the equivalence argument.
 #[derive(Debug)]
 pub(crate) struct EventQueue<M, T> {
     heap: BinaryHeap<Event<M, T>>,
+    wheel: TimerWheel<M, T>,
     next_seq: u64,
+    high_water: usize,
 }
 
 impl<M, T> EventQueue<M, T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
             next_seq: 0,
+            high_water: 0,
         }
     }
 
     pub fn push(&mut self, time: SimTime, kind: EventKind<M, T>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let ev = Event { time, seq, kind };
+        if matches!(ev.kind, EventKind::Timer { .. }) && ev.time.as_micros() >= self.wheel.cur {
+            self.wheel.insert(ev);
+        } else {
+            // Non-timer traffic, or a timer behind the wheel cursor (the
+            // cursor can run ahead of the clock when the earliest pending
+            // timer is far out). The heap preserves exact semantics.
+            self.heap.push(ev);
+        }
+        self.high_water = self.high_water.max(self.len());
         seq
     }
 
     pub fn pop(&mut self) -> Option<Event<M, T>> {
-        self.heap.pop()
+        let take_wheel = match (self.heap.peek(), self.wheel.peek()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(h), Some(w)) => (w.time, w.seq) < (h.time, h.seq),
+        };
+        if take_wheel {
+            self.wheel.pop()
+        } else {
+            self.heap.pop()
+        }
     }
 
     /// Puts back an event popped for inspection, or re-schedules one at a
     /// new time, *without* assigning a fresh `seq`. Preserving `seq` keeps
     /// the FIFO tie-break position stable and — crucially — keeps timer
     /// identity intact, since a timer's `seq` doubles as its cancellation
-    /// id. Used by the schedule-exploration hook in `World`.
+    /// id. Used by the schedule-exploration hook in `World`. Reinsertions
+    /// always take the heap path (their time may lie behind the wheel
+    /// cursor); the pop-side merge keeps the order correct either way.
     pub fn reinsert(&mut self, ev: Event<M, T>) {
         self.heap.push(ev);
     }
 
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match (self.heap.peek(), self.wheel.peek()) {
+            (None, None) => None,
+            (None, Some(w)) => Some(w.time),
+            (Some(h), None) => Some(h.time),
+            (Some(h), Some(w)) => Some(h.time.min(w.time)),
+        }
+    }
+
+    /// High-water mark of the pending-event population — the scale lane's
+    /// scheduler-occupancy counter.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     #[allow(dead_code)] // used by tests and kept for driver-side introspection
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.wheel.len()
     }
 
     #[allow(dead_code)] // used by tests and kept for driver-side introspection
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -118,6 +342,17 @@ mod tests {
         );
     }
 
+    fn timer(q: &mut EventQueue<u8, u32>, t: u64, tag: u32) -> u64 {
+        q.push(
+            SimTime::from_micros(t),
+            EventKind::Timer {
+                peer: PeerId::new(0),
+                tag,
+                incarnation: 0,
+            },
+        )
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q: EventQueue<u8, ()> = EventQueue::new();
@@ -128,6 +363,55 @@ mod tests {
             .map(|e| e.time.as_micros())
             .collect();
         assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn timers_pop_in_time_order_across_wheel_levels() {
+        let mut q: EventQueue<u8, u32> = EventQueue::new();
+        // Times spanning several wheel levels, inserted out of order,
+        // including the cross-level trap (65 parks at level 1, 70 at level
+        // 0 once the cursor reaches 64) that the cascade pass exists for.
+        let times = [70u64, 65, 1 << 40, 3, 64, 4096, 0, 63, (1 << 40) + 1];
+        for &t in &times {
+            timer(&mut q, t, t as u32);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros())
+            .collect();
+        let mut expect = times.to_vec();
+        expect.sort_unstable();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn mixed_timer_and_message_traffic_merges_by_time_and_seq() {
+        let mut q: EventQueue<u8, u32> = EventQueue::new();
+        let s0 = timer(&mut q, 5, 0);
+        let s1 = q.push(
+            SimTime::from_micros(5),
+            EventKind::Deliver {
+                from: PeerId::new(0),
+                to: PeerId::new(1),
+                msg: 9,
+            },
+        );
+        let s2 = timer(&mut q, 5, 2);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![s0, s1, s2], "FIFO across wheel and heap");
+    }
+
+    #[test]
+    fn late_same_time_timer_still_merges_fifo() {
+        // Popping a timer at t advances the wheel cursor past t; a timer
+        // subsequently pushed at exactly t (zero-delay re-arm) takes the
+        // heap path and must still pop after the batch, in seq order.
+        let mut q: EventQueue<u8, u32> = EventQueue::new();
+        let s0 = timer(&mut q, 10, 0);
+        let s1 = timer(&mut q, 10, 1);
+        assert_eq!(q.pop().unwrap().seq, s0);
+        let s2 = timer(&mut q, 10, 2);
+        assert_eq!(q.pop().unwrap().seq, s1);
+        assert_eq!(q.pop().unwrap().seq, s2);
     }
 
     #[test]
@@ -163,6 +447,24 @@ mod tests {
     }
 
     #[test]
+    fn high_water_tracks_the_peak_population() {
+        let mut q: EventQueue<u8, u32> = EventQueue::new();
+        for t in 0..10 {
+            timer(&mut q, t, t as u32);
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        ev_mixed(&mut q);
+        assert_eq!(q.high_water(), 10);
+    }
+
+    fn ev_mixed(q: &mut EventQueue<u8, u32>) {
+        timer(q, 100, 0);
+        q.pop();
+    }
+
+    #[test]
     fn reinsert_preserves_seq_and_tie_break_position() {
         let mut q: EventQueue<u8, ()> = EventQueue::new();
         let s0 = q.push(
@@ -193,6 +495,20 @@ mod tests {
             },
         );
         assert_eq!(s2, s1 + 1);
+    }
+
+    #[test]
+    fn reinserted_timer_behind_the_cursor_pops_correctly() {
+        let mut q: EventQueue<u8, u32> = EventQueue::new();
+        let s0 = timer(&mut q, 7, 0);
+        let s1 = timer(&mut q, 7, 1);
+        let s2 = timer(&mut q, 9, 2);
+        // Inspect-and-put-back at a time the wheel cursor has passed.
+        let a = q.pop().unwrap();
+        assert_eq!(a.seq, s0);
+        q.reinsert(a);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![s0, s1, s2]);
     }
 
     mod props {
@@ -268,6 +584,76 @@ mod tests {
                     std::iter::from_fn(move || q.pop()).map(|e| e.seq).collect()
                 };
                 prop_assert_eq!(after, baseline);
+            }
+
+            /// The timer wheel is observably equivalent to the binary-heap
+            /// scheduler: for any interleaving of timer arms (absolute and
+            /// relative to the last pop, mixed with deliveries) and pops,
+            /// the fire order is exactly sorted `(time, seq)` — the heap's
+            /// contract. Interleaved pops advance the wheel cursor, so this
+            /// also covers the behind-the-cursor heap fallback.
+            #[test]
+            fn wheel_matches_heap_semantics(
+                ops in prop::collection::vec(
+                    (0u64..1 << 14, 0u8..8), 1..128,
+                ),
+            ) {
+                let mut q: EventQueue<u8, u32> = EventQueue::new();
+                // The reference "binary heap": a sorted (time, seq) list.
+                let mut model: Vec<(u64, u64)> = Vec::new();
+                let mut fired: Vec<(u64, u64)> = Vec::new();
+                let mut now = 0u64;
+                for (i, &(t, op)) in ops.iter().enumerate() {
+                    match op {
+                        // Pop one event, advancing the virtual clock.
+                        0 => {
+                            if let Some(ev) = q.pop() {
+                                fired.push((ev.time.as_micros(), ev.seq));
+                                now = ev.time.as_micros();
+                                let min = *model.iter().min().unwrap();
+                                prop_assert_eq!(*fired.last().unwrap(), min);
+                                model.retain(|&e| e != min);
+                            }
+                        }
+                        // Arm a timer `t` past the clock (the kernel path:
+                        // `now + delay`), stressing every wheel level.
+                        1..=5 => {
+                            let at = now.saturating_add(t);
+                            let seq = q.push(
+                                SimTime::from_micros(at),
+                                EventKind::Timer {
+                                    peer: PeerId::new(i),
+                                    tag: i as u32,
+                                    incarnation: 0,
+                                },
+                            );
+                            model.push((at, seq));
+                        }
+                        // A delivery at the same kind of offset.
+                        _ => {
+                            let at = now.saturating_add(t % 512);
+                            let seq = q.push(
+                                SimTime::from_micros(at),
+                                EventKind::Deliver {
+                                    from: PeerId::new(0),
+                                    to: PeerId::new(i),
+                                    msg: op,
+                                },
+                            );
+                            model.push((at, seq));
+                        }
+                    }
+                }
+                let mut rest: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+                    .map(|e| (e.time.as_micros(), e.seq))
+                    .collect();
+                model.sort_unstable();
+                fired.append(&mut rest);
+                // Drain order must equal the model's sorted order, and the
+                // already-fired prefix must have been monotone too.
+                prop_assert_eq!(&fired[fired.len() - model.len()..], &model[..]);
+                prop_assert!(fired.windows(2).all(|w| w[0] < w[1]
+                    || w[0].0 < w[1].0));
             }
         }
     }

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod event;
 mod fault;
 mod id;
@@ -72,6 +73,7 @@ mod time;
 mod trace;
 mod world;
 
+pub use arena::{PeerMap, PeerSet};
 pub use fault::FaultPlan;
 pub use id::PeerId;
 pub use metrics::{ClassTotals, Metrics, MsgClass};

@@ -23,6 +23,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::arena::PeerMap;
 use crate::id::PeerId;
 use crate::rng::mix64;
 use crate::time::Duration;
@@ -143,7 +144,10 @@ pub struct ReliableLink<M> {
     cfg: RelConfig,
     next_seq: u64,
     in_flight: BTreeMap<u64, Pending<M>>,
-    seen: BTreeMap<PeerId, DedupWindow>,
+    /// Per-sender dedup windows, arena-backed: the sender population is
+    /// bounded by the overlay degree, so a sorted vector beats a tree map
+    /// at every size the simulator reaches.
+    seen: PeerMap<DedupWindow>,
     abandoned: u64,
 }
 
@@ -154,7 +158,7 @@ impl<M: Clone> ReliableLink<M> {
             cfg,
             next_seq: 0,
             in_flight: BTreeMap::new(),
-            seen: BTreeMap::new(),
+            seen: PeerMap::new(),
             abandoned: 0,
         }
     }
@@ -208,7 +212,7 @@ impl<M: Clone> ReliableLink<M> {
     /// protocol, `false` for a duplicate to suppress. The caller acks in
     /// both cases — the duplicate usually means the first ack was lost.
     pub fn accept(&mut self, from: PeerId, seq: u64) -> bool {
-        self.seen.entry(from).or_default().insert(seq)
+        self.seen.entry_or_default(from).insert(seq)
     }
 
     /// Sender side: handles an `Ack` for `seq` from `from`. Ignores acks
@@ -269,6 +273,12 @@ impl<M: Clone> ReliableLink<M> {
     /// Frames abandoned after exhausting retries (escalated to the caller).
     pub fn abandoned(&self) -> u64 {
         self.abandoned
+    }
+
+    /// Peak number of per-sender dedup windows ever held — an arena
+    /// occupancy counter for the perf benches' state-layout gate.
+    pub fn dedup_high_water(&self) -> usize {
+        self.seen.high_water()
     }
 }
 
@@ -396,9 +406,10 @@ mod tests {
         for seq in 0..3 {
             assert!(!l.accept(p, seq));
         }
-        let w = l.seen.get(&p).unwrap();
+        let w = l.seen.get(p).unwrap();
         assert_eq!(w.next, 3, "watermark compacted past the filled gap");
         assert!(w.sparse.is_empty());
+        assert_eq!(l.dedup_high_water(), 1);
     }
 
     mod abandon_world {

@@ -123,6 +123,11 @@ struct Kernel<M, T> {
     /// [`FaultPlan`] deterministic drop schedules.
     next_send_seq: u64,
     up: Vec<bool>,
+    /// Per-peer kill/revive generation, bumped on every revival. Timers
+    /// are stamped with it at arming time and swallowed on mismatch, so a
+    /// revived peer never observes timers leaked by its previous
+    /// incarnation (doubled tick chains, stale retransmits).
+    incarnation: Vec<u32>,
     cancelled_timers: HashSet<u64>,
     events_processed: u64,
     /// Order-sensitive digest of the executed schedule: folds every fired
@@ -220,9 +225,14 @@ impl<M: std::fmt::Debug + Clone, T: std::fmt::Debug> Kernel<M, T> {
     fn set_timer(&mut self, peer: PeerId, delay: Duration, tag: T) -> TimerId {
         // The queue's monotone `seq` doubles as the timer id; cancellation
         // records the seq and the fire path checks it.
-        let seq = self
-            .queue
-            .push(self.now + delay, EventKind::Timer { peer, tag });
+        let seq = self.queue.push(
+            self.now + delay,
+            EventKind::Timer {
+                peer,
+                tag,
+                incarnation: self.incarnation[peer.index()],
+            },
+        );
         TimerId(seq)
     }
 
@@ -346,6 +356,7 @@ impl<P: Protocol> World<P> {
                 faults_inert,
                 next_send_seq: 0,
                 up: vec![true; n],
+                incarnation: vec![0; n],
                 cancelled_timers: HashSet::new(),
                 events_processed: 0,
                 sched_fingerprint: 0,
@@ -528,6 +539,13 @@ impl<P: Protocol> World<P> {
         self.kernel.events_processed
     }
 
+    /// High-water mark of the pending-event population (scheduler
+    /// occupancy). Deterministic for a fixed `(protocol, seed)` pair, so
+    /// the perf benches gate on it as a state-layout counter.
+    pub fn queue_high_water(&self) -> usize {
+        self.kernel.queue.high_water()
+    }
+
     /// Runs until the event queue is empty. Returns the final time.
     ///
     /// # Panics
@@ -679,10 +697,20 @@ impl<P: Protocol> World<P> {
                     self.kernel.metrics.record_drop();
                 }
             }
-            EventKind::Timer { peer, tag } => {
+            EventKind::Timer {
+                peer,
+                tag,
+                incarnation,
+            } => {
                 if self.kernel.cancelled_timers.remove(&ev.seq) {
                     // cancelled before firing
-                } else if self.kernel.is_up(peer) {
+                } else if self.kernel.is_up(peer)
+                    // A stale incarnation (armed before a kill/revive
+                    // cycle) is swallowed exactly like a timer at a down
+                    // peer: the seq still folds into the fingerprint
+                    // above, nothing else happens.
+                    && incarnation == self.kernel.incarnation[peer.index()]
+                {
                     if let Some(trace) = self.kernel.trace.as_mut() {
                         trace.record(ev.time, TraceKind::Timer { peer });
                     }
@@ -700,6 +728,10 @@ impl<P: Protocol> World<P> {
                     if let Some(trace) = self.kernel.trace.as_mut() {
                         trace.record(ev.time, TraceKind::Revive { peer });
                     }
+                    // New incarnation: timers armed before the kill are
+                    // dead on arrival from here on.
+                    let inc = &mut self.kernel.incarnation[peer.index()];
+                    *inc = inc.wrapping_add(1);
                     self.kernel.up[peer.index()] = true;
                     self.kernel
                         .queue
@@ -913,6 +945,70 @@ mod tests {
         w.start();
         w.run_to_quiescence();
         assert_eq!(w.peer(PeerId::new(0)).fired, vec![1, 3]);
+    }
+
+    /// Arms one long timer per incarnation; records which fired.
+    #[derive(Debug, Default)]
+    struct Generations {
+        starts: u32,
+        fired: Vec<u32>,
+    }
+
+    impl Protocol for Generations {
+        type Msg = ();
+        type Timer = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+            self.starts += 1;
+            // A tag unique to this incarnation, fired well in the future.
+            ctx.set_timer(Duration::from_secs(5), self.starts);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Self>, _f: PeerId, _m: ()) {}
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, tag: u32) {
+            self.fired.push(tag);
+        }
+    }
+
+    #[test]
+    fn timer_from_a_previous_incarnation_never_fires_after_revival() {
+        let mut w = World::new(
+            SimConfig::default().with_seed(6),
+            vec![Generations::default()],
+        );
+        let p = PeerId::new(0);
+        // Kill at 1 s and revive at 2 s: the incarnation-1 timer (due at
+        // 5 s) is still pending when the peer comes back. Without the
+        // generation stamp it would fire into the new incarnation —
+        // exactly the doubled-tick-chain / stale-retransmit aliasing bug.
+        w.schedule_kill(SimTime::from_micros(1_000_000), p);
+        w.schedule_revive(SimTime::from_micros(2_000_000), p);
+        w.start();
+        w.run_to_quiescence();
+        assert_eq!(w.peer(p).starts, 2);
+        assert_eq!(
+            w.peer(p).fired,
+            vec![2],
+            "only the post-revival incarnation's timer may fire"
+        );
+    }
+
+    #[test]
+    fn timer_pending_across_a_full_downtime_stays_swallowed() {
+        // Kill before the timer's due time, revive after it: the fire
+        // lands during downtime and is dropped by the liveness check, as
+        // before the generation stamp existed.
+        let mut w = World::new(
+            SimConfig::default().with_seed(7),
+            vec![Generations::default()],
+        );
+        let p = PeerId::new(0);
+        w.schedule_kill(SimTime::from_micros(1_000_000), p);
+        w.schedule_revive(SimTime::from_micros(6_000_000), p);
+        w.start();
+        w.run_to_quiescence();
+        assert_eq!(w.peer(p).fired, vec![2]);
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   hold under every schedule, plus three pinned historical bugs the
 //!   harness must rediscover (heartbeat churn-race panic,
 //!   count-to-infinity freeze, double-merge under duplication).
+//! * [`scale`] — the complementary axis: one run per protocol family at
+//!   `N = 10^4` on the dense-arena layout, all six oracles consulted
+//!   (CI's `scale` job runs it in release mode).
 //!
 //! [`RandomStrategy`]: strategy::RandomStrategy
 //! [`ReplayStrategy`]: strategy::ReplayStrategy
@@ -37,6 +40,7 @@ pub mod artifact;
 pub mod cases;
 pub mod explore;
 pub mod oracle;
+pub mod scale;
 pub mod shrink;
 pub mod strategy;
 
@@ -44,4 +48,5 @@ pub use artifact::{parse_artifact, write_artifact, Artifact};
 pub use cases::{all_cases, find_case, Case};
 pub use explore::{explore, replay, ExploreConfig, ExploreReport, FoundViolation, Perturbation};
 pub use oracle::{Checkpoint, Oracle, Violation};
+pub use scale::{run_scale_check, ScaleVerdict};
 pub use strategy::{DecisionLog, RandomStrategy, ReplayStrategy, StrategyKnobs};
