@@ -9,6 +9,7 @@
 //! cargo run -p ifi-bench --release --bin experiments -- loss-smoke --drop 0.10
 //! cargo run -p ifi-bench --release --bin experiments -- churn-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-smoke
+//! cargo run -p ifi-bench --release --bin experiments -- transport-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-replay results/simcheck/bug-churn-race-20080617.repro
 //! cargo run -p ifi-bench --release --bin experiments -- bench --write-baselines
 //! cargo run -p ifi-bench --release --bin experiments -- bench --check --tolerance 0.5
@@ -21,7 +22,7 @@ use std::process::ExitCode;
 use ifi_bench::output::DataFile;
 use ifi_bench::{
     ablation, baseline, churn, depth, fig5, fig6, fig7, fig8, loss, perfbench, report_checks,
-    simcheck_smoke, Scale, ShapeCheck,
+    simcheck_smoke, transport_smoke, Scale, ShapeCheck,
 };
 use ifi_simcheck::{find_case, parse_artifact};
 
@@ -29,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all]\n\
          \x20                  [check-baselines] [write-baselines] [loss-smoke] [churn-smoke]\n\
-         \x20                  [simcheck-smoke] [simcheck-replay <artifact>]\n\
+         \x20                  [simcheck-smoke] [simcheck-replay <artifact>] [transport-smoke]\n\
          \x20                  [bench [--write-baselines] [--check] [--only <names>]]\n\
          \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
          \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]\n\
@@ -136,7 +137,9 @@ fn main() -> ExitCode {
             "--check" => bench_check = true,
             "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
             | "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke"
-            | "simcheck-smoke" | "bench" => which.push(Box::leak(arg.clone().into_boxed_str())),
+            | "simcheck-smoke" | "transport-smoke" | "bench" => {
+                which.push(Box::leak(arg.clone().into_boxed_str()))
+            }
             _ => usage(),
         }
     }
@@ -229,6 +232,28 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("error: cannot write churn metrics: {e}");
+                    all_ok = false;
+                }
+            }
+        }
+    }
+    if which.contains(&"transport-smoke") {
+        println!(
+            "transport smoke — real channel/TCP fabrics vs DES byte reconciliation, seed {seed}"
+        );
+        let runs = transport_smoke::run_smoke(seed);
+        for run in &runs {
+            all_ok &= report_checks(&format!("transport smoke — {}", run.name), &run.checks);
+        }
+        if let Some(dir) = &metrics_out {
+            match transport_smoke::write_metrics(dir, &runs) {
+                Ok(paths) => {
+                    for p in &paths {
+                        println!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: cannot write transport metrics: {e}");
                     all_ok = false;
                 }
             }
@@ -358,6 +383,7 @@ fn main() -> ExitCode {
                 | "churn-smoke"
                 | "simcheck-smoke"
                 | "simcheck-replay"
+                | "transport-smoke"
                 | "bench"
         )
     }) {

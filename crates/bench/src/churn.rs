@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 use ifi_hierarchy::Hierarchy;
 use ifi_overlay::churn::{ChurnEvent, ChurnSchedule, SessionModel};
 use ifi_overlay::{HeartbeatConfig, Topology};
-use ifi_sim::{DetRng, Duration, MetricsReport, MsgClass, PeerId, SimConfig, SimTime, World};
+use ifi_sim::{Des, DetRng, Duration, MetricsReport, MsgClass, PeerId, SimConfig, SimTime, World};
 use ifi_workload::{GroundTruth, ItemId, SystemData, WorkloadParams};
 use netfilter::phases;
 use netfilter::resilient::{ResilientConfig, ResilientProtocol};
@@ -92,7 +92,7 @@ const PROTECTED: [MsgClass; 5] = [
     MsgClass::CONTROL,
 ];
 
-fn class_profile(w: &World<ResilientProtocol>) -> [u64; 5] {
+fn class_profile(w: &World<Des<ResilientProtocol>>) -> [u64; 5] {
     PROTECTED.map(|c| w.metrics().class_bytes(c))
 }
 

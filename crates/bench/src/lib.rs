@@ -33,6 +33,7 @@ pub mod perfbench;
 mod runner;
 pub mod simcheck_smoke;
 pub mod table;
+pub mod transport_smoke;
 
 pub use runner::{instrumented_summary, summarize_netfilter, RunSummary, Scale};
 

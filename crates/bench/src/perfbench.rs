@@ -34,8 +34,8 @@ use ifi_hierarchy::{Hierarchy, MaintainProtocol};
 use ifi_overlay::{HeartbeatConfig, Topology};
 use ifi_perf::{run_bench, BenchConfig, BenchReport, Sample};
 use ifi_sim::{
-    mix64, Ctx, DetRng, Duration, LatencyModel, MsgClass, PeerId, Protocol, SimConfig, SimTime,
-    World,
+    mix64, sansio_world, Ctx, DetRng, Duration, LatencyModel, MsgClass, PeerId, Protocol,
+    SimConfig, SimTime, World,
 };
 use ifi_workload::{ItemId, SystemData, WorkloadParams};
 use netfilter::codec::Codec;
@@ -268,7 +268,7 @@ fn bench_maintain_tick() -> BenchReport {
             .peers()
             .map(|p| MaintainProtocol::new(&h, p, topo.neighbors(p).to_vec(), cfg))
             .collect();
-        let mut w = World::new(
+        let mut w = sansio_world(
             SimConfig::default()
                 .with_seed(PERF_SEED)
                 .with_latency(LatencyModel::Constant(Duration::from_millis(20))),

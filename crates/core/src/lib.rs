@@ -96,6 +96,7 @@ pub mod resilient;
 pub mod topk;
 pub mod tuning;
 pub mod windowed;
+pub mod wire;
 
 pub use config::{NetFilterConfig, NetFilterConfigBuilder, Threshold};
 pub use engine::{CostBreakdown, NetFilter, NetFilterRun, RunCounts};

@@ -35,8 +35,8 @@
 use ifi_agg::{Aggregate, MapSum, VecSum};
 use ifi_hierarchy::Hierarchy;
 use ifi_sim::{
-    Ctx, MsgClass, PeerId, Protocol, RelConfig, ReliableLink, ReliableMsg, Retransmit, SimConfig,
-    World,
+    sansio_world, Des, Effects, Membership, MsgClass, NodeEvent, PeerId, RelConfig, ReliableLink,
+    ReliableMsg, Retransmit, SansIo, SimConfig, SimTime, World,
 };
 use ifi_workload::{ItemId, SystemData};
 
@@ -136,7 +136,7 @@ impl NetFilterProtocol {
         hierarchy: &Hierarchy,
         data: &SystemData,
         sim: SimConfig,
-    ) -> World<NetFilterProtocol> {
+    ) -> World<Des<NetFilterProtocol>> {
         assert_eq!(
             hierarchy.universe(),
             data.peer_count(),
@@ -155,7 +155,7 @@ impl NetFilterProtocol {
                 )
             })
             .collect();
-        World::new(sim, peers)
+        sansio_world(sim, peers)
     }
 
     /// Like [`build_world`](Self::build_world), but with the ack/retransmit
@@ -167,7 +167,7 @@ impl NetFilterProtocol {
         data: &SystemData,
         sim: SimConfig,
         rel: RelConfig,
-    ) -> World<NetFilterProtocol> {
+    ) -> World<Des<NetFilterProtocol>> {
         assert_eq!(
             hierarchy.universe(),
             data.peer_count(),
@@ -187,7 +187,7 @@ impl NetFilterProtocol {
                 .with_reliability(rel.clone())
             })
             .collect();
-        World::new(sim, peers)
+        sansio_world(sim, peers)
     }
 
     /// The final result (root only, once the run quiesces).
@@ -205,7 +205,7 @@ impl NetFilterProtocol {
     /// way, so phase costs are loss-independent.
     fn send_phase(
         &mut self,
-        ctx: &mut Ctx<'_, Self>,
+        fx: &mut Effects<Self>,
         to: PeerId,
         msg: NfMsg,
         bytes: u64,
@@ -213,18 +213,18 @@ impl NetFilterProtocol {
     ) {
         match self.rel.as_mut() {
             None => {
-                ctx.send(to, ReliableMsg::Plain(msg), bytes, class);
+                fx.send(to, ReliableMsg::Plain(msg), bytes, class);
             }
             Some(link) => {
                 let (seq, frame) = link.send_data(to, msg, bytes);
                 let delay = link.rto(seq, 0);
-                ctx.send(to, frame, bytes, class);
-                ctx.set_timer(delay, NfTimer::Retransmit(seq));
+                fx.send(to, frame, bytes, class);
+                fx.set_timer(delay, NfTimer::Retransmit(seq));
             }
         }
     }
 
-    fn phase1_complete(&mut self, ctx: &mut Ctx<'_, Self>) {
+    fn phase1_complete(&mut self, fx: &mut Effects<Self>) {
         let acc = self
             .p1_acc
             .take()
@@ -232,21 +232,15 @@ impl NetFilterProtocol {
         if self.is_root {
             let heavy =
                 HeavyGroups::from_aggregate(self.local_filter.family(), &acc, self.threshold);
-            self.start_phase2(ctx, heavy);
+            self.start_phase2(fx, heavy);
         } else {
             let parent = self.parent.expect("non-root has a parent");
             let bytes = acc.encoded_bytes(&self.sizes);
-            self.send_phase(
-                ctx,
-                parent,
-                NfMsg::GroupAgg(acc),
-                bytes,
-                MsgClass::FILTERING,
-            );
+            self.send_phase(fx, parent, NfMsg::GroupAgg(acc), bytes, MsgClass::FILTERING);
         }
     }
 
-    fn start_phase2(&mut self, ctx: &mut Ctx<'_, Self>, heavy: HeavyGroups) {
+    fn start_phase2(&mut self, fx: &mut Effects<Self>, heavy: HeavyGroups) {
         // Forward the heavy lists to every downstream neighbor. The child
         // list is moved aside (not cloned) for the duration of the sends;
         // each message still owns its own copy of the lists.
@@ -254,7 +248,7 @@ impl NetFilterProtocol {
         let children = std::mem::take(&mut self.children);
         for &c in &children {
             self.send_phase(
-                ctx,
+                fx,
                 c,
                 NfMsg::Heavy(heavy.lists().to_vec()),
                 list_bytes,
@@ -269,11 +263,11 @@ impl NetFilterProtocol {
         );
         self.heavy = Some(heavy);
         if self.p2_pending == 0 {
-            self.phase2_complete(ctx);
+            self.phase2_complete(fx);
         }
     }
 
-    fn phase2_complete(&mut self, ctx: &mut Ctx<'_, Self>) {
+    fn phase2_complete(&mut self, fx: &mut Effects<Self>) {
         let acc = self
             .p2_acc
             .take()
@@ -286,12 +280,13 @@ impl NetFilterProtocol {
                 .map(|(&k, &v)| (k, v))
                 .collect();
             frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            fx.deliver(frequent.clone());
             self.result = Some(frequent);
         } else {
             let parent = self.parent.expect("non-root has a parent");
             let bytes = acc.encoded_bytes(&self.sizes);
             self.send_phase(
-                ctx,
+                fx,
                 parent,
                 NfMsg::CandidateAgg(acc),
                 bytes,
@@ -301,7 +296,7 @@ impl NetFilterProtocol {
     }
 
     /// Handles a deduplicated protocol payload.
-    fn on_payload(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: NfMsg) {
+    fn on_payload(&mut self, fx: &mut Effects<Self>, from: PeerId, msg: NfMsg) {
         match msg {
             NfMsg::GroupAgg(v) => {
                 assert!(self.p1_pending > 0, "unexpected phase-1 report from {from}");
@@ -311,13 +306,13 @@ impl NetFilterProtocol {
                     .merge_owned(v);
                 self.p1_pending -= 1;
                 if self.p1_pending == 0 {
-                    self.phase1_complete(ctx);
+                    self.phase1_complete(fx);
                 }
             }
             NfMsg::Heavy(lists) => {
                 assert_eq!(Some(from), self.parent, "heavy lists must come from parent");
                 let heavy = HeavyGroups::from_lists(lists, self.local_filter.family().groups());
-                self.start_phase2(ctx, heavy);
+                self.start_phase2(fx, heavy);
             }
             NfMsg::CandidateAgg(m) => {
                 assert!(self.p2_pending > 0, "unexpected phase-2 report from {from}");
@@ -327,42 +322,32 @@ impl NetFilterProtocol {
                     .merge_owned(m);
                 self.p2_pending -= 1;
                 if self.p2_pending == 0 && self.heavy.is_some() {
-                    self.phase2_complete(ctx);
+                    self.phase2_complete(fx);
                 }
             }
         }
     }
-}
 
-impl Protocol for NetFilterProtocol {
-    type Msg = ReliableMsg<NfMsg>;
-    type Timer = NfTimer;
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
-        if !self.is_member {
-            return; // not part of the hierarchy: contributes nothing
-        }
-        self.p1_acc = Some(self.local_filter.group_vector(&self.local_items));
-        if self.p1_pending == 0 {
-            self.phase1_complete(ctx);
-        }
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: Self::Msg) {
+    fn on_frame(&mut self, fx: &mut Effects<Self>, from: PeerId, msg: ReliableMsg<NfMsg>) {
         let payload = match msg {
             ReliableMsg::Plain(m) => m,
-            ReliableMsg::Data { seq, payload } => {
-                let link = self
-                    .rel
-                    .as_mut()
-                    .expect("sequenced frame reached a peer without reliability enabled");
+            ReliableMsg::Data { inc, seq, payload } => {
+                let Some(link) = self.rel.as_mut() else {
+                    // A sequenced frame at a peer with no reliability
+                    // envelope is a configuration mismatch between the two
+                    // ends; drop it rather than take the node down.
+                    fx.warn("sequenced-frame-without-reliability");
+                    return;
+                };
                 let ack_bytes = link.cfg().ack_bytes;
-                let fresh = link.accept(from, seq);
+                let fresh = link.accept(from, inc, seq);
                 // Always ack — a duplicate usually means the first ack was
-                // lost — but only fresh payloads reach the phase logic.
-                ctx.send(
+                // lost — but only fresh payloads reach the phase logic. The
+                // ack echoes the frame's incarnation so the sender can
+                // match it to the right life.
+                fx.send(
                     from,
-                    ReliableMsg::Ack { seq },
+                    ReliableMsg::Ack { inc, seq },
                     ack_bytes,
                     MsgClass::RETRANSMIT,
                 );
@@ -371,19 +356,20 @@ impl Protocol for NetFilterProtocol {
                 }
                 payload
             }
-            ReliableMsg::Ack { seq } => {
+            ReliableMsg::Ack { inc, seq } => {
                 if let Some(link) = self.rel.as_mut() {
-                    link.on_ack(from, seq);
+                    link.on_ack(from, inc, seq);
                 }
                 return;
             }
         };
-        self.on_payload(ctx, from, payload);
+        self.on_payload(fx, from, payload);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: NfTimer) {
+    fn on_retransmit(&mut self, fx: &mut Effects<Self>, timer: NfTimer) {
         let NfTimer::Retransmit(seq) = timer;
         let Some(link) = self.rel.as_mut() else {
+            fx.warn("retransmit-timer-without-reliability");
             return;
         };
         match link.retransmit(seq) {
@@ -393,8 +379,8 @@ impl Protocol for NetFilterProtocol {
                 bytes,
                 next_delay,
             } => {
-                ctx.send(to, frame, bytes, MsgClass::RETRANSMIT);
-                ctx.set_timer(next_delay, NfTimer::Retransmit(seq));
+                fx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+                fx.set_timer(next_delay, NfTimer::Retransmit(seq));
             }
             Retransmit::Acked => {}
             Retransmit::GaveUp { .. } => {
@@ -403,6 +389,34 @@ impl Protocol for NetFilterProtocol {
                 // (see `resilient.rs`). With default tuning this needs 17
                 // consecutive losses of the same frame.
             }
+        }
+    }
+}
+
+impl SansIo for NetFilterProtocol {
+    type Msg = ReliableMsg<NfMsg>;
+    type Timer = NfTimer;
+    type Output = Vec<(ItemId, u64)>;
+
+    fn on_event(
+        &mut self,
+        ev: NodeEvent<ReliableMsg<NfMsg>, NfTimer>,
+        _now: SimTime,
+        _env: &dyn Membership,
+        fx: &mut Effects<Self>,
+    ) {
+        match ev {
+            NodeEvent::Start => {
+                if !self.is_member {
+                    return; // not part of the hierarchy: contributes nothing
+                }
+                self.p1_acc = Some(self.local_filter.group_vector(&self.local_items));
+                if self.p1_pending == 0 {
+                    self.phase1_complete(fx);
+                }
+            }
+            NodeEvent::Message { from, msg } => self.on_frame(fx, from, msg),
+            NodeEvent::Timer { tag } => self.on_retransmit(fx, tag),
         }
     }
 }

@@ -78,8 +78,9 @@ use ifi_agg::{Aggregate, MapSum, VecSum};
 use ifi_hierarchy::{Hierarchy, MaintainCore, MaintainMsg, MultiHierarchy};
 use ifi_overlay::{HeartbeatConfig, Topology};
 use ifi_sim::{
-    mix64, Ctx, Duration, MsgClass, PeerId, PeerSet, Protocol, RelConfig, ReliableLink,
-    ReliableMsg, Retransmit, SimConfig, SimTime, TimerId, World,
+    mix64, sansio_world, Des, Duration, Effects, Membership, MsgClass, NodeEvent, PeerId, PeerSet,
+    RelConfig, ReliableLink, ReliableMsg, Retransmit, SansIo, SimConfig, SimTime, TimerToken,
+    World,
 };
 use ifi_workload::{ItemId, SystemData};
 
@@ -319,7 +320,7 @@ pub struct ResilientProtocol {
     /// The epoch this acting root last issued, if any.
     issued: Option<u64>,
     /// The pending `NewEpoch` timer, cancelled on demotion.
-    epoch_timer: Option<TimerId>,
+    epoch_timer: Option<TimerToken>,
 
     // --- state of the epoch this peer is currently serving ---
     epoch: u64,
@@ -481,7 +482,7 @@ impl ResilientProtocol {
         data: &SystemData,
         sim: SimConfig,
         mk: impl Fn(PeerId, Vec<PeerId>, Vec<(ItemId, u64)>, u64) -> ResilientProtocol,
-    ) -> World<ResilientProtocol> {
+    ) -> World<Des<ResilientProtocol>> {
         assert_eq!(
             topology.peer_count(),
             data.peer_count(),
@@ -499,7 +500,7 @@ impl ResilientProtocol {
                 )
             })
             .collect();
-        World::new(sim, peers)
+        sansio_world(sim, peers)
     }
 
     /// Builds a ready-to-run world over `topology`, `hierarchy`, `data`.
@@ -514,7 +515,7 @@ impl ResilientProtocol {
         hierarchy: &Hierarchy,
         data: &SystemData,
         sim: SimConfig,
-    ) -> World<ResilientProtocol> {
+    ) -> World<Des<ResilientProtocol>> {
         assert_eq!(hierarchy.universe(), data.peer_count(), "universe mismatch");
         Self::assemble(config, topology, data, sim, |p, nb, items, t| {
             ResilientProtocol::new(config, rc, hierarchy, p, nb, items, t)
@@ -535,7 +536,7 @@ impl ResilientProtocol {
         data: &SystemData,
         sim: SimConfig,
         rel: RelConfig,
-    ) -> World<ResilientProtocol> {
+    ) -> World<Des<ResilientProtocol>> {
         assert_eq!(hierarchy.universe(), data.peer_count(), "universe mismatch");
         Self::assemble(config, topology, data, sim, |p, nb, items, t| {
             ResilientProtocol::new(config, rc, hierarchy, p, nb, items, t)
@@ -556,7 +557,7 @@ impl ResilientProtocol {
         multi: &MultiHierarchy,
         data: &SystemData,
         sim: SimConfig,
-    ) -> World<ResilientProtocol> {
+    ) -> World<Des<ResilientProtocol>> {
         assert_eq!(
             multi.primary().universe(),
             data.peer_count(),
@@ -582,7 +583,7 @@ impl ResilientProtocol {
         data: &SystemData,
         sim: SimConfig,
         rel: RelConfig,
-    ) -> World<ResilientProtocol> {
+    ) -> World<Des<ResilientProtocol>> {
         assert_eq!(
             multi.primary().universe(),
             data.peer_count(),
@@ -639,10 +640,10 @@ impl ResilientProtocol {
         self.succession.len() > 1
     }
 
-    fn flush_maintain(&mut self, ctx: &mut Ctx<'_, Self>, out: ifi_hierarchy::Outbox) {
+    fn flush_maintain(&mut self, fx: &mut Effects<Self>, out: ifi_hierarchy::Outbox) {
         // Handlers interleave repair and query traffic, so each send site
         // re-marks its phase just before sending.
-        ctx.mark_phase(phases::MAINTENANCE);
+        fx.mark_phase(phases::MAINTENANCE);
         let hb = self.rc.heartbeat.bytes;
         let multi = self.multi();
         let stamp = if multi { self.epoch } else { 0 };
@@ -651,7 +652,7 @@ impl ResilientProtocol {
                 MaintainMsg::Heartbeat { .. } => (hb, MsgClass::HEARTBEAT),
                 _ => (8, MsgClass::CONTROL),
             };
-            ctx.send(
+            fx.send(
                 to,
                 ReliableMsg::Plain(RMsg::Maintain {
                     m: msg,
@@ -664,7 +665,7 @@ impl ResilientProtocol {
             // charged as piggyback so maintenance classes stay
             // byte-identical to the single-root protocol.
             if multi {
-                ctx.charge(MsgClass::FAILOVER, STAMP_BYTES);
+                fx.charge(MsgClass::FAILOVER, STAMP_BYTES);
             }
         }
     }
@@ -677,7 +678,7 @@ impl ResilientProtocol {
     /// mark their phase before calling, as with a plain `ctx.send`.
     fn send_query(
         &mut self,
-        ctx: &mut Ctx<'_, Self>,
+        fx: &mut Effects<Self>,
         to: PeerId,
         msg: RMsg,
         bytes: u64,
@@ -685,12 +686,12 @@ impl ResilientProtocol {
     ) {
         match self.rel.as_mut() {
             None => {
-                ctx.send(to, ReliableMsg::Plain(msg), bytes, class);
+                fx.send(to, ReliableMsg::Plain(msg), bytes, class);
             }
             Some(link) => {
                 let (seq, frame) = link.send_data(to, msg, bytes);
-                ctx.send(to, frame, bytes, class);
-                ctx.set_timer(link.rto(seq, 0), RTimer::Retransmit(seq));
+                fx.send(to, frame, bytes, class);
+                fx.set_timer(link.rto(seq, 0), RTimer::Retransmit(seq));
             }
         }
     }
@@ -714,7 +715,7 @@ impl ResilientProtocol {
         self.core.children().iter().all(|&c| received.contains(c))
     }
 
-    fn check_p1(&mut self, ctx: &mut Ctx<'_, Self>) {
+    fn check_p1(&mut self, fx: &mut Effects<Self>) {
         if self.p1_sent
             || self.p1_acc.is_none()
             || !self.children_covered(&self.p1_received.clone())
@@ -726,13 +727,13 @@ impl ResilientProtocol {
         if self.active_root {
             let heavy =
                 HeavyGroups::from_aggregate(self.local_filter.family(), &acc, self.threshold);
-            self.enter_phase2(ctx, heavy);
+            self.enter_phase2(fx, heavy);
         } else if let Some(parent) = self.epoch_parent {
             let bytes = acc.encoded_bytes(&self.sizes);
             let census = self.p1_census;
-            ctx.mark_phase(phases::FILTERING);
+            fx.mark_phase(phases::FILTERING);
             self.send_query(
-                ctx,
+                fx,
                 parent,
                 RMsg::GroupAgg {
                     epoch: self.epoch,
@@ -742,19 +743,19 @@ impl ResilientProtocol {
                 bytes,
                 MsgClass::FILTERING,
             );
-            ctx.charge(MsgClass::FAILOVER, CENSUS_BYTES);
+            fx.charge(MsgClass::FAILOVER, CENSUS_BYTES);
         }
     }
 
-    fn enter_phase2(&mut self, ctx: &mut Ctx<'_, Self>, heavy: HeavyGroups) {
+    fn enter_phase2(&mut self, fx: &mut Effects<Self>, heavy: HeavyGroups) {
         if self.active_root {
             self.p1_final = Some(self.p1_census);
         }
         let list_bytes = self.sizes.sg * heavy.total_heavy() as u64;
-        ctx.mark_phase(phases::DISSEMINATION);
+        fx.mark_phase(phases::DISSEMINATION);
         for c in self.core.children() {
             self.send_query(
-                ctx,
+                fx,
                 c,
                 RMsg::Heavy {
                     epoch: self.epoch,
@@ -769,10 +770,10 @@ impl ResilientProtocol {
                 .partial_candidates(&self.local_items, &heavy),
         );
         self.heavy = Some(heavy);
-        self.check_p2(ctx);
+        self.check_p2(fx);
     }
 
-    fn check_p2(&mut self, ctx: &mut Ctx<'_, Self>) {
+    fn check_p2(&mut self, fx: &mut Effects<Self>) {
         if self.p2_sent
             || self.heavy.is_none()
             || self.p2_acc.is_none()
@@ -804,7 +805,7 @@ impl ResilientProtocol {
                     missing: self.roster.minus(short),
                 }
             };
-            self.completed.push(EpochResult {
+            let result = EpochResult {
                 epoch: self.epoch,
                 started_at: self.epoch_started_at,
                 answer: frequent,
@@ -812,13 +813,15 @@ impl ResilientProtocol {
                 phase1,
                 phase2,
                 certificate,
-            });
+            };
+            fx.deliver(result.clone());
+            self.completed.push(result);
         } else if let Some(parent) = self.epoch_parent {
             let bytes = acc.encoded_bytes(&self.sizes);
             let census = self.p2_census;
-            ctx.mark_phase(phases::AGGREGATION);
+            fx.mark_phase(phases::AGGREGATION);
             self.send_query(
-                ctx,
+                fx,
                 parent,
                 RMsg::CandidateAgg {
                     epoch: self.epoch,
@@ -828,7 +831,7 @@ impl ResilientProtocol {
                 bytes,
                 MsgClass::AGGREGATION,
             );
-            ctx.charge(MsgClass::FAILOVER, CENSUS_BYTES);
+            fx.charge(MsgClass::FAILOVER, CENSUS_BYTES);
         }
     }
 
@@ -838,7 +841,7 @@ impl ResilientProtocol {
     /// stands down. The residue-class numbering makes the issuer's rank
     /// recoverable from the epoch number alone, and the primary (rank 0)
     /// can never be demoted this way.
-    fn note_epoch(&mut self, ctx: &mut Ctx<'_, Self>, heard: u64) {
+    fn note_epoch(&mut self, fx: &mut Effects<Self>, heard: u64) {
         if heard > self.fence_epoch {
             self.fence_epoch = heard;
         }
@@ -847,27 +850,27 @@ impl ResilientProtocol {
         }
         let issuer_rank = (heard % self.succession.len() as u64) as usize;
         if self.rank.is_some_and(|mine| issuer_rank < mine) {
-            self.demote(ctx);
+            self.demote(fx);
         }
     }
 
     /// Steps down from the acting-root role: stop issuing epochs and
     /// detach-cascade the tree so it re-homes to the winner. The cascade
     /// is failover overhead, metered as such.
-    fn demote(&mut self, ctx: &mut Ctx<'_, Self>) {
+    fn demote(&mut self, fx: &mut Effects<Self>) {
         if !self.active_root {
             return;
         }
         self.active_root = false;
         self.issued = None;
         if let Some(t) = self.epoch_timer.take() {
-            ctx.cancel_timer(t);
+            fx.cancel_timer(t);
         }
         let out = self.core.demote();
         let stamp = if self.multi() { self.epoch } else { 0 };
-        ctx.mark_phase(phases::FAILOVER);
+        fx.mark_phase(phases::FAILOVER);
         for (to, m) in out {
-            ctx.send(
+            fx.send(
                 to,
                 ReliableMsg::Plain(RMsg::Maintain { m, epoch: stamp }),
                 8,
@@ -880,21 +883,21 @@ impl ResilientProtocol {
     /// still regrowing around the new root, so the first epochs are
     /// honestly reported as `Partial`; once repair converges they certify
     /// `Complete` again.
-    fn promote(&mut self, ctx: &mut Ctx<'_, Self>) {
+    fn promote(&mut self, fx: &mut Effects<Self>) {
         self.active_root = true;
         self.detached_since = None;
         self.core.promote_to_root();
         if let Some(t) = self.epoch_timer.take() {
-            ctx.cancel_timer(t);
+            fx.cancel_timer(t);
         }
-        self.epoch_timer = Some(ctx.set_timer(Duration::ZERO, RTimer::NewEpoch));
+        self.epoch_timer = Some(fx.set_timer(Duration::ZERO, RTimer::NewEpoch));
     }
 
     /// Succession candidates promote themselves after staying continuously
     /// detached for the rank-staggered grace period: the only way a
     /// candidate stays detached that long is that no tree with a live,
     /// lower-ranked root is reachable.
-    fn check_takeover(&mut self, ctx: &mut Ctx<'_, Self>) {
+    fn check_takeover(&mut self, fx: &mut Effects<Self>, now: SimTime) {
         if !self.multi() || self.active_root {
             return;
         }
@@ -903,10 +906,10 @@ impl ResilientProtocol {
             self.detached_since = None;
             return;
         }
-        let since = *self.detached_since.get_or_insert(ctx.now());
+        let since = *self.detached_since.get_or_insert(now);
         let wait = self.rc.takeover_grace + self.rc.takeover_stagger.saturating_mul(rank as u64);
-        if ctx.now().duration_since(since) >= wait {
-            self.promote(ctx);
+        if now.duration_since(since) >= wait {
+            self.promote(fx);
         }
     }
 
@@ -914,41 +917,41 @@ impl ResilientProtocol {
     /// the roster of live peers — an out-of-band membership oracle used
     /// only to *label* the eventual result (see [`Certificate`]), never to
     /// steer the protocol.
-    fn issue_epoch(&mut self, ctx: &mut Ctx<'_, Self>) {
+    fn issue_epoch(&mut self, fx: &mut Effects<Self>, now: SimTime, env: &dyn Membership) {
         let k = self.succession.len() as u64;
         let rank = self.rank.unwrap_or(0) as u64;
         let next = next_epoch_in_class(self.epoch.max(self.fence_epoch), k, rank);
         self.reset_epoch(next, None);
         self.issued = Some(next);
-        self.epoch_started_at = ctx.now();
+        self.epoch_started_at = now;
         let mut roster = Census::empty();
         for i in 0..self.universe {
             let p = PeerId::new(i);
-            if ctx.is_up(p) {
+            if env.is_up(p) {
                 roster.add(p);
             }
         }
         self.roster = roster;
-        ctx.mark_phase(phases::EPOCH);
+        fx.mark_phase(phases::EPOCH);
         for c in self.core.children() {
             self.send_query(
-                ctx,
+                fx,
                 c,
                 RMsg::Start { epoch: next },
                 START_BYTES,
                 MsgClass::CONTROL,
             );
         }
-        self.check_p1(ctx);
+        self.check_p1(fx);
     }
 
     /// Handles an unwrapped (post-envelope) protocol message.
-    fn on_payload(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: RMsg) {
+    fn on_payload(&mut self, fx: &mut Effects<Self>, now: SimTime, from: PeerId, msg: RMsg) {
         match msg {
             RMsg::Maintain { m, epoch } => {
-                self.note_epoch(ctx, epoch);
-                let out = self.core.on_message(from, m, ctx.now());
-                self.flush_maintain(ctx, out);
+                self.note_epoch(fx, epoch);
+                let out = self.core.on_message(from, m, now);
+                self.flush_maintain(fx, out);
             }
             RMsg::Start { epoch } => {
                 if epoch <= self.epoch {
@@ -962,23 +965,17 @@ impl ResilientProtocol {
                     if self.rank.is_none_or(|mine| issuer_rank >= mine) {
                         return;
                     }
-                    self.demote(ctx);
+                    self.demote(fx);
                 }
                 if epoch > self.fence_epoch {
                     self.fence_epoch = epoch;
                 }
                 self.reset_epoch(epoch, Some(from));
-                ctx.mark_phase(phases::EPOCH);
+                fx.mark_phase(phases::EPOCH);
                 for c in self.core.children() {
-                    self.send_query(
-                        ctx,
-                        c,
-                        RMsg::Start { epoch },
-                        START_BYTES,
-                        MsgClass::CONTROL,
-                    );
+                    self.send_query(fx, c, RMsg::Start { epoch }, START_BYTES, MsgClass::CONTROL);
                 }
-                self.check_p1(ctx);
+                self.check_p1(fx);
             }
             RMsg::GroupAgg {
                 epoch,
@@ -997,14 +994,14 @@ impl ResilientProtocol {
                             .expect("guarded above")
                             .merge_owned(vector);
                         self.p1_census.merge(census);
-                        self.check_p1(ctx);
+                        self.check_p1(fx);
                     }
                 }
             }
             RMsg::Heavy { epoch, lists } => {
                 if epoch == self.epoch && self.heavy.is_none() && Some(from) == self.epoch_parent {
                     let heavy = HeavyGroups::from_lists(lists, self.local_filter.family().groups());
-                    self.enter_phase2(ctx, heavy);
+                    self.enter_phase2(fx, heavy);
                 }
             }
             RMsg::CandidateAgg {
@@ -1020,56 +1017,43 @@ impl ResilientProtocol {
                             .expect("guarded above")
                             .merge_owned(candidates);
                         self.p2_census.merge(census);
-                        self.check_p2(ctx);
+                        self.check_p2(fx);
                     }
                 }
             }
         }
     }
-}
 
-impl Protocol for ResilientProtocol {
-    type Msg = ReliableMsg<RMsg>;
-    type Timer = RTimer;
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
-        if self.started_before {
-            // Revival: in multi-root mode an ex-root first renounces any
-            // stale claim to the role (cascading Detach to children that
-            // never noticed the crash), then rejoins detached like any
-            // §III-A.3 newcomer. In single-root mode the lone root must
-            // keep its role or queries would stop forever.
-            if self.multi() {
-                self.demote(ctx);
-            }
-            self.core.rejoin(ctx.now());
-        } else {
-            self.started_before = true;
-            self.core.start(ctx.now());
-        }
-        ctx.set_timer(self.rc.heartbeat.interval, RTimer::Tick);
-        if self.active_root {
-            self.epoch_timer = Some(ctx.set_timer(self.rc.query_period, RTimer::NewEpoch));
-        }
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: ReliableMsg<RMsg>) {
+    /// Unwraps the reliability envelope and dispatches the payload.
+    fn on_frame(
+        &mut self,
+        fx: &mut Effects<Self>,
+        now: SimTime,
+        from: PeerId,
+        msg: ReliableMsg<RMsg>,
+    ) {
         let payload = match msg {
             ReliableMsg::Plain(m) => m,
-            ReliableMsg::Data { seq, payload } => {
-                let link = self
-                    .rel
-                    .as_mut()
-                    .expect("sequenced frame reached a peer without reliability enabled");
+            ReliableMsg::Data { inc, seq, payload } => {
+                let Some(link) = self.rel.as_mut() else {
+                    // A sequenced frame arriving at a peer that never
+                    // enabled reliability is a configuration mismatch, not
+                    // a reason to take the node down: drop it and record
+                    // the anomaly.
+                    fx.warn("sequenced-frame-without-reliability");
+                    return;
+                };
                 let ack_bytes = link.cfg().ack_bytes;
                 // Ack every copy (the sender's previous ack may have been
                 // lost), but dispatch only the first: a duplicate `GroupAgg`
-                // or `CandidateAgg` would double-merge its accumulator.
-                let fresh = link.accept(from, seq);
-                ctx.mark_phase(phases::RETRANSMIT);
-                ctx.send(
+                // or `CandidateAgg` would double-merge its accumulator. The
+                // ack echoes the frame's incarnation so a restarted sender
+                // never credits a pre-crash ack to a post-crash frame.
+                let fresh = link.accept(from, inc, seq);
+                fx.mark_phase(phases::RETRANSMIT);
+                fx.send(
                     from,
-                    ReliableMsg::Ack { seq },
+                    ReliableMsg::Ack { inc, seq },
                     ack_bytes,
                     MsgClass::RETRANSMIT,
                 );
@@ -1078,20 +1062,26 @@ impl Protocol for ResilientProtocol {
                 }
                 payload
             }
-            ReliableMsg::Ack { seq } => {
+            ReliableMsg::Ack { inc, seq } => {
                 if let Some(link) = self.rel.as_mut() {
-                    link.on_ack(from, seq);
+                    link.on_ack(from, inc, seq);
                 }
                 return;
             }
         };
-        self.on_payload(ctx, from, payload);
+        self.on_payload(fx, now, from, payload);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: RTimer) {
+    fn on_timer(
+        &mut self,
+        fx: &mut Effects<Self>,
+        now: SimTime,
+        env: &dyn Membership,
+        timer: RTimer,
+    ) {
         match timer {
             RTimer::Tick => {
-                let outcome = self.core.on_tick(ctx.now());
+                let outcome = self.core.on_tick(now);
                 // Stop retransmitting toward peers that just died: every
                 // pending frame to them would otherwise burn its full
                 // retry budget against a silent destination.
@@ -1100,13 +1090,13 @@ impl Protocol for ResilientProtocol {
                         link.abandon(d);
                     }
                 }
-                self.flush_maintain(ctx, outcome.out);
-                ctx.set_timer(self.rc.heartbeat.interval, RTimer::Tick);
-                self.check_takeover(ctx);
+                self.flush_maintain(fx, outcome.out);
+                fx.set_timer(self.rc.heartbeat.interval, RTimer::Tick);
+                self.check_takeover(fx, now);
                 if outcome.changed {
                     // A dropped child may have been the last straggler.
-                    self.check_p1(ctx);
-                    self.check_p2(ctx);
+                    self.check_p1(fx);
+                    self.check_p2(fx);
                 }
             }
             RTimer::NewEpoch => {
@@ -1123,17 +1113,19 @@ impl Protocol for ResilientProtocol {
                     None => true,
                     Some(e) => self.completed.last().is_some_and(|r| r.epoch == e),
                 };
-                let timed_out = ctx.now() >= self.epoch_started_at + self.rc.epoch_timeout;
+                let timed_out = now >= self.epoch_started_at + self.rc.epoch_timeout;
                 if current_done || timed_out {
-                    self.issue_epoch(ctx);
+                    self.issue_epoch(fx, now, env);
                 }
-                self.epoch_timer = Some(ctx.set_timer(self.rc.query_period, RTimer::NewEpoch));
+                self.epoch_timer = Some(fx.set_timer(self.rc.query_period, RTimer::NewEpoch));
             }
             RTimer::Retransmit(seq) => {
-                let link = self
-                    .rel
-                    .as_mut()
-                    .expect("retransmit timer armed without reliability enabled");
+                let Some(link) = self.rel.as_mut() else {
+                    // Same configuration mismatch as above, from the timer
+                    // side: nothing to retransmit, so just log and move on.
+                    fx.warn("retransmit-timer-without-reliability");
+                    return;
+                };
                 match link.retransmit(seq) {
                     Retransmit::Resend {
                         to,
@@ -1141,9 +1133,9 @@ impl Protocol for ResilientProtocol {
                         bytes,
                         next_delay,
                     } => {
-                        ctx.mark_phase(phases::RETRANSMIT);
-                        ctx.send(to, frame, bytes, MsgClass::RETRANSMIT);
-                        ctx.set_timer(next_delay, RTimer::Retransmit(seq));
+                        fx.mark_phase(phases::RETRANSMIT);
+                        fx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+                        fx.set_timer(next_delay, RTimer::Retransmit(seq));
                     }
                     Retransmit::Acked => {}
                     Retransmit::GaveUp { .. } => {
@@ -1155,6 +1147,53 @@ impl Protocol for ResilientProtocol {
                     }
                 }
             }
+        }
+    }
+}
+
+impl SansIo for ResilientProtocol {
+    type Msg = ReliableMsg<RMsg>;
+    type Timer = RTimer;
+    type Output = EpochResult;
+
+    fn on_event(
+        &mut self,
+        ev: NodeEvent<ReliableMsg<RMsg>, RTimer>,
+        now: SimTime,
+        env: &dyn Membership,
+        fx: &mut Effects<Self>,
+    ) {
+        match ev {
+            NodeEvent::Start => {
+                if self.started_before {
+                    // Revival: in multi-root mode an ex-root first renounces
+                    // any stale claim to the role (cascading Detach to
+                    // children that never noticed the crash), then rejoins
+                    // detached like any §III-A.3 newcomer. In single-root
+                    // mode the lone root must keep its role or queries would
+                    // stop forever.
+                    if self.multi() {
+                        self.demote(fx);
+                    }
+                    self.core.rejoin(now);
+                    // The restart also invalidates the reliability window:
+                    // a new incarnation keeps late pre-crash duplicates
+                    // from double-dispatching against the fresh sequence
+                    // space.
+                    if let Some(link) = self.rel.as_mut() {
+                        link.on_restart();
+                    }
+                } else {
+                    self.started_before = true;
+                    self.core.start(now);
+                }
+                fx.set_timer(self.rc.heartbeat.interval, RTimer::Tick);
+                if self.active_root {
+                    self.epoch_timer = Some(fx.set_timer(self.rc.query_period, RTimer::NewEpoch));
+                }
+            }
+            NodeEvent::Message { from, msg } => self.on_frame(fx, now, from, msg),
+            NodeEvent::Timer { tag } => self.on_timer(fx, now, env, tag),
         }
     }
 }

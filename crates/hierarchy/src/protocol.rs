@@ -9,7 +9,10 @@
 use ifi_overlay::HeartbeatConfig;
 
 use crate::maintain_core::MaintainCore;
-use ifi_sim::{Ctx, MsgClass, PeerId, Protocol, RelConfig, ReliableLink, ReliableMsg, Retransmit};
+use ifi_sim::{
+    Des, Effects, Membership, MsgClass, NodeEvent, PeerId, RelConfig, ReliableLink, ReliableMsg,
+    Retransmit, SansIo, SimTime,
+};
 
 use crate::tree::Hierarchy;
 
@@ -82,19 +85,19 @@ impl BuildProtocol {
         c
     }
 
-    fn settle(&mut self, ctx: &mut Ctx<'_, Self>, depth: u32, parent: Option<PeerId>) {
-        ctx.mark_phase("construction");
+    fn settle(&mut self, fx: &mut Effects<Self>, depth: u32, parent: Option<PeerId>) {
+        fx.mark_phase("construction");
         if let Some(old) = self.parent {
-            ctx.send(old, BuildMsg::Detach, CTRL_BYTES, MsgClass::CONTROL);
+            fx.send(old, BuildMsg::Detach, CTRL_BYTES, MsgClass::CONTROL);
         }
         self.depth = depth;
         self.parent = parent;
         if let Some(p) = parent {
-            ctx.send(p, BuildMsg::Attach, CTRL_BYTES, MsgClass::CONTROL);
+            fx.send(p, BuildMsg::Attach, CTRL_BYTES, MsgClass::CONTROL);
         }
         for &nb in &self.neighbors.clone() {
             if Some(nb) != parent {
-                ctx.send(
+                fx.send(
                     nb,
                     BuildMsg::Invite { depth },
                     CTRL_BYTES,
@@ -114,43 +117,50 @@ impl BuildProtocol {
     /// (construction has not converged).
     pub fn snapshot<'a>(
         root: PeerId,
-        states: impl Iterator<Item = &'a BuildProtocol>,
+        states: impl Iterator<Item = &'a Des<BuildProtocol>>,
     ) -> Hierarchy {
         let parents: Vec<Option<PeerId>> = states.map(|s| s.parent).collect();
         Hierarchy::from_parents(root, &parents)
     }
 }
 
-impl Protocol for BuildProtocol {
+impl SansIo for BuildProtocol {
     type Msg = BuildMsg;
     type Timer = ();
+    type Output = ();
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
-        if self.is_root && self.depth == DEPTH_INF {
-            self.settle(ctx, 0, None);
-        }
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: BuildMsg) {
-        match msg {
-            BuildMsg::Invite { depth } => {
-                let offered = depth.saturating_add(1);
-                if offered < self.depth {
-                    self.settle(ctx, offered, Some(from));
+    fn on_event(
+        &mut self,
+        ev: NodeEvent<BuildMsg, ()>,
+        _now: SimTime,
+        _env: &dyn Membership,
+        fx: &mut Effects<Self>,
+    ) {
+        match ev {
+            NodeEvent::Start => {
+                if self.is_root && self.depth == DEPTH_INF {
+                    self.settle(fx, 0, None);
                 }
             }
-            BuildMsg::Attach => {
-                if !self.children.contains(&from) {
-                    self.children.push(from);
+            NodeEvent::Message { from, msg } => match msg {
+                BuildMsg::Invite { depth } => {
+                    let offered = depth.saturating_add(1);
+                    if offered < self.depth {
+                        self.settle(fx, offered, Some(from));
+                    }
                 }
-            }
-            BuildMsg::Detach => {
-                self.children.retain(|&c| c != from);
-            }
+                BuildMsg::Attach => {
+                    if !self.children.contains(&from) {
+                        self.children.push(from);
+                    }
+                }
+                BuildMsg::Detach => {
+                    self.children.retain(|&c| c != from);
+                }
+            },
+            NodeEvent::Timer { tag: () } => {}
         }
     }
-
-    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _t: ()) {}
 }
 
 /// Messages of the maintenance (heartbeat + repair) protocol.
@@ -288,8 +298,8 @@ impl MaintainProtocol {
         self.core.enable_legacy_unbounded_depth();
     }
 
-    fn flush(&mut self, ctx: &mut Ctx<'_, Self>, out: crate::maintain_core::Outbox) {
-        ctx.mark_phase("maintenance");
+    fn flush(&mut self, fx: &mut Effects<Self>, out: crate::maintain_core::Outbox) {
+        fx.mark_phase("maintenance");
         let hb_bytes = self.core.config().bytes;
         for (to, msg) in out {
             let bytes = match msg {
@@ -303,11 +313,11 @@ impl MaintainProtocol {
             match self.rel.as_mut() {
                 Some(link) if msg.is_send_once() => {
                     let (seq, frame) = link.send_data(to, msg, bytes);
-                    ctx.send(to, frame, bytes, class);
-                    ctx.set_timer(link.rto(seq, 0), MaintainTimer::Retransmit(seq));
+                    fx.send(to, frame, bytes, class);
+                    fx.set_timer(link.rto(seq, 0), MaintainTimer::Retransmit(seq));
                 }
                 _ => {
-                    ctx.send(to, ReliableMsg::Plain(msg), bytes, class);
+                    fx.send(to, ReliableMsg::Plain(msg), bytes, class);
                 }
             }
         }
@@ -321,7 +331,7 @@ impl MaintainProtocol {
     /// not converged).
     pub fn snapshot<'a>(
         root: PeerId,
-        states: impl Iterator<Item = (&'a MaintainProtocol, bool)>,
+        states: impl Iterator<Item = (&'a Des<MaintainProtocol>, bool)>,
     ) -> Hierarchy {
         let parents: Vec<Option<PeerId>> = states
             .map(|(s, alive)| if alive { s.core.parent() } else { None })
@@ -330,39 +340,34 @@ impl MaintainProtocol {
     }
 }
 
-impl Protocol for MaintainProtocol {
-    type Msg = ReliableMsg<MaintainMsg>;
-    type Timer = MaintainTimer;
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
-        if self.started_before {
-            // Crash-revival or late join: come back as a fresh, detached
-            // participant and re-attach via heartbeats (§III-A.3).
-            self.core.rejoin(ctx.now());
-        } else {
-            self.started_before = true;
-            self.core.start(ctx.now());
-        }
-        ctx.set_timer(self.core.config().interval, MaintainTimer::Tick);
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: PeerId, msg: ReliableMsg<MaintainMsg>) {
+impl MaintainProtocol {
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: PeerId,
+        msg: ReliableMsg<MaintainMsg>,
+        fx: &mut Effects<Self>,
+    ) {
         let payload = match msg {
             ReliableMsg::Plain(m) => m,
-            ReliableMsg::Data { seq, payload } => {
-                let link = self
-                    .rel
-                    .as_mut()
-                    .expect("sequenced frame reached a peer without reliability enabled");
+            ReliableMsg::Data { inc, seq, payload } => {
+                let Some(link) = self.rel.as_mut() else {
+                    // A sequenced frame at a peer with no reliability
+                    // envelope is a configuration mismatch between the two
+                    // ends; drop it rather than take the node down.
+                    fx.warn("sequenced-frame-without-reliability");
+                    return;
+                };
                 let ack_bytes = link.cfg().ack_bytes;
                 // Ack every copy (the previous ack may have been lost);
                 // dispatch only the first so a duplicated Detach cannot
-                // bump `detach_count` twice.
-                let fresh = link.accept(from, seq);
-                ctx.mark_phase("retransmit");
-                ctx.send(
+                // bump `detach_count` twice. The ack echoes the frame's
+                // incarnation so the sender can match it to the right life.
+                let fresh = link.accept(from, inc, seq);
+                fx.mark_phase("retransmit");
+                fx.send(
                     from,
-                    ReliableMsg::Ack { seq },
+                    ReliableMsg::Ack { inc, seq },
                     ack_bytes,
                     MsgClass::RETRANSMIT,
                 );
@@ -371,21 +376,21 @@ impl Protocol for MaintainProtocol {
                 }
                 payload
             }
-            ReliableMsg::Ack { seq } => {
+            ReliableMsg::Ack { inc, seq } => {
                 if let Some(link) = self.rel.as_mut() {
-                    link.on_ack(from, seq);
+                    link.on_ack(from, inc, seq);
                 }
                 return;
             }
         };
-        let out = self.core.on_message(from, payload, ctx.now());
-        self.flush(ctx, out);
+        let out = self.core.on_message(from, payload, now);
+        self.flush(fx, out);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: MaintainTimer) {
+    fn on_timer(&mut self, now: SimTime, timer: MaintainTimer, fx: &mut Effects<Self>) {
         match timer {
             MaintainTimer::Tick => {
-                let outcome = self.core.on_tick(ctx.now());
+                let outcome = self.core.on_tick(now);
                 // Stop retransmitting toward peers that just died: every
                 // pending frame to them would otherwise burn its full retry
                 // budget against a silent destination.
@@ -394,14 +399,16 @@ impl Protocol for MaintainProtocol {
                         link.abandon(d);
                     }
                 }
-                self.flush(ctx, outcome.out);
-                ctx.set_timer(self.core.config().interval, MaintainTimer::Tick);
+                self.flush(fx, outcome.out);
+                fx.set_timer(self.core.config().interval, MaintainTimer::Tick);
             }
             MaintainTimer::Retransmit(seq) => {
-                let link = self
-                    .rel
-                    .as_mut()
-                    .expect("retransmit timer armed without reliability enabled");
+                let Some(link) = self.rel.as_mut() else {
+                    // Only reachable if reliability was torn down after the
+                    // timer was armed; nothing to resend.
+                    fx.warn("retransmit-timer-without-reliability");
+                    return;
+                };
                 match link.retransmit(seq) {
                     Retransmit::Resend {
                         to,
@@ -409,9 +416,9 @@ impl Protocol for MaintainProtocol {
                         bytes,
                         next_delay,
                     } => {
-                        ctx.mark_phase("retransmit");
-                        ctx.send(to, frame, bytes, MsgClass::RETRANSMIT);
-                        ctx.set_timer(next_delay, MaintainTimer::Retransmit(seq));
+                        fx.mark_phase("retransmit");
+                        fx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+                        fx.set_timer(next_delay, MaintainTimer::Retransmit(seq));
                     }
                     Retransmit::Acked => {}
                     Retransmit::GaveUp { .. } => {
@@ -425,18 +432,54 @@ impl Protocol for MaintainProtocol {
     }
 }
 
+impl SansIo for MaintainProtocol {
+    type Msg = ReliableMsg<MaintainMsg>;
+    type Timer = MaintainTimer;
+    type Output = ();
+
+    fn on_event(
+        &mut self,
+        ev: NodeEvent<ReliableMsg<MaintainMsg>, MaintainTimer>,
+        now: SimTime,
+        _env: &dyn Membership,
+        fx: &mut Effects<Self>,
+    ) {
+        match ev {
+            NodeEvent::Start => {
+                if self.started_before {
+                    // Crash-revival or late join: come back as a fresh,
+                    // detached participant and re-attach via heartbeats
+                    // (§III-A.3). The reliable link starts a new life too:
+                    // its sequence space resets under a fresh incarnation
+                    // so late frames from the previous life cannot alias.
+                    self.core.rejoin(now);
+                    if let Some(link) = self.rel.as_mut() {
+                        link.on_restart();
+                    }
+                } else {
+                    self.started_before = true;
+                    self.core.start(now);
+                }
+                fx.set_timer(self.core.config().interval, MaintainTimer::Tick);
+            }
+            NodeEvent::Message { from, msg } => self.on_message(now, from, msg, fx),
+            NodeEvent::Timer { tag } => self.on_timer(now, tag, fx),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ifi_overlay::Topology;
-    use ifi_sim::{DetRng, Duration, SimConfig, SimTime, World};
+    use ifi_sim::{sansio_world, DetRng, Duration, SimConfig, SimTime, World};
 
-    fn build_world(topo: &Topology, root: PeerId, seed: u64) -> World<BuildProtocol> {
+    fn build_world(topo: &Topology, root: PeerId, seed: u64) -> World<Des<BuildProtocol>> {
         let peers: Vec<BuildProtocol> = topo
             .peers()
             .map(|p| BuildProtocol::new(topo.neighbors(p).to_vec(), p == root))
             .collect();
-        World::new(SimConfig::default().with_seed(seed), peers)
+        sansio_world(SimConfig::default().with_seed(seed), peers)
     }
 
     #[test]
@@ -465,7 +508,7 @@ mod tests {
                 lo: Duration::from_millis(10),
                 hi: Duration::from_millis(200),
             });
-        let mut w = World::new(cfg, peers);
+        let mut w = sansio_world(cfg, peers);
         w.start();
         w.run_to_quiescence();
         let h = BuildProtocol::snapshot(root, w.peers());
@@ -484,7 +527,7 @@ mod tests {
         assert_eq!(h, Hierarchy::bfs(&topo, PeerId::new(0)));
     }
 
-    fn maintain_world(topo: &Topology, h: &Hierarchy, seed: u64) -> World<MaintainProtocol> {
+    fn maintain_world(topo: &Topology, h: &Hierarchy, seed: u64) -> World<Des<MaintainProtocol>> {
         let cfg = HeartbeatConfig {
             interval: Duration::from_millis(500),
             timeout: Duration::from_millis(1600),
@@ -494,7 +537,7 @@ mod tests {
             .peers()
             .map(|p| MaintainProtocol::new(h, p, topo.neighbors(p).to_vec(), cfg))
             .collect();
-        World::new(
+        sansio_world(
             SimConfig::default()
                 .with_seed(seed)
                 .with_latency(ifi_sim::LatencyModel::Constant(Duration::from_millis(20))),
@@ -628,7 +671,7 @@ mod tests {
                 .with_drop(0.3)
                 .with_duplication(0.1),
         );
-        let mut w = World::new(sim, peers);
+        let mut w = sansio_world(sim, peers);
         w.start();
         w.schedule_kill(SimTime::from_micros(2_000_000), PeerId::new(0));
         w.run_until(SimTime::from_micros(40_000_000));
@@ -669,7 +712,7 @@ mod tests {
                     }
                 })
                 .collect();
-            let mut w = World::new(SimConfig::default().with_seed(43), peers);
+            let mut w = sansio_world(SimConfig::default().with_seed(43), peers);
             w.start();
             w.run_until(SimTime::from_micros(10_000_000));
             (
@@ -770,7 +813,7 @@ mod tests {
                     .with_reliability(ifi_sim::RelConfig::default())
             })
             .collect();
-        let mut w = World::new(
+        let mut w = sansio_world(
             SimConfig::default()
                 .with_seed(59)
                 .with_latency(ifi_sim::LatencyModel::Constant(Duration::from_millis(20))),
@@ -814,6 +857,73 @@ mod tests {
             0,
             "stale retransmit timer fired across the revival"
         );
+    }
+
+    #[test]
+    fn detach_from_a_restarted_parent_is_not_mistaken_for_a_duplicate() {
+        // Regression for receive-window aliasing across a sender restart.
+        // Life 0: P1's reliable Detach (seq 0) detaches P2 and lands in
+        // P2's dedup window. P1 later crashes and revives; its fresh link
+        // reuses seq 0. Without incarnation stamps on the wire, P2 would
+        // suppress the new Detach as a replay of the old one and keep
+        // trusting a detached parent until the slower ∞-heartbeat repair.
+        use ifi_overlay::churn::{ChurnEvent, ChurnSchedule};
+        let topo = Topology::line(3);
+        let h = Hierarchy::bfs(&topo, PeerId::new(0));
+        let cfg = HeartbeatConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_millis(1600),
+            bytes: 8,
+        };
+        let peers: Vec<MaintainProtocol> = topo
+            .peers()
+            .map(|p| {
+                MaintainProtocol::new(&h, p, topo.neighbors(p).to_vec(), cfg)
+                    .with_reliability(ifi_sim::RelConfig::default())
+            })
+            .collect();
+        let mut w = sansio_world(
+            SimConfig::default()
+                .with_seed(61)
+                .with_latency(ifi_sim::LatencyModel::Constant(Duration::from_millis(20))),
+            peers,
+        );
+        // Root 0 dies at 2.05s -> P1 detaches on its 4.0s tick and its
+        // send-once Detach (life 0, seq 0) detaches P2 at 4.02s. Root 0
+        // revives at 6.1s (off the shared 0.5s tick grid, so its
+        // heartbeats land *after* P2's re-asserted Attach in every later
+        // window) and the tree regrows: P1 re-attaches at 6.62s, P2 at
+        // 7.02s. P1 then blinks (down 9.05s, up 9.3s): it rejoins
+        // detached, with a fresh link whose next frame reuses seq 0.
+        // P2 — which never noticed the blink — re-asserts its Attach on
+        // its 9.5s tick, and the detached P1 bounces the reliable Detach
+        // (life 1, seq 0), delivered at 9.54s.
+        let horizon = SimTime::from_micros(9_700_000);
+        let sched = ChurnSchedule::from_events(
+            3,
+            vec![
+                ChurnEvent::Down(SimTime::from_micros(2_050_000), PeerId::new(0)),
+                ChurnEvent::Up(SimTime::from_micros(6_100_000), PeerId::new(0)),
+                ChurnEvent::Down(SimTime::from_micros(9_050_000), PeerId::new(1)),
+                ChurnEvent::Up(SimTime::from_micros(9_300_000), PeerId::new(1)),
+            ],
+            horizon,
+        );
+        w.start();
+        sched.install_world(&mut w);
+        w.run_until(horizon);
+        // The horizon stops before P1's first post-revival tick (9.8s),
+        // so the ∞-heartbeat repair path cannot have run yet: only the
+        // fresh-incarnation reliable Detach can explain a second detach.
+        assert_eq!(
+            w.peer(PeerId::new(2)).detach_count(),
+            2,
+            "the restarted parent's Detach was suppressed as a stale duplicate"
+        );
+        assert!(w.peer(PeerId::new(2)).is_detached());
+        assert_eq!(w.peer(PeerId::new(2)).parent(), None);
+        // The bounce is not a detach event at P1 itself.
+        assert_eq!(w.peer(PeerId::new(1)).detach_count(), 1);
     }
 
     #[test]

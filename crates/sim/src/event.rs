@@ -226,7 +226,13 @@ impl<M, T> TimerWheel<M, T> {
                 debug_assert!(evs.iter().all(|e| e.time.as_micros() == t0));
                 // One past the drained time: a later same-time insert goes
                 // to the caller's heap and still merges in `seq` order.
-                self.cur = t0 + 1;
+                // Saturating: draining the slot at `u64::MAX` must pin the
+                // cursor at the end of time, not wrap it to zero (which
+                // would break the `t >= cur` parking invariant for every
+                // remaining timer). A later insert at the saturated cursor
+                // still takes the wheel path (`t >= cur`) and re-drains
+                // the same slot; `seq` keeps the merge order exact.
+                self.cur = t0.saturating_add(1);
                 self.batch.extend(evs);
                 return;
             }
@@ -381,6 +387,38 @@ mod tests {
         let mut expect = times.to_vec();
         expect.sort_unstable();
         assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn timers_beyond_the_top_wheel_horizon_pop_without_overflow() {
+        // Far-future timers park in the top wheel level (bits 60..65);
+        // draining the slot at the very end of the microsecond range used
+        // to compute `cur = u64::MAX + 1`, which panics in debug builds
+        // and wraps the cursor to zero in release builds.
+        let mut q: EventQueue<u8, u32> = EventQueue::new();
+        let times = [3u64, 1 << 60, (1 << 60) + 1, u64::MAX - 1, u64::MAX];
+        for &t in &times {
+            timer(&mut q, t, 0);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros())
+            .collect();
+        assert_eq!(popped, times);
+    }
+
+    #[test]
+    fn end_of_time_cursor_still_accepts_and_pops_new_timers() {
+        // After draining a timer at u64::MAX the cursor saturates there;
+        // later inserts at that same instant must still flow through in
+        // seq order, and earlier ones must take the heap fallback.
+        let mut q: EventQueue<u8, u32> = EventQueue::new();
+        let s0 = timer(&mut q, u64::MAX, 0);
+        assert_eq!(q.pop().unwrap().seq, s0);
+        let s1 = timer(&mut q, u64::MAX, 1);
+        let s2 = timer(&mut q, 17, 2);
+        let s3 = timer(&mut q, u64::MAX, 3);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![s2, s1, s3]);
     }
 
     #[test]

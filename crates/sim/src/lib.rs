@@ -68,6 +68,7 @@ mod network;
 mod obs;
 mod reliable;
 mod rng;
+mod sansio;
 mod sched;
 mod time;
 mod trace;
@@ -81,6 +82,9 @@ pub use network::LatencyModel;
 pub use obs::{EventSink, MetricsReport, PhaseMetrics};
 pub use reliable::{RelConfig, ReliableLink, ReliableMsg, Retransmit};
 pub use rng::{mix64, DetRng};
+pub use sansio::{
+    sansio_world, AllUp, Des, Effect, EffectBuf, Effects, Membership, NodeEvent, SansIo, TimerToken,
+};
 pub use sched::{EventInfo, EventTag, ScheduleDecision, ScheduleStrategy, MAX_CONSECUTIVE_DELAYS};
 pub use time::{Duration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceKind};

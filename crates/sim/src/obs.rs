@@ -69,6 +69,9 @@ pub struct EventSink {
     /// the world after each handler returns.
     mark: Option<usize>,
     events: u64,
+    /// Warning counters by label ([`warn`](Self::warn)); few distinct
+    /// labels, so a linear scan beats hashing.
+    warns: Vec<(String, u64)>,
 }
 
 impl EventSink {
@@ -81,6 +84,7 @@ impl EventSink {
             stack: Vec::new(),
             mark: None,
             events: 0,
+            warns: Vec::new(),
         }
     }
 
@@ -93,6 +97,7 @@ impl EventSink {
             stack: Vec::new(),
             mark: None,
             events: 0,
+            warns: Vec::new(),
         }
     }
 
@@ -156,6 +161,28 @@ impl EventSink {
         self.mark = None;
     }
 
+    /// Counts one tolerated anomaly under `label` — a condition a handler
+    /// survived by design (e.g. dropping a sequenced frame it has no
+    /// reliability state for) but that an operator should see. Carried
+    /// into [`MetricsReport::warnings`]; serialized only when any warning
+    /// fired, so warning-free reports stay byte-identical to historical
+    /// snapshots.
+    pub fn warn(&mut self, label: &str) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(entry) = self.warns.iter_mut().find(|(l, _)| l == label) {
+            entry.1 += 1;
+        } else {
+            self.warns.push((label.to_string(), 1));
+        }
+    }
+
+    /// Warning counters recorded so far, in order of first occurrence.
+    pub fn warnings(&self) -> &[(String, u64)] {
+        &self.warns
+    }
+
     /// Resets all recorded state — phases, the span stack, any handler
     /// mark, and the event count — keeping the sink enabled for the same
     /// peer population. Back-to-back instrumented runs call this via
@@ -169,6 +196,7 @@ impl EventSink {
         self.stack.clear();
         self.mark = None;
         self.events = 0;
+        self.warns.clear();
     }
 
     /// Records one send of `bytes` by `peer` in `class`, attributed to the
@@ -256,6 +284,7 @@ impl EventSink {
                     wall: p.wall,
                 })
                 .collect(),
+            warnings: self.warns.clone(),
         }
     }
 }
@@ -320,6 +349,9 @@ pub struct MetricsReport {
     pub events: u64,
     /// Per-phase metrics, in order of first activity.
     pub phases: Vec<PhaseMetrics>,
+    /// Tolerated-anomaly counters ([`EventSink::warn`]), in order of first
+    /// occurrence. Empty on a clean run.
+    pub warnings: Vec<(String, u64)>,
 }
 
 impl MetricsReport {
@@ -399,6 +431,20 @@ impl MetricsReport {
                 self.total_wall().as_nanos()
             ));
         }
+        // Emitted only when a warning fired: clean runs keep producing
+        // output byte-identical to snapshots from before this field.
+        if !self.warnings.is_empty() {
+            s.push_str("  \"warnings\": [\n");
+            for (i, (label, count)) in self.warnings.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{ \"label\": {:?}, \"count\": {} }}{}\n",
+                    label,
+                    count,
+                    if i + 1 < self.warnings.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("  ],\n");
+        }
         s.push_str("  \"phases\": [\n");
         for (i, p) in self.phases.iter().enumerate() {
             s.push_str("    {\n");
@@ -467,6 +513,13 @@ impl MetricsReport {
                 p.max_peer_bytes(),
                 p.wall
             ));
+        }
+        if !self.warnings.is_empty() {
+            s.push_str("warnings:");
+            for (label, count) in &self.warnings {
+                s.push_str(&format!(" {label} ×{count}"));
+            }
+            s.push('\n');
         }
         s
     }
@@ -596,6 +649,45 @@ mod tests {
         sink2.record_wall("filtering", std::time::Duration::from_micros(7));
         assert_eq!(stable, sink2.report().to_json_stable());
         assert!(sink2.report().to_json().contains("wall_nanos"));
+    }
+
+    #[test]
+    fn warnings_count_and_serialize_only_when_present() {
+        let mut sink = EventSink::new(1);
+        sink.record(PeerId::new(0), MsgClass::DATA, 4);
+        let clean = sink.report();
+        assert!(clean.warnings.is_empty());
+        assert!(!clean.to_json_stable().contains("warnings"));
+        assert!(!clean.render_table().contains("warnings"));
+
+        sink.warn("orphan-frame");
+        sink.warn("orphan-frame");
+        sink.warn("stale-ack");
+        let r = sink.report();
+        assert_eq!(
+            r.warnings,
+            vec![
+                ("orphan-frame".to_string(), 2),
+                ("stale-ack".to_string(), 1)
+            ]
+        );
+        let json = r.to_json_stable();
+        assert!(json.contains("\"warnings\": ["));
+        assert!(json.contains("{ \"label\": \"orphan-frame\", \"count\": 2 },"));
+        assert!(json.contains("{ \"label\": \"stale-ack\", \"count\": 1 }"));
+        assert!(r.render_table().contains("orphan-frame ×2"));
+
+        sink.reset();
+        assert!(sink.warnings().is_empty());
+        assert!(!sink.report().to_json_stable().contains("warnings"));
+    }
+
+    #[test]
+    fn disabled_sink_ignores_warnings() {
+        let mut sink = EventSink::disabled();
+        sink.warn("never");
+        assert!(sink.warnings().is_empty());
+        assert!(sink.report().warnings.is_empty());
     }
 
     #[test]

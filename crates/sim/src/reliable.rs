@@ -38,15 +38,23 @@ use crate::metrics::MsgClass;
 pub enum ReliableMsg<M> {
     /// An unsequenced payload outside the reliability envelope.
     Plain(M),
-    /// A sequenced payload; the receiver acks `seq` and deduplicates on it.
+    /// A sequenced payload; the receiver acks `(inc, seq)` and
+    /// deduplicates on it.
     Data {
-        /// Sender-local sequence number.
+        /// The sender's restart incarnation (see [`ReliableLink::on_restart`]).
+        inc: u32,
+        /// Sender-local sequence number within incarnation `inc`.
         seq: u64,
         /// The protocol payload.
         payload: M,
     },
-    /// Acknowledges receipt of the frame numbered `seq`.
+    /// Acknowledges receipt of the frame numbered `seq`. Echoes the
+    /// acknowledged frame's incarnation so a restarted sender (whose fresh
+    /// sequence space reuses old numbers) never mistakes a stale ack from
+    /// its previous life for one of its current frames.
     Ack {
+        /// The acknowledged frame's sender incarnation.
+        inc: u32,
         /// The acknowledged sequence number.
         seq: u64,
     },
@@ -99,6 +107,17 @@ struct DedupWindow {
     sparse: BTreeSet<u64>,
 }
 
+/// Receiver-side state for one sender: its dedup window, tagged with the
+/// sender incarnation the window belongs to. A restarted sender's fresh
+/// sequence space gets a fresh window; frames stamped with an older
+/// incarnation than the stored one are late stragglers from a dead life
+/// and are never dispatched.
+#[derive(Debug, Clone, Default)]
+struct SenderWindow {
+    inc: u32,
+    window: DedupWindow,
+}
+
 impl DedupWindow {
     /// Records `seq`; returns `true` the first time it is seen.
     fn insert(&mut self, seq: u64) -> bool {
@@ -142,12 +161,14 @@ pub enum Retransmit<M> {
 #[derive(Debug, Clone)]
 pub struct ReliableLink<M> {
     cfg: RelConfig,
+    /// This node's restart incarnation, stamped into every frame and ack.
+    inc: u32,
     next_seq: u64,
     in_flight: BTreeMap<u64, Pending<M>>,
     /// Per-sender dedup windows, arena-backed: the sender population is
     /// bounded by the overlay degree, so a sorted vector beats a tree map
     /// at every size the simulator reaches.
-    seen: PeerMap<DedupWindow>,
+    seen: PeerMap<SenderWindow>,
     abandoned: u64,
 }
 
@@ -156,11 +177,36 @@ impl<M: Clone> ReliableLink<M> {
     pub fn new(cfg: RelConfig) -> Self {
         ReliableLink {
             cfg,
+            inc: 0,
             next_seq: 0,
             in_flight: BTreeMap::new(),
             seen: PeerMap::new(),
             abandoned: 0,
         }
+    }
+
+    /// This node's current restart incarnation.
+    pub fn incarnation(&self) -> u32 {
+        self.inc
+    }
+
+    /// Marks a restart of this node after a crash: bumps the incarnation,
+    /// resets the sequence space, and abandons every in-flight frame (the
+    /// crash already lost their retransmit timers; counting them keeps the
+    /// [`abandoned`](Self::abandoned) escalation signal honest).
+    ///
+    /// The incarnation stamp is what makes the reset sound: receivers key
+    /// their dedup windows by `(sender, inc)`, so the reused sequence
+    /// numbers of the new life can never alias the old life's — neither
+    /// suppressing fresh frames against a stale window nor dispatching a
+    /// late old-life duplicate against the fresh one. Receiver windows are
+    /// deliberately retained: they describe the *remote* peers' lives, not
+    /// this node's.
+    pub fn on_restart(&mut self) {
+        self.inc = self.inc.wrapping_add(1);
+        self.next_seq = 0;
+        self.abandoned += self.in_flight.len() as u64;
+        self.in_flight.clear();
     }
 
     /// The link configuration.
@@ -185,7 +231,14 @@ impl<M: Clone> ReliableLink<M> {
                 attempts: 0,
             },
         );
-        (seq, ReliableMsg::Data { seq, payload })
+        (
+            seq,
+            ReliableMsg::Data {
+                inc: self.inc,
+                seq,
+                payload,
+            },
+        )
     }
 
     /// Timeout before attempt `attempt + 1` of frame `seq`: exponential
@@ -207,19 +260,40 @@ impl<M: Clone> ReliableLink<M> {
         backed_off + Duration::from_micros(jitter)
     }
 
-    /// Receiver side: records a `Data` frame from `from` with number `seq`.
-    /// Returns `true` when the payload is fresh and must be handed to the
-    /// protocol, `false` for a duplicate to suppress. The caller acks in
-    /// both cases — the duplicate usually means the first ack was lost.
-    pub fn accept(&mut self, from: PeerId, seq: u64) -> bool {
-        self.seen.entry_or_default(from).insert(seq)
+    /// Receiver side: records a `Data` frame from `from`, stamped with the
+    /// sender's incarnation `inc` and number `seq`. Returns `true` when
+    /// the payload is fresh and must be handed to the protocol, `false`
+    /// for a duplicate to suppress. The caller acks in both cases, echoing
+    /// the frame's `inc` — the duplicate usually means the first ack was
+    /// lost, and a stale-life frame's ack is harmless (the restarted
+    /// sender ignores it by incarnation).
+    ///
+    /// A frame from a *newer* incarnation than the stored window retires
+    /// the window: the restarted sender's sequence space began again at
+    /// zero, so the old watermark would wrongly suppress its fresh frames.
+    /// A frame from an *older* incarnation is a late duplicate from a dead
+    /// life; its payload was either delivered then or died with the
+    /// sender, and is never dispatched now.
+    pub fn accept(&mut self, from: PeerId, inc: u32, seq: u64) -> bool {
+        let entry = self.seen.entry_or_default(from);
+        if inc < entry.inc {
+            return false;
+        }
+        if inc > entry.inc {
+            entry.inc = inc;
+            entry.window = DedupWindow::default();
+        }
+        entry.window.insert(seq)
     }
 
-    /// Sender side: handles an `Ack` for `seq` from `from`. Ignores acks
-    /// for unknown frames (already acked, or abandoned) and acks from a
-    /// peer the frame was never sent to.
-    pub fn on_ack(&mut self, from: PeerId, seq: u64) {
-        if self.in_flight.get(&seq).is_some_and(|p| p.to == from) {
+    /// Sender side: handles an `Ack` for `seq` from `from`, stamped with
+    /// the acknowledged frame's incarnation `inc`. Ignores acks for a
+    /// previous life of this node (a restart reuses sequence numbers, so
+    /// an old-life ack must not clear a current-life frame), for unknown
+    /// frames (already acked, or abandoned), and from a peer the frame was
+    /// never sent to.
+    pub fn on_ack(&mut self, from: PeerId, inc: u32, seq: u64) {
+        if inc == self.inc && self.in_flight.get(&seq).is_some_and(|p| p.to == from) {
             self.in_flight.remove(&seq);
         }
     }
@@ -244,7 +318,13 @@ impl<M: Clone> ReliableLink<M> {
         );
         Retransmit::Resend {
             to,
-            frame: ReliableMsg::Data { seq, payload },
+            // In-flight frames always belong to the current incarnation:
+            // `on_restart` clears the table.
+            frame: ReliableMsg::Data {
+                inc: self.inc,
+                seq,
+                payload,
+            },
             bytes,
             next_delay: self.rto(seq, attempts),
         }
@@ -299,6 +379,7 @@ mod tests {
         assert_eq!(
             f0,
             ReliableMsg::Data {
+                inc: 0,
                 seq: 0,
                 payload: "a"
             }
@@ -310,18 +391,18 @@ mod tests {
     fn ack_clears_in_flight_and_timer_becomes_noop() {
         let mut l = link();
         let (seq, _) = l.send_data(PeerId::new(1), "a", 4);
-        l.on_ack(PeerId::new(1), seq);
+        l.on_ack(PeerId::new(1), 0, seq);
         assert_eq!(l.in_flight(), 0);
         assert_eq!(l.retransmit(seq), Retransmit::Acked);
         // A duplicate ack is harmless.
-        l.on_ack(PeerId::new(1), seq);
+        l.on_ack(PeerId::new(1), 0, seq);
     }
 
     #[test]
     fn ack_from_the_wrong_peer_is_ignored() {
         let mut l = link();
         let (seq, _) = l.send_data(PeerId::new(1), "a", 4);
-        l.on_ack(PeerId::new(9), seq);
+        l.on_ack(PeerId::new(9), 0, seq);
         assert_eq!(l.in_flight(), 1);
     }
 
@@ -389,10 +470,10 @@ mod tests {
         let mut l = link();
         let a = PeerId::new(1);
         let b = PeerId::new(2);
-        assert!(l.accept(a, 0));
-        assert!(!l.accept(a, 0), "retransmit double-counted");
-        assert!(l.accept(b, 0), "windows are per-sender");
-        assert!(l.accept(a, 1));
+        assert!(l.accept(a, 0, 0));
+        assert!(!l.accept(a, 0, 0), "retransmit double-counted");
+        assert!(l.accept(b, 0, 0), "windows are per-sender");
+        assert!(l.accept(a, 0, 1));
     }
 
     #[test]
@@ -400,16 +481,83 @@ mod tests {
         let mut l = link();
         let p = PeerId::new(4);
         // Arrivals: 2, 0, 1 (reordered), then dups of each.
-        assert!(l.accept(p, 2));
-        assert!(l.accept(p, 0));
-        assert!(l.accept(p, 1));
+        assert!(l.accept(p, 0, 2));
+        assert!(l.accept(p, 0, 0));
+        assert!(l.accept(p, 0, 1));
         for seq in 0..3 {
-            assert!(!l.accept(p, seq));
+            assert!(!l.accept(p, 0, seq));
         }
         let w = l.seen.get(p).unwrap();
-        assert_eq!(w.next, 3, "watermark compacted past the filled gap");
-        assert!(w.sparse.is_empty());
+        assert_eq!(w.window.next, 3, "watermark compacted past the filled gap");
+        assert!(w.window.sparse.is_empty());
         assert_eq!(l.dedup_high_water(), 1);
+    }
+
+    #[test]
+    fn restart_resets_the_seq_space_without_aliasing_the_old_window() {
+        // Receiver's view of a sender that crashes and restarts: the new
+        // life reuses sequence numbers starting from zero, and without the
+        // incarnation stamp the old watermark would swallow all of them.
+        let mut l = link();
+        let p = PeerId::new(2);
+        assert!(l.accept(p, 0, 0));
+        assert!(l.accept(p, 0, 1));
+        assert!(l.accept(p, 0, 2));
+        // Sender restarts: incarnation 1, fresh seq space.
+        assert!(l.accept(p, 1, 0), "fresh life suppressed by stale window");
+        assert!(!l.accept(p, 1, 0), "retransmit within the new life");
+        assert!(l.accept(p, 1, 1));
+        // One window per sender throughout — the arena slot is reused.
+        assert_eq!(l.dedup_high_water(), 1);
+    }
+
+    #[test]
+    fn late_duplicate_from_a_previous_life_never_dispatches() {
+        let mut l = link();
+        let p = PeerId::new(2);
+        assert!(l.accept(p, 0, 0), "delivered in the old life");
+        assert!(l.accept(p, 1, 0), "new life after restart");
+        // A network-delayed duplicate of the already-delivered old-life
+        // frame arrives after the window reset: it must not dispatch a
+        // second time even though the fresh window has no record of it.
+        assert!(!l.accept(p, 0, 0), "old-life duplicate dispatched twice");
+        // Same for an old-life frame the receiver never saw: its send died
+        // with the old life and must not leak into the new one.
+        assert!(!l.accept(p, 0, 7));
+    }
+
+    #[test]
+    fn stale_ack_from_a_previous_life_does_not_clear_a_current_frame() {
+        let mut l = link();
+        let p = PeerId::new(1);
+        let (s0, _) = l.send_data(p, "old", 4);
+        assert_eq!(s0, 0);
+        // Crash + restart: the new life's first frame reuses seq 0.
+        l.on_restart();
+        let (s1, f1) = l.send_data(p, "new", 4);
+        assert_eq!(s1, 0, "restart resets the sequence space");
+        assert!(matches!(f1, ReliableMsg::Data { inc: 1, seq: 0, .. }));
+        // The old life's ack for seq 0 finally arrives: it must not clear
+        // the in-flight frame of the new life.
+        l.on_ack(p, 0, 0);
+        assert_eq!(l.in_flight(), 1, "stale ack cleared a current frame");
+        l.on_ack(p, 1, 0);
+        assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    fn restart_abandons_in_flight_frames() {
+        let mut l = link();
+        l.send_data(PeerId::new(1), "a", 4);
+        l.send_data(PeerId::new(2), "b", 4);
+        assert_eq!(l.incarnation(), 0);
+        l.on_restart();
+        assert_eq!(l.incarnation(), 1);
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.abandoned(), 2);
+        // Stray timers from the old life find nothing to resend.
+        assert_eq!(l.retransmit(0), Retransmit::Acked);
+        assert_eq!(l.retransmit(1), Retransmit::Acked);
     }
 
     mod abandon_world {
@@ -469,8 +617,8 @@ mod tests {
                 from: PeerId,
                 msg: ReliableMsg<&'static str>,
             ) {
-                if let ReliableMsg::Ack { seq } = msg {
-                    self.rel.on_ack(from, seq);
+                if let ReliableMsg::Ack { inc, seq } = msg {
+                    self.rel.on_ack(from, inc, seq);
                 }
             }
 

@@ -320,6 +320,13 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     pub fn mark_phase(&mut self, label: &str) {
         self.kernel.sink.mark(label);
     }
+
+    /// Counts a tolerated anomaly under `label` in the event sink (see
+    /// [`EventSink::warn`]). A no-op unless the world's event sink is
+    /// enabled.
+    pub fn warn(&mut self, label: &str) {
+        self.kernel.sink.warn(label);
+    }
 }
 
 /// The simulation world: peers plus kernel, driven to completion by the
@@ -872,6 +879,41 @@ mod tests {
         w.run_to_quiescence();
         // Peer 0 revives at t=1000 and floods from its on_start.
         assert!(w.peers().all(|p| p.seen));
+    }
+
+    #[test]
+    fn far_future_timer_beyond_the_wheel_horizon_fires_at_end_of_time() {
+        // Regression: a timer armed with the maximum delay parks in the
+        // timer wheel's top level; draining it used to overflow the wheel
+        // cursor (`u64::MAX + 1`). The arming itself saturates at the end
+        // of the microsecond range and must still fire exactly once.
+        #[derive(Debug, Default)]
+        struct FarTimer {
+            fired: Option<SimTime>,
+        }
+
+        impl Protocol for FarTimer {
+            type Msg = ();
+            type Timer = ();
+
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+                ctx.set_timer(Duration::from_micros(u64::MAX), ());
+            }
+
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Self>, _from: PeerId, _msg: ()) {}
+
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, _t: ()) {
+                self.fired = Some(ctx.now());
+            }
+        }
+
+        let mut w = World::new(SimConfig::default().with_seed(1), vec![FarTimer::default()]);
+        w.start();
+        w.run_to_quiescence();
+        assert_eq!(
+            w.peer(PeerId::new(0)).fired,
+            Some(SimTime::from_micros(u64::MAX))
+        );
     }
 
     #[test]

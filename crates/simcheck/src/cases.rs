@@ -35,7 +35,9 @@ use std::rc::Rc;
 
 use ifi_hierarchy::{Hierarchy, MaintainProtocol};
 use ifi_overlay::{HeartbeatConfig, Topology};
-use ifi_sim::{Duration, FaultPlan, PeerId, Protocol, RelConfig, SimConfig, SimTime, World};
+use ifi_sim::{
+    sansio_world, Des, Duration, FaultPlan, PeerId, Protocol, RelConfig, SimConfig, SimTime, World,
+};
 use ifi_workload::{GroundTruth, SystemData, WorkloadParams};
 use netfilter::protocol::NetFilterProtocol;
 use netfilter::resilient::{ResilientConfig, ResilientProtocol};
@@ -185,7 +187,7 @@ fn netfilter_clean(seed: u64) -> Case {
         w.enable_trace(64);
         w
     };
-    let oracles = move || -> Vec<Box<dyn Oracle<NetFilterProtocol>>> {
+    let oracles = move || -> Vec<Box<dyn Oracle<Des<NetFilterProtocol>>>> {
         vec![
             Box::new(ExactnessOracle {
                 root,
@@ -243,7 +245,7 @@ fn resilient_case(
         w.enable_trace(64);
         w
     };
-    let oracles = move || -> Vec<Box<dyn Oracle<ResilientProtocol>>> {
+    let oracles = move || -> Vec<Box<dyn Oracle<Des<ResilientProtocol>>>> {
         vec![
             Box::new(EpochFenceOracle::new()),
             Box::new(NoInflationOracle {
@@ -326,12 +328,12 @@ fn maintain_case(
         let sim = SimConfig::default()
             .with_seed(seed)
             .with_faults(FaultPlan::none().with_scheduled_drops(drops.iter().copied()));
-        let mut w = World::new(sim, peers);
+        let mut w = sansio_world(sim, peers);
         w.schedule_kill(kill_at, kill);
         w.enable_trace(64);
         w
     };
-    let oracles = move || -> Vec<Box<dyn Oracle<MaintainProtocol>>> {
+    let oracles = move || -> Vec<Box<dyn Oracle<Des<MaintainProtocol>>>> {
         vec![Box::new(TreeOracle {
             topology: topo2.clone(),
             root,

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use ifi_hierarchy::{Hierarchy, MaintainProtocol};
 use ifi_overlay::Topology;
-use ifi_sim::{PeerId, Protocol, World};
+use ifi_sim::{Des, PeerId, Protocol, World};
 use ifi_workload::{GroundTruth, ItemId};
 use netfilter::phases;
 use netfilter::protocol::NetFilterProtocol;
@@ -58,12 +58,16 @@ pub struct ExactnessOracle {
     pub expected: Vec<(ItemId, u64)>,
 }
 
-impl Oracle<NetFilterProtocol> for ExactnessOracle {
+impl Oracle<Des<NetFilterProtocol>> for ExactnessOracle {
     fn name(&self) -> &'static str {
         "exactness"
     }
 
-    fn check(&mut self, world: &World<NetFilterProtocol>, at: Checkpoint) -> Result<(), String> {
+    fn check(
+        &mut self,
+        world: &World<Des<NetFilterProtocol>>,
+        at: Checkpoint,
+    ) -> Result<(), String> {
         if at != Checkpoint::End {
             return Ok(());
         }
@@ -88,12 +92,16 @@ pub struct CostOracle {
     pub cost: CostBreakdown,
 }
 
-impl Oracle<NetFilterProtocol> for CostOracle {
+impl Oracle<Des<NetFilterProtocol>> for CostOracle {
     fn name(&self) -> &'static str {
         "cost-reconcile"
     }
 
-    fn check(&mut self, world: &World<NetFilterProtocol>, at: Checkpoint) -> Result<(), String> {
+    fn check(
+        &mut self,
+        world: &World<Des<NetFilterProtocol>>,
+        at: Checkpoint,
+    ) -> Result<(), String> {
         if at != Checkpoint::End {
             return Ok(());
         }
@@ -117,12 +125,16 @@ pub struct TreeOracle {
     pub root: PeerId,
 }
 
-impl Oracle<MaintainProtocol> for TreeOracle {
+impl Oracle<Des<MaintainProtocol>> for TreeOracle {
     fn name(&self) -> &'static str {
         "tree"
     }
 
-    fn check(&mut self, world: &World<MaintainProtocol>, at: Checkpoint) -> Result<(), String> {
+    fn check(
+        &mut self,
+        world: &World<Des<MaintainProtocol>>,
+        at: Checkpoint,
+    ) -> Result<(), String> {
         if at != Checkpoint::End {
             return Ok(());
         }
@@ -209,12 +221,16 @@ impl EpochFenceOracle {
     }
 }
 
-impl Oracle<ResilientProtocol> for EpochFenceOracle {
+impl Oracle<Des<ResilientProtocol>> for EpochFenceOracle {
     fn name(&self) -> &'static str {
         "epoch-fence"
     }
 
-    fn check(&mut self, world: &World<ResilientProtocol>, _at: Checkpoint) -> Result<(), String> {
+    fn check(
+        &mut self,
+        world: &World<Des<ResilientProtocol>>,
+        _at: Checkpoint,
+    ) -> Result<(), String> {
         if self.last.is_empty() {
             self.last = vec![0; world.peer_count()];
         }
@@ -239,12 +255,16 @@ pub struct NoInflationOracle {
     pub truth: GroundTruth,
 }
 
-impl Oracle<ResilientProtocol> for NoInflationOracle {
+impl Oracle<Des<ResilientProtocol>> for NoInflationOracle {
     fn name(&self) -> &'static str {
         "no-inflation"
     }
 
-    fn check(&mut self, world: &World<ResilientProtocol>, _at: Checkpoint) -> Result<(), String> {
+    fn check(
+        &mut self,
+        world: &World<Des<ResilientProtocol>>,
+        _at: Checkpoint,
+    ) -> Result<(), String> {
         for (i, peer) in world.peers().enumerate() {
             for er in peer.completed_epochs() {
                 for &(item, v) in &er.answer {
@@ -271,12 +291,16 @@ pub struct CensusSoundnessOracle {
     pub expected: Vec<(ItemId, u64)>,
 }
 
-impl Oracle<ResilientProtocol> for CensusSoundnessOracle {
+impl Oracle<Des<ResilientProtocol>> for CensusSoundnessOracle {
     fn name(&self) -> &'static str {
         "census-soundness"
     }
 
-    fn check(&mut self, world: &World<ResilientProtocol>, _at: Checkpoint) -> Result<(), String> {
+    fn check(
+        &mut self,
+        world: &World<Des<ResilientProtocol>>,
+        _at: Checkpoint,
+    ) -> Result<(), String> {
         for (i, peer) in world.peers().enumerate() {
             for er in peer.completed_epochs() {
                 if er.is_complete() && er.answer != self.expected {

@@ -21,7 +21,7 @@
 
 use ifi_hierarchy::{Hierarchy, MaintainProtocol};
 use ifi_overlay::{HeartbeatConfig, Topology};
-use ifi_sim::{DetRng, Duration, PeerId, SimConfig, SimTime, World};
+use ifi_sim::{sansio_world, DetRng, Duration, PeerId, SimConfig, SimTime};
 use ifi_workload::{GroundTruth, SystemData, WorkloadParams};
 use netfilter::protocol::NetFilterProtocol;
 use netfilter::resilient::{ResilientConfig, ResilientProtocol};
@@ -121,7 +121,7 @@ pub fn run_scale_check(n: usize, seed: u64) -> Vec<ScaleVerdict> {
                 MaintainProtocol::new(&h, p, topo.neighbors(p).to_vec(), hb())
             })
             .collect();
-        let mut w = World::new(SimConfig::default().with_seed(seed), peers);
+        let mut w = sansio_world(SimConfig::default().with_seed(seed), peers);
         w.schedule_kill(secs(5), PeerId::new(7));
         w.start();
         w.run_until(secs(20));

@@ -1,0 +1,318 @@
+//! The per-peer node loop and the in-process channel transport.
+
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration as StdDuration, Instant};
+
+use ifi_sim::{
+    AllUp, Effect, EffectBuf, Effects, EventSink, MetricsReport, NodeEvent, PeerId, SansIo,
+    SimTime, TimerToken,
+};
+
+/// How long an idle node loop sleeps between checks for shutdown when it
+/// has no armed timer to bound the wait.
+pub const IDLE_WAIT: StdDuration = StdDuration::from_millis(50);
+
+/// One input delivered to a node's channel.
+pub(crate) enum Input<M> {
+    /// A protocol message from `from`.
+    Msg {
+        /// The sending peer.
+        from: PeerId,
+        /// The payload.
+        msg: M,
+    },
+    /// Orderly shutdown: the node loop exits and returns its core.
+    Stop,
+}
+
+/// State shared by every peer thread of one run.
+pub(crate) struct Shared {
+    /// The metrics sink; locked once per activation so an effect batch
+    /// applies atomically (driver obligation #1).
+    pub(crate) sink: Mutex<EventSink>,
+    /// The run's time origin; `now` handed to cores is elapsed time since
+    /// this instant.
+    pub(crate) epoch: Instant,
+    /// Frames pushed onto the fabric (sends routed), for frame-overhead
+    /// accounting distinct from the metered protocol bytes.
+    pub(crate) frames: Mutex<u64>,
+}
+
+impl Shared {
+    pub(crate) fn new(peer_count: usize) -> Self {
+        Shared {
+            sink: Mutex::new(EventSink::new(peer_count)),
+            epoch: Instant::now(),
+            frames: Mutex::new(0),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+/// How a node's sends reach other peers — in-process channel clones or a
+/// TCP socket toward the loopback hub.
+pub(crate) trait Route<M>: Send + 'static {
+    /// Carries `msg` from `from` to `to`. Delivery failures (a peer
+    /// already shut down) are swallowed: the transport is best-effort at
+    /// teardown, exactly like a real socket.
+    fn send(&mut self, from: PeerId, to: PeerId, msg: &M);
+}
+
+/// Channel fabric: every node holds a sender clone for every peer.
+pub(crate) struct ChannelRoute<M> {
+    pub(crate) peers: Vec<Sender<Input<M>>>,
+}
+
+impl<M: Clone + Send + 'static> Route<M> for ChannelRoute<M> {
+    fn send(&mut self, from: PeerId, to: PeerId, msg: &M) {
+        let _ = self.peers[to.index()].send(Input::Msg {
+            from,
+            msg: msg.clone(),
+        });
+    }
+}
+
+/// One peer's thread: the sans-io core plus the driver state the DES
+/// kernel would otherwise hold for it.
+pub(crate) struct NodeRunner<P: SansIo, R> {
+    pub(crate) id: PeerId,
+    pub(crate) node: P,
+    pub(crate) route: R,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) outputs: Sender<(PeerId, P::Output)>,
+    pub(crate) universe: usize,
+    next_token: u64,
+    /// Armed timers: absolute deadline, protocol token, tag. Small per
+    /// node, so linear scans beat a heap (and removal on cancel is
+    /// trivial, discharging driver obligation #2).
+    timers: Vec<(Instant, TimerToken, P::Timer)>,
+    scratch: EffectBuf<P>,
+}
+
+impl<P, R> NodeRunner<P, R>
+where
+    P: SansIo,
+    R: Route<P::Msg>,
+{
+    pub(crate) fn new(
+        id: PeerId,
+        node: P,
+        route: R,
+        shared: Arc<Shared>,
+        outputs: Sender<(PeerId, P::Output)>,
+        universe: usize,
+    ) -> Self {
+        NodeRunner {
+            id,
+            node,
+            route,
+            shared,
+            outputs,
+            universe,
+            next_token: 0,
+            timers: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Runs one core activation and applies its effect batch atomically
+    /// under the shared sink lock, in emission order.
+    fn dispatch(&mut self, ev: NodeEvent<P::Msg, P::Timer>) {
+        let mut fx = Effects::from_parts(std::mem::take(&mut self.scratch), self.next_token);
+        let now = self.shared.now();
+        self.node.on_event(ev, now, &AllUp(self.universe), &mut fx);
+        let (mut buf, next_token) = fx.into_parts();
+        self.next_token = next_token;
+        let mut sink = self.shared.sink.lock().expect("metrics sink poisoned");
+        let mut frames = 0u64;
+        for effect in buf.drain(..) {
+            match effect {
+                Effect::Send {
+                    to,
+                    msg,
+                    bytes,
+                    class,
+                } => {
+                    sink.record(self.id, class, bytes);
+                    self.route.send(self.id, to, &msg);
+                    frames += 1;
+                }
+                Effect::SetTimer { token, delay, tag } => {
+                    let deadline = Instant::now() + StdDuration::from_micros(delay.as_micros());
+                    self.timers.push((deadline, token, tag));
+                }
+                Effect::CancelTimer { token } => {
+                    self.timers.retain(|&(_, t, _)| t != token);
+                }
+                Effect::Charge { class, bytes } => sink.record_piggyback(self.id, class, bytes),
+                Effect::MarkPhase { label } => sink.mark(label),
+                Effect::Warn { label } => sink.warn(label),
+                Effect::Deliver(out) => {
+                    let _ = self.outputs.send((self.id, out));
+                }
+            }
+        }
+        // The handler mark is scoped to this activation; clearing it
+        // before the lock drops keeps attribution batch-atomic.
+        sink.clear_mark();
+        drop(sink);
+        if frames > 0 {
+            *self.shared.frames.lock().expect("frame counter poisoned") += frames;
+        }
+        self.scratch = buf;
+    }
+
+    /// Index of the due timer with the earliest deadline, if any.
+    fn due_timer(&self, now: Instant) -> Option<usize> {
+        self.timers
+            .iter()
+            .enumerate()
+            .filter(|(_, &(d, _, _))| d <= now)
+            .min_by_key(|(_, &(d, _, _))| d)
+            .map(|(i, _)| i)
+    }
+
+    /// The node loop: start, then alternate between due timers and
+    /// incoming messages until [`Input::Stop`] (or fabric teardown).
+    pub(crate) fn run(mut self, rx: Receiver<Input<P::Msg>>) -> P {
+        self.dispatch(NodeEvent::Start);
+        loop {
+            while let Some(pos) = self.due_timer(Instant::now()) {
+                let (_, _, tag) = self.timers.remove(pos);
+                self.dispatch(NodeEvent::Timer { tag });
+            }
+            let now = Instant::now();
+            let wait = self
+                .timers
+                .iter()
+                .map(|&(d, _, _)| d.saturating_duration_since(now))
+                .min()
+                .unwrap_or(IDLE_WAIT);
+            match rx.recv_timeout(wait) {
+                Ok(Input::Msg { from, msg }) => self.dispatch(NodeEvent::Message { from, msg }),
+                Ok(Input::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+        self.node.on_stop();
+        self.node
+    }
+}
+
+/// The result of one transport run.
+#[derive(Debug)]
+pub struct RunOutcome<P: SansIo> {
+    /// Results the cores handed to the driver via `Effect::Deliver`, in
+    /// arrival order at the collector.
+    pub outputs: Vec<(PeerId, P::Output)>,
+    /// The metered per-phase, per-class byte report — same methodology as
+    /// a DES run, so the two reconcile directly.
+    pub report: MetricsReport,
+    /// The final protocol cores, indexed by peer, for post-run accessor
+    /// inspection (mirrors `World::peer`).
+    pub nodes: Vec<P>,
+    /// Frames pushed onto the fabric (one per routed send) — multiply by
+    /// the hub header width for transport framing overhead, which the
+    /// paper metric excludes.
+    pub frames_sent: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: StdDuration,
+}
+
+/// Runs `nodes` over the in-process channel fabric until `want_outputs`
+/// results arrive (or `max_wait` elapses), then shuts down and returns
+/// the outcome.
+///
+/// # Panics
+///
+/// Panics if a peer thread panics.
+pub fn run_channel<P>(nodes: Vec<P>, want_outputs: usize, max_wait: StdDuration) -> RunOutcome<P>
+where
+    P: SansIo + Send + 'static,
+    P::Msg: Send,
+    P::Timer: Send,
+    P::Output: Send,
+{
+    let n = nodes.len();
+    let shared = Arc::new(Shared::new(n));
+    let (out_tx, out_rx) = mpsc::channel();
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let handles: Vec<_> = nodes
+        .into_iter()
+        .zip(rxs)
+        .enumerate()
+        .map(|(i, (node, rx))| {
+            let runner = NodeRunner::new(
+                PeerId::new(i),
+                node,
+                ChannelRoute { peers: txs.clone() },
+                Arc::clone(&shared),
+                out_tx.clone(),
+                n,
+            );
+            thread::Builder::new()
+                .name(format!("peer-{i}"))
+                .spawn(move || runner.run(rx))
+                .expect("spawning peer thread failed")
+        })
+        .collect();
+    let outputs = collect_outputs(&out_rx, want_outputs, max_wait);
+    for tx in &txs {
+        let _ = tx.send(Input::Stop);
+    }
+    let nodes = handles
+        .into_iter()
+        .map(|h| h.join().expect("peer thread panicked"))
+        .collect();
+    finish(shared, outputs, nodes)
+}
+
+/// Drains the output channel until `want` results or the deadline.
+pub(crate) fn collect_outputs<O>(
+    rx: &Receiver<(PeerId, O)>,
+    want: usize,
+    max_wait: StdDuration,
+) -> Vec<(PeerId, O)> {
+    let deadline = Instant::now() + max_wait;
+    let mut outputs = Vec::new();
+    while outputs.len() < want {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        match rx.recv_timeout(left) {
+            Ok(o) => outputs.push(o),
+            Err(_) => break,
+        }
+    }
+    outputs
+}
+
+/// Snapshots the shared state into a [`RunOutcome`].
+pub(crate) fn finish<P: SansIo>(
+    shared: Arc<Shared>,
+    outputs: Vec<(PeerId, P::Output)>,
+    nodes: Vec<P>,
+) -> RunOutcome<P> {
+    let report = shared.sink.lock().expect("metrics sink poisoned").report();
+    let frames_sent = *shared.frames.lock().expect("frame counter poisoned");
+    let elapsed = shared.epoch.elapsed();
+    RunOutcome {
+        outputs,
+        report,
+        nodes,
+        frames_sent,
+        elapsed,
+    }
+}

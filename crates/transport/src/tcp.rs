@@ -1,0 +1,232 @@
+//! TCP-loopback fabric: the same node loop, real sockets in between.
+//!
+//! Topology-wise this is a star: every peer holds one loopback connection
+//! to a hub, and the hub forwards frames by destination. Framing is
+//! `[from u32][to u32][len u32][payload]`, all big-endian; the payload is
+//! whatever the protocol's [`WireCodec`] produced. The 12-byte routing
+//! header is transport overhead, deliberately *not* metered into the
+//! paper's byte counts (see [`RunOutcome::frames_sent`]).
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration as StdDuration;
+
+use ifi_sim::{PeerId, SansIo};
+
+use crate::runtime::{collect_outputs, finish, Input, NodeRunner, Route, RunOutcome, Shared};
+use crate::wire::WireCodec;
+
+/// Frames larger than this are treated as stream corruption.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Writes one `[from][to][len][payload]` frame.
+fn write_frame(w: &mut impl Write, from: PeerId, to: PeerId, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 12];
+    header[..4].copy_from_slice(&(from.index() as u32).to_be_bytes());
+    header[4..8].copy_from_slice(&(to.index() as u32).to_be_bytes());
+    header[8..].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+fn read_frame(r: &mut impl Read) -> io::Result<Option<(PeerId, PeerId, Vec<u8>)>> {
+    let mut header = [0u8; 12];
+    match r.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let from = u32::from_be_bytes(header[..4].try_into().unwrap());
+    let to = u32::from_be_bytes(header[4..8].try_into().unwrap());
+    let len = u32::from_be_bytes(header[8..].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((
+        PeerId::new(from as usize),
+        PeerId::new(to as usize),
+        payload,
+    )))
+}
+
+/// A peer's sends encode through the codec and go to the hub.
+struct TcpRoute<C> {
+    stream: TcpStream,
+    codec: Arc<C>,
+}
+
+impl<M, C: WireCodec<M>> Route<M> for TcpRoute<C> {
+    fn send(&mut self, from: PeerId, to: PeerId, msg: &M) {
+        // Teardown races (hub already gone) are swallowed like a closed
+        // socket would be; encode failures mean the codec cannot carry
+        // the protocol and must fail loudly.
+        let payload = self.codec.encode(msg).expect("wire codec rejected message");
+        let _ = write_frame(&mut self.stream, from, to, &payload);
+    }
+}
+
+/// Runs `nodes` over a TCP loopback hub until `want_outputs` results
+/// arrive (or `max_wait` elapses), then shuts down and returns the
+/// outcome. `codec` carries `P::Msg` across the sockets.
+///
+/// # Errors
+///
+/// Fails if the loopback listener or any peer connection cannot be set
+/// up.
+///
+/// # Panics
+///
+/// Panics if a peer thread panics.
+pub fn run_tcp<P, C>(
+    nodes: Vec<P>,
+    codec: C,
+    want_outputs: usize,
+    max_wait: StdDuration,
+) -> io::Result<RunOutcome<P>>
+where
+    P: SansIo + Send + 'static,
+    P::Msg: Send,
+    P::Timer: Send,
+    P::Output: Send,
+    C: WireCodec<P::Msg>,
+{
+    let n = nodes.len();
+    let codec = Arc::new(codec);
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+
+    // Accept hub-side connections while the main thread dials out.
+    let accept = thread::spawn(move || -> io::Result<Vec<TcpStream>> {
+        let mut conns: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (mut s, _) = listener.accept()?;
+            let mut hello = [0u8; 4];
+            s.read_exact(&mut hello)?;
+            let id = u32::from_be_bytes(hello) as usize;
+            s.set_nodelay(true)?;
+            conns[id] = Some(s);
+        }
+        Ok(conns
+            .into_iter()
+            .map(|c| c.expect("peer never dialed"))
+            .collect())
+    });
+
+    let mut peer_streams = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        s.write_all(&(i as u32).to_be_bytes())?;
+        peer_streams.push(s);
+    }
+    let hub_streams = accept.join().expect("hub accept thread panicked")?;
+
+    // Hub: one forwarder per inbound connection; writes to a destination
+    // serialize through its mutex so concurrent frames never interleave.
+    let dests: Arc<Vec<Mutex<TcpStream>>> = Arc::new(
+        hub_streams
+            .iter()
+            .map(|s| Ok(Mutex::new(s.try_clone()?)))
+            .collect::<io::Result<_>>()?,
+    );
+    let mut hub_handles = Vec::with_capacity(n);
+    for s in &hub_streams {
+        let mut reader = s.try_clone()?;
+        let dests = Arc::clone(&dests);
+        hub_handles.push(thread::spawn(move || {
+            while let Ok(Some((from, to, payload))) = read_frame(&mut reader) {
+                if to.index() >= dests.len() {
+                    continue;
+                }
+                let mut out = dests[to.index()].lock().expect("hub stream poisoned");
+                if write_frame(&mut *out, from, to, &payload).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+
+    // Node channels: each peer's mpsc receiver is fed by its socket
+    // reader thread, so the node loop is transport-agnostic.
+    let shared = Arc::new(Shared::new(n));
+    let (out_tx, out_rx) = mpsc::channel();
+    let mut txs: Vec<Sender<Input<P::Msg>>> = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut reader_handles = Vec::with_capacity(n);
+    for (i, s) in peer_streams.iter().enumerate() {
+        let mut reader = s.try_clone()?;
+        let tx = txs[i].clone();
+        let codec = Arc::clone(&codec);
+        reader_handles.push(thread::spawn(move || {
+            while let Ok(Some((from, _, payload))) = read_frame(&mut reader) {
+                let msg = match codec.decode(&payload) {
+                    Ok(m) => m,
+                    // A frame the codec cannot parse is dropped like a
+                    // corrupt datagram; the protocol's own reliability
+                    // (if enabled) recovers.
+                    Err(_) => continue,
+                };
+                if tx.send(Input::Msg { from, msg }).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+
+    let handles: Vec<_> = nodes
+        .into_iter()
+        .zip(rxs)
+        .zip(peer_streams.iter())
+        .enumerate()
+        .map(|(i, ((node, rx), stream))| {
+            let route = TcpRoute {
+                stream: stream.try_clone().expect("cloning peer stream failed"),
+                codec: Arc::clone(&codec),
+            };
+            let runner = NodeRunner::new(
+                PeerId::new(i),
+                node,
+                route,
+                Arc::clone(&shared),
+                out_tx.clone(),
+                n,
+            );
+            thread::Builder::new()
+                .name(format!("peer-{i}"))
+                .spawn(move || runner.run(rx))
+                .expect("spawning peer thread failed")
+        })
+        .collect();
+
+    let outputs = collect_outputs(&out_rx, want_outputs, max_wait);
+    for tx in &txs {
+        let _ = tx.send(Input::Stop);
+    }
+    let nodes: Vec<P> = handles
+        .into_iter()
+        .map(|h| h.join().expect("peer thread panicked"))
+        .collect();
+
+    // Tear the fabric down so reader and forwarder threads unblock.
+    for s in peer_streams.iter().chain(hub_streams.iter()) {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    for h in reader_handles.into_iter().chain(hub_handles) {
+        let _ = h.join();
+    }
+    Ok(finish(shared, outputs, nodes))
+}

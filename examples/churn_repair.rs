@@ -15,7 +15,7 @@
 
 use ifi_hierarchy::{BuildProtocol, MaintainProtocol};
 use ifi_overlay::{HeartbeatConfig, Topology};
-use ifi_sim::{DetRng, Duration, MsgClass, PeerId, SimConfig, SimTime, World};
+use ifi_sim::{sansio_world, DetRng, Duration, MsgClass, PeerId, SimConfig, SimTime};
 use ifi_workload::{GroundTruth, SystemData, WorkloadParams};
 use netfilter::protocol::NetFilterProtocol;
 use netfilter::{NetFilterConfig, Threshold};
@@ -31,7 +31,7 @@ fn main() {
         .peers()
         .map(|p| BuildProtocol::new(topology.neighbors(p).to_vec(), p == root))
         .collect();
-    let mut build = World::new(SimConfig::default().with_seed(1), peers);
+    let mut build = sansio_world(SimConfig::default().with_seed(1), peers);
     build.start();
     let t_built = build.run_to_quiescence();
     let hierarchy = BuildProtocol::snapshot(root, build.peers());
@@ -52,7 +52,7 @@ fn main() {
         .peers()
         .map(|p| MaintainProtocol::new(&hierarchy, p, topology.neighbors(p).to_vec(), hb))
         .collect();
-    let mut maintain = World::new(SimConfig::default().with_seed(2), peers);
+    let mut maintain = sansio_world(SimConfig::default().with_seed(2), peers);
     maintain.start();
 
     let victim = *hierarchy

@@ -12,7 +12,7 @@
 use ifi_hierarchy::MultiHierarchy;
 use ifi_overlay::churn::{ChurnEvent, ChurnSchedule, SessionModel};
 use ifi_overlay::{HeartbeatConfig, Topology};
-use ifi_sim::{DetRng, Duration, PeerId, SimConfig, SimTime, World};
+use ifi_sim::{Des, DetRng, Duration, PeerId, SimConfig, SimTime, World};
 use ifi_workload::ItemId;
 use ifi_workload::{GroundTruth, SystemData, WorkloadParams};
 use netfilter::resilient::{Certificate, ResilientConfig, ResilientProtocol};
@@ -82,7 +82,7 @@ fn expected_over(
 /// by the pinned `kills`/`revives` event lists), with a matching roster
 /// count. Returns `(complete, partial)` epoch counts.
 fn audit_epochs(
-    w: &World<ResilientProtocol>,
+    w: &World<Des<ResilientProtocol>>,
     succession: &[PeerId],
     data: &SystemData,
     cfg: &NetFilterConfig,

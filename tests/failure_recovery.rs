@@ -5,12 +5,12 @@
 use ifi_hierarchy::{Hierarchy, MaintainProtocol, MultiHierarchy};
 use ifi_overlay::churn::{ChurnEvent, ChurnSchedule, SessionModel};
 use ifi_overlay::{HeartbeatConfig, Topology};
-use ifi_sim::{DetRng, Duration, PeerId, SimConfig, SimTime, World};
+use ifi_sim::{sansio_world, Des, DetRng, Duration, PeerId, SimConfig, SimTime, World};
 use ifi_workload::{GroundTruth, SystemData, WorkloadParams};
 use netfilter::resilient::{ResilientConfig, ResilientProtocol};
 use netfilter::{NetFilter, NetFilterConfig, Threshold};
 
-fn maintain_world(topo: &Topology, h: &Hierarchy, seed: u64) -> World<MaintainProtocol> {
+fn maintain_world(topo: &Topology, h: &Hierarchy, seed: u64) -> World<Des<MaintainProtocol>> {
     let hb = HeartbeatConfig {
         interval: Duration::from_millis(500),
         timeout: Duration::from_millis(1600),
@@ -20,7 +20,7 @@ fn maintain_world(topo: &Topology, h: &Hierarchy, seed: u64) -> World<MaintainPr
         .peers()
         .map(|p| MaintainProtocol::new(h, p, topo.neighbors(p).to_vec(), hb))
         .collect();
-    World::new(SimConfig::default().with_seed(seed), peers)
+    sansio_world(SimConfig::default().with_seed(seed), peers)
 }
 
 #[test]
