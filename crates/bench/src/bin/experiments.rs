@@ -10,6 +10,7 @@
 //! cargo run -p ifi-bench --release --bin experiments -- churn-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- transport-smoke
+//! cargo run -p ifi-bench --release --bin experiments -- chaos-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-replay results/simcheck/bug-churn-race-20080617.repro
 //! cargo run -p ifi-bench --release --bin experiments -- bench --write-baselines
 //! cargo run -p ifi-bench --release --bin experiments -- bench --check --tolerance 0.5
@@ -21,8 +22,8 @@ use std::process::ExitCode;
 
 use ifi_bench::output::DataFile;
 use ifi_bench::{
-    ablation, baseline, churn, depth, fig5, fig6, fig7, fig8, loss, perfbench, report_checks,
-    simcheck_smoke, transport_smoke, Scale, ShapeCheck,
+    ablation, baseline, chaos_smoke, churn, depth, fig5, fig6, fig7, fig8, loss, perfbench,
+    report_checks, simcheck_smoke, transport_smoke, Scale, ShapeCheck,
 };
 use ifi_simcheck::{find_case, parse_artifact};
 
@@ -31,6 +32,7 @@ fn usage() -> ! {
         "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all]\n\
          \x20                  [check-baselines] [write-baselines] [loss-smoke] [churn-smoke]\n\
          \x20                  [simcheck-smoke] [simcheck-replay <artifact>] [transport-smoke]\n\
+         \x20                  [chaos-smoke]\n\
          \x20                  [bench [--write-baselines] [--check] [--only <names>]]\n\
          \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
          \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]\n\
@@ -137,7 +139,7 @@ fn main() -> ExitCode {
             "--check" => bench_check = true,
             "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
             | "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke"
-            | "simcheck-smoke" | "transport-smoke" | "bench" => {
+            | "simcheck-smoke" | "transport-smoke" | "chaos-smoke" | "bench" => {
                 which.push(Box::leak(arg.clone().into_boxed_str()))
             }
             _ => usage(),
@@ -254,6 +256,28 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("error: cannot write transport metrics: {e}");
+                    all_ok = false;
+                }
+            }
+        }
+    }
+    if which.contains(&"chaos-smoke") {
+        println!(
+            "chaos smoke — seeded drop/crash/partition plan vs the equivalent faulted DES, seed {seed}"
+        );
+        let runs = chaos_smoke::run_smoke(seed);
+        for run in &runs {
+            all_ok &= report_checks(&format!("chaos smoke — {}", run.name), &run.checks);
+        }
+        if let Some(dir) = &metrics_out {
+            match chaos_smoke::write_metrics(dir, &runs) {
+                Ok(paths) => {
+                    for p in &paths {
+                        println!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: cannot write chaos metrics: {e}");
                     all_ok = false;
                 }
             }
@@ -384,6 +408,7 @@ fn main() -> ExitCode {
                 | "simcheck-smoke"
                 | "simcheck-replay"
                 | "transport-smoke"
+                | "chaos-smoke"
                 | "bench"
         )
     }) {

@@ -20,6 +20,7 @@
 
 pub mod ablation;
 pub mod baseline;
+pub mod chaos_smoke;
 pub mod churn;
 pub mod depth;
 pub mod fig5;

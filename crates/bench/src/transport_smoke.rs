@@ -119,6 +119,18 @@ fn peers(s: &Scenario) -> Vec<NetFilterProtocol> {
         .collect()
 }
 
+/// Renders a warning tally as `label (Nx), ...` — or `none`.
+pub(crate) fn render_warnings(warnings: &[(String, u64)]) -> String {
+    if warnings.is_empty() {
+        return "none".to_string();
+    }
+    warnings
+        .iter()
+        .map(|(label, count)| format!("`{label}` ({count}x)"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Checks one fabric's outcome against the DES reference.
 fn reconcile(
     name: &'static str,
@@ -132,7 +144,7 @@ fn reconcile(
     let root = s.hierarchy.root();
     let answer_ok = outcome.outputs.len() == 1
         && outcome.outputs[0].0 == root
-        && outcome.outputs[0].1 == des_answer;
+        && outcome.outputs[0].1.answer == des_answer;
     checks.push(ShapeCheck::new(
         "root delivers exactly the DES answer over the real transport",
         answer_ok,
@@ -157,10 +169,17 @@ fn reconcile(
         detail.join(", "),
     ));
 
+    // Surface every warning the run metered — a clean lane prints
+    // nothing, a dirty one says exactly what went wrong, and the same
+    // text rides in the failing check so the non-zero exit is
+    // self-explaining.
+    for (label, count) in &outcome.report.warnings {
+        println!("  {name}: warning `{label}` ({count}x)");
+    }
     checks.push(ShapeCheck::new(
         "no dropped-frame or stray-timer warnings",
         outcome.report.warnings.is_empty(),
-        format!("warnings: {:?}", outcome.report.warnings),
+        format!("warnings: {}", render_warnings(&outcome.report.warnings)),
     ));
 
     println!(

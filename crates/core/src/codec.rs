@@ -18,6 +18,7 @@ use ifi_agg::{MapSum, VecSum};
 use ifi_workload::ItemId;
 
 use crate::protocol::NfMsg;
+use crate::resilient::{Census, CENSUS_BYTES};
 use crate::WireSizes;
 
 /// Errors arising while encoding or decoding protocol messages.
@@ -56,6 +57,7 @@ impl std::error::Error for CodecError {}
 const TAG_GROUP_AGG: u8 = 1;
 const TAG_HEAVY: u8 = 2;
 const TAG_CANDIDATE_AGG: u8 = 3;
+const TAG_CENSUS: u8 = 4;
 
 /// Encoder/decoder for [`NfMsg`] at configured field widths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +108,7 @@ impl Codec {
                 self.sizes.sg * lists.iter().map(|l| l.len() as u64).sum::<u64>()
             }
             NfMsg::CandidateAgg(m) => self.sizes.pair() * m.0.len() as u64,
+            NfMsg::PhaseCensus { .. } => CENSUS_BYTES,
         }
     }
 
@@ -115,6 +118,7 @@ impl Codec {
             NfMsg::GroupAgg(_) => 1 + 4,
             NfMsg::Heavy(lists) => 1 + 4 + 4 * lists.len() as u64,
             NfMsg::CandidateAgg(_) => 1 + 4,
+            NfMsg::PhaseCensus { .. } => 1 + 1,
         }
     }
 
@@ -169,6 +173,12 @@ impl Codec {
                     Self::put_uint(buf, id.0, self.sizes.si)?;
                     Self::put_uint(buf, value, self.sizes.sa)?;
                 }
+            }
+            NfMsg::PhaseCensus { phase, census } => {
+                buf.put_u8(TAG_CENSUS);
+                buf.put_u8(*phase);
+                buf.put_u32(census.count);
+                buf.put_uint(census.digest, 8);
             }
         }
         debug_assert_eq!(
@@ -235,6 +245,18 @@ impl Codec {
                 }
                 NfMsg::CandidateAgg(MapSum::from_pairs(pairs))
             }
+            TAG_CENSUS => {
+                if buf.remaining() < 1 + 4 + 8 {
+                    return Err(CodecError::Truncated);
+                }
+                let phase = buf.get_u8();
+                let count = buf.get_u32();
+                let digest = buf.get_uint(8);
+                NfMsg::PhaseCensus {
+                    phase,
+                    census: Census { count, digest },
+                }
+            }
             other => return Err(CodecError::BadTag(other)),
         };
         if buf.remaining() > 0 {
@@ -264,6 +286,17 @@ mod tests {
                 (ItemId(65_000), 42),
             ])),
             NfMsg::CandidateAgg(MapSum::from_pairs([])),
+            NfMsg::PhaseCensus {
+                phase: 1,
+                census: Census {
+                    count: 40,
+                    digest: 0xDEAD_BEEF_CAFE_F00D,
+                },
+            },
+            NfMsg::PhaseCensus {
+                phase: 2,
+                census: Census::empty(),
+            },
         ]
     }
 
@@ -349,6 +382,14 @@ mod tests {
                 (ItemId(3), 4)
             ]))),
             8 * 2
+        );
+        // PhaseCensus: fixed census width, independent of field sizes.
+        assert_eq!(
+            c.payload_len(&NfMsg::PhaseCensus {
+                phase: 1,
+                census: Census::empty()
+            }),
+            CENSUS_BYTES
         );
     }
 

@@ -43,6 +43,7 @@ use ifi_workload::{ItemId, SystemData};
 use crate::config::NetFilterConfig;
 use crate::filter::{HeavyGroups, LocalFilter};
 use crate::hashing::HashFamily;
+use crate::resilient::{Census, Certificate, CENSUS_BYTES};
 
 /// Messages of the netFilter protocol.
 #[derive(Debug, Clone)]
@@ -53,6 +54,29 @@ pub enum NfMsg {
     Heavy(Vec<Vec<u32>>),
     /// Phase 2b: a merged partial candidate set moving rootward.
     CandidateAgg(MapSum),
+    /// Census mode only: the merged contributor census of one phase
+    /// (`1` or `2`), moving rootward beside the phase report it certifies.
+    /// Metered at [`CENSUS_BYTES`] under [`MsgClass::FAILOVER`], exactly
+    /// like the resilient engine's census piggyback, so enabling
+    /// certification never touches the paper's phase classes.
+    PhaseCensus {
+        /// Which convergecast the census certifies: `1` or `2`.
+        phase: u8,
+        /// Merged census of every contributor in this subtree.
+        census: Census,
+    },
+}
+
+/// What the root hands the driver when a run completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NfDelivery {
+    /// The exact frequent-item answer, sorted by value descending, then id.
+    pub answer: Vec<(ItemId, u64)>,
+    /// What the root can certify about coverage (census mode only):
+    /// [`Certificate::Complete`] when every roster member contributed to
+    /// both phases, [`Certificate::Partial`] with the missing census
+    /// otherwise. `None` when census mode is off.
+    pub certificate: Option<Certificate>,
 }
 
 /// Timers of the netFilter protocol; only armed when the reliability
@@ -83,6 +107,34 @@ pub struct NetFilterProtocol {
     p2_pending: usize,
     p2_acc: Option<MapSum>,
     result: Option<Vec<(ItemId, u64)>>,
+
+    /// Whether `Start` has been handled once; a second `Start` marks a
+    /// crash/revival and triggers the re-send path instead of re-init.
+    started: bool,
+    /// Children whose phase-1 report has been merged — the idempotency
+    /// guard that makes duplicate or replayed reports harmless.
+    p1_seen: Vec<PeerId>,
+    p2_seen: Vec<PeerId>,
+    p1_census_seen: Vec<PeerId>,
+    p2_census_seen: Vec<PeerId>,
+    /// Merged contributor censuses of this subtree (self plus children),
+    /// maintained unconditionally (merging is 12 bytes of state), metered
+    /// and reported only in census mode.
+    p1_census: Census,
+    p2_census: Census,
+    /// Census-mode countdowns of children's phase censuses; zero when
+    /// census mode is off.
+    p1_census_pending: usize,
+    p2_census_pending: usize,
+    /// The issue-time roster to certify against; `Some` switches census
+    /// mode on for this peer (reports are accompanied by metered
+    /// [`NfMsg::PhaseCensus`] messages, and the root emits a certificate).
+    roster: Option<Census>,
+    certificate: Option<Certificate>,
+    /// Originals produced so far `(to, msg, bytes)`, retained only under
+    /// reliability: a revival re-sends them all (the crash lost every
+    /// retransmit timer), charged as [`MsgClass::RETRANSMIT`].
+    resend_buf: Vec<(PeerId, NfMsg, u64)>,
 
     /// Ack/retransmit envelope state; `None` runs the classic
     /// fire-and-forget protocol (zero overhead, zero extra traffic).
@@ -116,6 +168,18 @@ impl NetFilterProtocol {
             p2_pending: hierarchy.children(peer).len(),
             p2_acc: None,
             result: None,
+            started: false,
+            p1_seen: Vec::new(),
+            p2_seen: Vec::new(),
+            p1_census_seen: Vec::new(),
+            p2_census_seen: Vec::new(),
+            p1_census: Census::solo(peer),
+            p2_census: Census::solo(peer),
+            p1_census_pending: 0,
+            p2_census_pending: 0,
+            roster: None,
+            certificate: None,
+            resend_buf: Vec::new(),
             rel: None,
         }
     }
@@ -124,6 +188,37 @@ impl NetFilterProtocol {
     pub fn with_reliability(mut self, cfg: RelConfig) -> Self {
         self.rel = Some(ReliableLink::new(cfg));
         self
+    }
+
+    /// Enables census mode against the given issue-time roster: every
+    /// rootward report travels with a metered [`NfMsg::PhaseCensus`], and
+    /// the root's delivery carries a [`Certificate`] — `Complete` exactly
+    /// when both phase censuses equal `roster`.
+    pub fn with_census(mut self, roster: Census) -> Self {
+        self.roster = Some(roster);
+        self.p1_census_pending = self.children.len();
+        self.p2_census_pending = self.children.len();
+        self
+    }
+
+    /// The census of every hierarchy member — the roster a driver passes
+    /// to [`with_census`](Self::with_census) when all members are expected
+    /// to contribute.
+    pub fn roster(hierarchy: &Hierarchy) -> Census {
+        let mut census = Census::empty();
+        for i in 0..hierarchy.universe() {
+            let p = PeerId::new(i);
+            if hierarchy.is_member(p) {
+                census.add(p);
+            }
+        }
+        census
+    }
+
+    /// The root's coverage certificate, once the run completes in census
+    /// mode.
+    pub fn certificate(&self) -> Option<Certificate> {
+        self.certificate
     }
 
     /// Builds a ready-to-run world over `hierarchy` and `data`.
@@ -190,6 +285,40 @@ impl NetFilterProtocol {
         sansio_world(sim, peers)
     }
 
+    /// Like [`build_world_reliable`](Self::build_world_reliable), with
+    /// census mode on against the full member roster: the run's answer is
+    /// accompanied by a coverage [`Certificate`] at the root.
+    pub fn build_world_certified(
+        config: &NetFilterConfig,
+        hierarchy: &Hierarchy,
+        data: &SystemData,
+        sim: SimConfig,
+        rel: RelConfig,
+    ) -> World<Des<NetFilterProtocol>> {
+        assert_eq!(
+            hierarchy.universe(),
+            data.peer_count(),
+            "hierarchy and data peer universes differ"
+        );
+        let roster = Self::roster(hierarchy);
+        let threshold = config.threshold.resolve(data.total_value());
+        let peers = (0..data.peer_count())
+            .map(|i| {
+                let p = PeerId::new(i);
+                NetFilterProtocol::new(
+                    config,
+                    hierarchy,
+                    p,
+                    data.local_items(p).to_vec(),
+                    threshold,
+                )
+                .with_reliability(rel.clone())
+                .with_census(roster)
+            })
+            .collect();
+        sansio_world(sim, peers)
+    }
+
     /// The final result (root only, once the run quiesces).
     pub fn result(&self) -> Option<&[(ItemId, u64)]> {
         self.result.as_deref()
@@ -202,7 +331,10 @@ impl NetFilterProtocol {
 
     /// Sends a phase message, through the ack/retransmit envelope when
     /// reliability is enabled. The original is charged in `class` either
-    /// way, so phase costs are loss-independent.
+    /// way, so phase costs are loss-independent. Under reliability the
+    /// original is also retained in the revival backlog: a crash loses
+    /// every retransmit timer, so re-sending the backlog (as RETRANSMIT)
+    /// is what keeps delivery guaranteed across restarts.
     fn send_phase(
         &mut self,
         fx: &mut Effects<Self>,
@@ -216,11 +348,35 @@ impl NetFilterProtocol {
                 fx.send(to, ReliableMsg::Plain(msg), bytes, class);
             }
             Some(link) => {
-                let (seq, frame) = link.send_data(to, msg, bytes);
+                let (seq, frame) = link.send_data(to, msg.clone(), bytes);
                 let delay = link.rto(seq, 0);
                 fx.send(to, frame, bytes, class);
                 fx.set_timer(delay, NfTimer::Retransmit(seq));
+                self.resend_buf.push((to, msg, bytes));
             }
+        }
+    }
+
+    /// Whether census mode is on (a roster was supplied).
+    fn census_mode(&self) -> bool {
+        self.roster.is_some()
+    }
+
+    /// Fires phase-1 completion once everything it needs has merged: the
+    /// local vector (Start ran), every child's report, and — in census
+    /// mode — every child's phase-1 census.
+    fn maybe_complete_p1(&mut self, fx: &mut Effects<Self>) {
+        if self.p1_acc.is_some() && self.p1_pending == 0 && self.p1_census_pending == 0 {
+            self.phase1_complete(fx);
+        }
+    }
+
+    /// Phase-2 counterpart of [`maybe_complete_p1`](Self::maybe_complete_p1);
+    /// `p2_acc` is set when the heavy lists arrive and taken at completion,
+    /// so it doubles as the fired-once guard.
+    fn maybe_complete_p2(&mut self, fx: &mut Effects<Self>) {
+        if self.p2_acc.is_some() && self.p2_pending == 0 && self.p2_census_pending == 0 {
+            self.phase2_complete(fx);
         }
     }
 
@@ -237,6 +393,16 @@ impl NetFilterProtocol {
             let parent = self.parent.expect("non-root has a parent");
             let bytes = acc.encoded_bytes(&self.sizes);
             self.send_phase(fx, parent, NfMsg::GroupAgg(acc), bytes, MsgClass::FILTERING);
+            if self.census_mode() {
+                let census = self.p1_census;
+                self.send_phase(
+                    fx,
+                    parent,
+                    NfMsg::PhaseCensus { phase: 1, census },
+                    CENSUS_BYTES,
+                    MsgClass::FAILOVER,
+                );
+            }
         }
     }
 
@@ -262,9 +428,7 @@ impl NetFilterProtocol {
                 .partial_candidates(&self.local_items, &heavy),
         );
         self.heavy = Some(heavy);
-        if self.p2_pending == 0 {
-            self.phase2_complete(fx);
-        }
+        self.maybe_complete_p2(fx);
     }
 
     fn phase2_complete(&mut self, fx: &mut Effects<Self>) {
@@ -280,7 +444,23 @@ impl NetFilterProtocol {
                 .map(|(&k, &v)| (k, v))
                 .collect();
             frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            fx.deliver(frequent.clone());
+            self.certificate = self.roster.map(|roster| {
+                if self.p1_census == roster && self.p2_census == roster {
+                    Certificate::Complete
+                } else if self.p1_census != roster {
+                    Certificate::Partial {
+                        missing: roster.minus(self.p1_census),
+                    }
+                } else {
+                    Certificate::Partial {
+                        missing: roster.minus(self.p2_census),
+                    }
+                }
+            });
+            fx.deliver(NfDelivery {
+                answer: frequent.clone(),
+                certificate: self.certificate,
+            });
             self.result = Some(frequent);
         } else {
             let parent = self.parent.expect("non-root has a parent");
@@ -292,39 +472,125 @@ impl NetFilterProtocol {
                 bytes,
                 MsgClass::AGGREGATION,
             );
+            if self.census_mode() {
+                let census = self.p2_census;
+                self.send_phase(
+                    fx,
+                    parent,
+                    NfMsg::PhaseCensus { phase: 2, census },
+                    CENSUS_BYTES,
+                    MsgClass::FAILOVER,
+                );
+            }
         }
     }
 
-    /// Handles a deduplicated protocol payload.
+    /// Admission guard for a child's rootward message: the sender must be
+    /// a child and must not have been merged into `seen` already. Returns
+    /// the warning label to emit when the message must be dropped.
+    fn admit(children: &[PeerId], seen: &mut Vec<PeerId>, from: PeerId) -> Option<&'static str> {
+        if !children.contains(&from) {
+            return Some("unexpected-sender");
+        }
+        if seen.contains(&from) {
+            return Some("duplicate-report");
+        }
+        seen.push(from);
+        None
+    }
+
+    /// Handles a deduplicated protocol payload. Every arm is idempotent:
+    /// a duplicate, replayed, or misdirected message is counted as a
+    /// metered warning and dropped, never merged twice and never a panic —
+    /// the property that lets a crashed-and-restarted sender blindly
+    /// re-send its backlog.
     fn on_payload(&mut self, fx: &mut Effects<Self>, from: PeerId, msg: NfMsg) {
         match msg {
             NfMsg::GroupAgg(v) => {
-                assert!(self.p1_pending > 0, "unexpected phase-1 report from {from}");
+                if let Some(warn) = Self::admit(&self.children, &mut self.p1_seen, from) {
+                    fx.warn(warn);
+                    return;
+                }
                 self.p1_acc
                     .as_mut()
                     .expect("phase-1 accumulator initialized at start")
                     .merge_owned(v);
                 self.p1_pending -= 1;
-                if self.p1_pending == 0 {
-                    self.phase1_complete(fx);
-                }
+                self.maybe_complete_p1(fx);
             }
             NfMsg::Heavy(lists) => {
-                assert_eq!(Some(from), self.parent, "heavy lists must come from parent");
+                if Some(from) != self.parent {
+                    fx.warn("unexpected-sender");
+                    return;
+                }
+                if self.heavy.is_some() {
+                    fx.warn("duplicate-report");
+                    return;
+                }
                 let heavy = HeavyGroups::from_lists(lists, self.local_filter.family().groups());
                 self.start_phase2(fx, heavy);
             }
             NfMsg::CandidateAgg(m) => {
-                assert!(self.p2_pending > 0, "unexpected phase-2 report from {from}");
+                if let Some(warn) = Self::admit(&self.children, &mut self.p2_seen, from) {
+                    fx.warn(warn);
+                    return;
+                }
                 self.p2_acc
                     .as_mut()
                     .expect("phase-2 accumulator set when heavy lists arrived")
                     .merge_owned(m);
                 self.p2_pending -= 1;
-                if self.p2_pending == 0 && self.heavy.is_some() {
-                    self.phase2_complete(fx);
+                self.maybe_complete_p2(fx);
+            }
+            NfMsg::PhaseCensus { phase, census } => {
+                if !self.census_mode() || !(1..=2).contains(&phase) {
+                    fx.warn("unexpected-census");
+                    return;
+                }
+                let seen = if phase == 1 {
+                    &mut self.p1_census_seen
+                } else {
+                    &mut self.p2_census_seen
+                };
+                if let Some(warn) = Self::admit(&self.children, seen, from) {
+                    fx.warn(warn);
+                    return;
+                }
+                if phase == 1 {
+                    self.p1_census.merge(census);
+                    self.p1_census_pending -= 1;
+                    self.maybe_complete_p1(fx);
+                } else {
+                    self.p2_census.merge(census);
+                    self.p2_census_pending -= 1;
+                    self.maybe_complete_p2(fx);
                 }
             }
+        }
+    }
+
+    /// A second `Start` is a crash/revival (the DES `Revive` event, or the
+    /// transport supervisor respawning a crashed peer thread). State
+    /// survived — only the in-flight frames and armed timers died with the
+    /// old life — so: bump the reliability incarnation (abandoning the old
+    /// life's frames) and re-send every original this node ever produced,
+    /// charged as RETRANSMIT. Receivers that already merged a copy warn
+    /// and drop it (the `admit` guards); anyone else finally gets it.
+    fn on_revival(&mut self, fx: &mut Effects<Self>) {
+        let Some(link) = self.rel.as_mut() else {
+            // Without the envelope there is no delivery guarantee to
+            // restore (and no incarnation to bump); a revived peer just
+            // resumes with its surviving state.
+            return;
+        };
+        link.on_restart();
+        let backlog = self.resend_buf.clone();
+        for (to, msg, bytes) in backlog {
+            let link = self.rel.as_mut().expect("reliability checked above");
+            let (seq, frame) = link.send_data(to, msg, bytes);
+            let delay = link.rto(seq, 0);
+            fx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+            fx.set_timer(delay, NfTimer::Retransmit(seq));
         }
     }
 
@@ -396,7 +662,7 @@ impl NetFilterProtocol {
 impl SansIo for NetFilterProtocol {
     type Msg = ReliableMsg<NfMsg>;
     type Timer = NfTimer;
-    type Output = Vec<(ItemId, u64)>;
+    type Output = NfDelivery;
 
     fn on_event(
         &mut self,
@@ -410,10 +676,13 @@ impl SansIo for NetFilterProtocol {
                 if !self.is_member {
                     return; // not part of the hierarchy: contributes nothing
                 }
-                self.p1_acc = Some(self.local_filter.group_vector(&self.local_items));
-                if self.p1_pending == 0 {
-                    self.phase1_complete(fx);
+                if self.started {
+                    self.on_revival(fx);
+                    return;
                 }
+                self.started = true;
+                self.p1_acc = Some(self.local_filter.group_vector(&self.local_items));
+                self.maybe_complete_p1(fx);
             }
             NodeEvent::Message { from, msg } => self.on_frame(fx, from, msg),
             NodeEvent::Timer { tag } => self.on_retransmit(fx, tag),
@@ -595,6 +864,173 @@ mod tests {
             frames * RelConfig::default().ack_bytes
         );
         assert_eq!(m.dropped_messages(), 0);
+    }
+
+    #[test]
+    fn certified_run_is_complete_and_meters_census_under_failover() {
+        let data = workload(30, 800, 93);
+        let h = Hierarchy::balanced(30, 3);
+        let cfg = config(20, 2);
+        let instant = NetFilter::new(cfg.clone()).run(&h, &data);
+
+        let mut w = NetFilterProtocol::build_world_certified(
+            &cfg,
+            &h,
+            &data,
+            SimConfig::default().with_seed(6),
+            RelConfig::default(),
+        );
+        w.start();
+        w.run_to_quiescence();
+
+        let root = w.peer(PeerId::new(0));
+        assert_eq!(root.certificate(), Some(Certificate::Complete));
+        assert_eq!(
+            root.delivered(),
+            &[NfDelivery {
+                answer: instant.frequent_items().to_vec(),
+                certificate: Some(Certificate::Complete),
+            }]
+        );
+
+        // The census travels entirely in the failover class: one
+        // PhaseCensus per phase per non-root member, nothing else.
+        let m = w.metrics();
+        assert_eq!(m.class_bytes(MsgClass::FAILOVER), CENSUS_BYTES * 29 * 2);
+        // The paper's phase classes are untouched by certification.
+        let c = instant.cost();
+        assert_eq!(
+            m.class_bytes(MsgClass::FILTERING),
+            c.filtering.iter().sum::<u64>()
+        );
+        assert_eq!(
+            m.class_bytes(MsgClass::DISSEMINATION),
+            c.dissemination.iter().sum::<u64>()
+        );
+        assert_eq!(
+            m.class_bytes(MsgClass::AGGREGATION),
+            c.aggregation.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn inflated_roster_yields_partial_certificate_naming_the_ghost() {
+        // Certify against a roster containing a peer that never runs: the
+        // answer still arrives, but the certificate must demote itself to
+        // `Partial` and name exactly the ghost.
+        let data = workload(12, 200, 97);
+        let h = Hierarchy::balanced(12, 3);
+        let cfg = config(10, 2);
+        let threshold = cfg.threshold.resolve(data.total_value());
+        let ghost = PeerId::new(12);
+        let mut roster = NetFilterProtocol::roster(&h);
+        roster.add(ghost);
+
+        let peers = (0..12)
+            .map(|i| {
+                let p = PeerId::new(i);
+                NetFilterProtocol::new(&cfg, &h, p, data.local_items(p).to_vec(), threshold)
+                    .with_reliability(RelConfig::default())
+                    .with_census(roster)
+            })
+            .collect();
+        let mut w = sansio_world(SimConfig::default().with_seed(9), peers);
+        w.start();
+        w.run_to_quiescence();
+
+        let root = w.peer(PeerId::new(0));
+        assert_eq!(
+            root.certificate(),
+            Some(Certificate::Partial {
+                missing: Census::solo(ghost)
+            })
+        );
+        assert!(root.result().is_some(), "partial coverage still answers");
+    }
+
+    #[test]
+    fn duplicate_and_alien_reports_are_warned_and_dropped() {
+        use ifi_sim::{AllUp, Effect};
+
+        let data = workload(3, 100, 95);
+        let h = Hierarchy::balanced(3, 2);
+        let cfg = config(8, 2);
+        let threshold = cfg.threshold.resolve(data.total_value());
+        let core = |i: usize| {
+            let p = PeerId::new(i);
+            NetFilterProtocol::new(&cfg, &h, p, data.local_items(p).to_vec(), threshold)
+        };
+        let env = AllUp(3);
+        let now = SimTime::ZERO;
+
+        // A leaf's Start yields its phase-1 report to replay at the root.
+        let mut leaf = core(1);
+        let mut fx = Effects::new();
+        leaf.on_event(NodeEvent::Start, now, &env, &mut fx);
+        let report = fx
+            .drain()
+            .find_map(|e| match e {
+                Effect::Send { msg, .. } => Some(msg),
+                _ => None,
+            })
+            .expect("leaf must report on start");
+
+        let mut root = core(0);
+        let mut fx = Effects::new();
+        root.on_event(NodeEvent::Start, now, &env, &mut fx);
+        fx.drain().count();
+
+        let deliver = |root: &mut NetFilterProtocol, from: usize| {
+            let mut fx = Effects::new();
+            root.on_event(
+                NodeEvent::Message {
+                    from: PeerId::new(from),
+                    msg: report.clone(),
+                },
+                now,
+                &env,
+                &mut fx,
+            );
+            fx.drain()
+                .filter_map(|e| match e {
+                    Effect::Warn { label } => Some(label),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+
+        // First report from a real child: accepted.
+        assert!(deliver(&mut root, 1).is_empty());
+        // Replay of the same child's report: warned, not double-merged.
+        assert_eq!(deliver(&mut root, 1), ["duplicate-report"]);
+        // A report from a peer that is not a child: warned, dropped.
+        assert_eq!(deliver(&mut root, 0), ["unexpected-sender"]);
+        // Phase 1 is still waiting on child 2 — the guarded deliveries
+        // must not have decremented the countdown twice.
+        let mut child2 = core(2);
+        let mut fx = Effects::new();
+        child2.on_event(NodeEvent::Start, now, &env, &mut fx);
+        let report2 = fx
+            .drain()
+            .find_map(|e| match e {
+                Effect::Send { msg, .. } => Some(msg),
+                _ => None,
+            })
+            .expect("child 2 must report on start");
+        let mut fx = Effects::new();
+        root.on_event(
+            NodeEvent::Message {
+                from: PeerId::new(2),
+                msg: report2,
+            },
+            now,
+            &env,
+            &mut fx,
+        );
+        // Root now finishes phase 1 and moves to dissemination.
+        assert!(fx
+            .drain()
+            .any(|e| matches!(e, Effect::Send { .. } | Effect::Deliver(_))));
     }
 
     #[test]

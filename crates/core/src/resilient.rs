@@ -97,8 +97,9 @@ const START_BYTES: u64 = 12;
 const STAMP_BYTES: u64 = 8;
 
 /// Piggyback size of a [`Census`] on rootward reports: `u32` count plus
-/// `u64` digest.
-const CENSUS_BYTES: u64 = 12;
+/// `u64` digest. Shared with the one-shot protocol's census mode
+/// (`crate::protocol`), so both engines price certification identically.
+pub const CENSUS_BYTES: u64 = 12;
 
 /// An order-independent summary of a set of contributing peers: how many,
 /// plus the xor of a 64-bit mix of each peer id. Two censuses are equal

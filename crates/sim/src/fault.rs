@@ -10,9 +10,27 @@
 
 use std::collections::BTreeSet;
 
+use crate::id::PeerId;
 use crate::metrics::MsgClass;
 use crate::rng::DetRng;
-use crate::time::Duration;
+use crate::time::{Duration, SimTime};
+
+/// A time-windowed network partition: while `[from, until)` is active,
+/// messages with exactly one endpoint inside `group` are dropped. Checking
+/// consumes no randomness, so adding a partition never perturbs the RNG
+/// stream of the other fault draws.
+#[derive(Debug, Clone)]
+struct Partition {
+    from: SimTime,
+    until: SimTime,
+    group: BTreeSet<PeerId>,
+}
+
+impl Partition {
+    fn severs(&self, now: SimTime, a: PeerId, b: PeerId) -> bool {
+        now >= self.from && now < self.until && (self.group.contains(&a) != self.group.contains(&b))
+    }
+}
 
 /// A declarative description of the faults the network injects.
 ///
@@ -40,6 +58,9 @@ pub struct FaultPlan {
     /// Send sequence numbers dropped deterministically, independent of any
     /// probability above. Useful for targeting a specific message.
     scheduled_drops: BTreeSet<u64>,
+    /// Time-windowed partitions; boundary-crossing messages are dropped
+    /// deterministically while a window is active.
+    partitions: Vec<Partition>,
 }
 
 impl FaultPlan {
@@ -114,6 +135,31 @@ impl FaultPlan {
         self.with_scheduled_drops(picks.into_iter().map(|i| i as u64))
     }
 
+    /// Partitions the network for `[from, until)`: every message with
+    /// exactly one endpoint in `group` is dropped while the window is
+    /// active. Traffic within `group`, and within its complement, is
+    /// untouched. Multiple windows may overlap; a message is dropped if
+    /// any active window severs it.
+    pub fn with_partition(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        group: impl IntoIterator<Item = PeerId>,
+    ) -> Self {
+        self.partitions.push(Partition {
+            from,
+            until,
+            group: group.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Whether an active partition window severs the `(from, to)` pair at
+    /// time `now`. Consumes no randomness.
+    pub fn partitioned(&self, now: SimTime, from: PeerId, to: PeerId) -> bool {
+        self.partitions.iter().any(|p| p.severs(now, from, to))
+    }
+
     /// Whether this plan can never perturb a simulation. The kernel caches
     /// this so the fault path costs nothing when unused.
     pub fn is_inert(&self) -> bool {
@@ -125,6 +171,7 @@ impl FaultPlan {
             && self.duplicate <= 0.0
             && self.spike_probability <= 0.0
             && self.scheduled_drops.is_empty()
+            && self.partitions.is_empty()
     }
 
     /// Effective drop probability for `class`.
@@ -202,5 +249,33 @@ mod tests {
     #[should_panic(expected = "out of [0,1]")]
     fn bad_probability_is_rejected() {
         let _ = FaultPlan::none().with_drop(1.5);
+    }
+
+    #[test]
+    fn partition_severs_only_boundary_crossings_inside_the_window() {
+        let t = SimTime::from_micros;
+        let plan =
+            FaultPlan::none().with_partition(t(100), t(200), [PeerId::new(0), PeerId::new(1)]);
+        assert!(!plan.is_inert());
+        let (a, b, c) = (PeerId::new(0), PeerId::new(1), PeerId::new(2));
+        // Boundary crossings drop, both directions, only inside the window.
+        assert!(plan.partitioned(t(100), a, c));
+        assert!(plan.partitioned(t(199), c, b));
+        assert!(!plan.partitioned(t(99), a, c), "window not yet open");
+        assert!(!plan.partitioned(t(200), a, c), "window half-open at until");
+        // Same-side traffic is untouched.
+        assert!(!plan.partitioned(t(150), a, b));
+        assert!(!plan.partitioned(t(150), c, PeerId::new(3)));
+    }
+
+    #[test]
+    fn overlapping_partitions_compose() {
+        let t = SimTime::from_micros;
+        let plan = FaultPlan::none()
+            .with_partition(t(0), t(100), [PeerId::new(0)])
+            .with_partition(t(50), t(150), [PeerId::new(1)]);
+        assert!(plan.partitioned(t(10), PeerId::new(0), PeerId::new(2)));
+        assert!(plan.partitioned(t(120), PeerId::new(1), PeerId::new(2)));
+        assert!(!plan.partitioned(t(120), PeerId::new(0), PeerId::new(2)));
     }
 }

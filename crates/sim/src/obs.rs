@@ -376,6 +376,16 @@ impl MetricsReport {
         self.phases.iter().map(PhaseMetrics::bytes).sum()
     }
 
+    /// Total bytes charged in `class`, across all phases — the report
+    /// analogue of `Metrics::class_bytes`, for drivers (like the threaded
+    /// transport) that only expose the sink report.
+    pub fn class_bytes(&self, class: MsgClass) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.by_class[class.index()].bytes)
+            .sum()
+    }
+
     /// Total messages across all phases.
     pub fn total_messages(&self) -> u64 {
         self.phases.iter().map(PhaseMetrics::messages).sum()

@@ -84,6 +84,31 @@ impl Default for RelConfig {
     }
 }
 
+/// Backed-off delay before attempt `attempt + 1` of a retried operation:
+/// exponential growth from [`RelConfig::base_rto`] capped at
+/// [`RelConfig::max_rto`], plus up to half a `base_rto` of jitter hashed
+/// deterministically from `(salt, attempt)` — no PRNG draws, so enabling
+/// retries never perturbs a seeded random stream, and synchronized
+/// failures do not retry in lockstep.
+///
+/// This is the single backoff schedule of the workspace: the DES-side
+/// [`ReliableLink::rto`] retransmit path and the transport crate's
+/// connection supervisor both call it, so reconnect pacing over real
+/// sockets is the very policy the simulator models.
+pub fn backoff_delay(cfg: &RelConfig, attempt: u32, salt: u64) -> Duration {
+    let backed_off = cfg
+        .base_rto
+        .saturating_mul(1u64 << attempt.min(16))
+        .min(cfg.max_rto);
+    let jitter_unit = cfg.base_rto.as_micros() / 2;
+    let jitter = if jitter_unit == 0 {
+        0
+    } else {
+        mix64(salt.wrapping_mul(0x9E37).wrapping_add(attempt as u64)) % jitter_unit
+    };
+    backed_off + Duration::from_micros(jitter)
+}
+
 /// A frame awaiting acknowledgement. The original's message class is not
 /// retained: the caller charged it at first send, and every later copy is
 /// [`MsgClass::RETRANSMIT`] by contract.
@@ -244,20 +269,9 @@ impl<M: Clone> ReliableLink<M> {
     /// Timeout before attempt `attempt + 1` of frame `seq`: exponential
     /// backoff capped at `max_rto`, plus up to half a `base_rto` of jitter
     /// hashed deterministically from `(seq, attempt)` so synchronized
-    /// losses do not retransmit in lockstep.
+    /// losses do not retransmit in lockstep (see [`backoff_delay`]).
     pub fn rto(&self, seq: u64, attempt: u32) -> Duration {
-        let backed_off = self
-            .cfg
-            .base_rto
-            .saturating_mul(1u64 << attempt.min(16))
-            .min(self.cfg.max_rto);
-        let jitter_unit = self.cfg.base_rto.as_micros() / 2;
-        let jitter = if jitter_unit == 0 {
-            0
-        } else {
-            mix64(seq.wrapping_mul(0x9E37).wrapping_add(attempt as u64)) % jitter_unit
-        };
-        backed_off + Duration::from_micros(jitter)
+        backoff_delay(&self.cfg, attempt, seq)
     }
 
     /// Receiver side: records a `Data` frame from `from`, stamped with the

@@ -186,6 +186,13 @@ impl<M: std::fmt::Debug + Clone, T: std::fmt::Debug> Kernel<M, T> {
                 .push(self.now + delay, EventKind::Deliver { from, to, msg });
             return seq;
         }
+        // Partition windows are checked before any probabilistic draw and
+        // consume no randomness, so plans without partitions keep their
+        // exact RNG stream.
+        if self.config.faults.partitioned(self.now, from, to) {
+            self.metrics.record_drop();
+            return seq;
+        }
         let class_drop = self.config.faults.drop_for(class);
         if self.config.faults.drops_seq(seq) || (class_drop > 0.0 && self.rng.chance(class_drop)) {
             self.metrics.record_drop();

@@ -31,13 +31,36 @@
 //! "the simulator's cost curves describe the real system" an assertion
 //! rather than a hope. Frame overhead of the TCP hub (12-byte routing
 //! header) is observable separately via [`RunOutcome::frames_sent`].
+//!
+//! # Chaos
+//!
+//! Both fabrics accept a seed-replayable [`ChaosPlan`] — the transport
+//! sibling of the simulator's `FaultPlan` — via [`run_channel_chaos`] /
+//! [`run_tcp_chaos`]: probabilistic frame drops, duplication, and delays;
+//! wall-clock partition windows; scheduled connection resets; and
+//! peer-thread crashes with delayed restarts. A main-thread supervisor
+//! owns the fault timeline: it tears crashed peers down (mailbox and
+//! armed timers lost, link severed), respawns them after their downtime,
+//! and reconnects severed links under capped exponential backoff with
+//! deterministic jitter ([`Backoff`], reusing the reliability envelope's
+//! RTO schedule) confirmed by ping/pong health checks. Mailboxes are
+//! bounded ([`MAILBOX_CAP`]): a full mailbox load-sheds the frame with a
+//! metered `mailbox-shed` warning instead of blocking the sender, and a
+//! reliability envelope recovers the shed frame like any other loss.
+//! [`ChaosPlan::fault_plan`] maps a plan onto the DES vocabulary, which
+//! is what lets the chaos-equivalence suite hold both drivers to the
+//! same certified answer under the same faults.
 
+mod chaos;
 mod runtime;
+mod supervisor;
 mod tcp;
 mod wire;
 
-pub use runtime::{run_channel, RunOutcome, IDLE_WAIT};
-pub use tcp::run_tcp;
+pub use chaos::{ChaosPartition, ChaosPlan, CrashPoint, ResetPoint};
+pub use runtime::{run_channel, run_channel_chaos, RunOutcome, IDLE_WAIT, MAILBOX_CAP};
+pub use supervisor::Backoff;
+pub use tcp::{run_tcp, run_tcp_chaos};
 pub use wire::{WireCodec, WireError};
 
 // Re-exported so transport callers need not depend on `ifi-sim` directly
@@ -183,6 +206,84 @@ mod tests {
         )
         .expect("tcp fabric setup failed");
         check_outcome(&outcome, n, laps);
+    }
+
+    /// A codec that encodes fine but rejects everything on decode —
+    /// simulating payload corruption between two live sockets.
+    struct GarbageWire;
+
+    impl WireCodec<u32> for GarbageWire {
+        fn encode(&self, msg: &u32) -> Result<Vec<u8>, WireError> {
+            Ok(msg.to_be_bytes().to_vec())
+        }
+
+        fn decode(&self, _bytes: &[u8]) -> Result<u32, WireError> {
+            Err(WireError("corrupted payload".into()))
+        }
+    }
+
+    #[test]
+    fn undecodable_payloads_warn_and_disconnect_without_panicking() {
+        let outcome = run_tcp(
+            Ring::population(2, 1),
+            GarbageWire,
+            1,
+            StdDuration::from_secs(2),
+        )
+        .expect("tcp fabric setup failed");
+        // The token never survives decoding, so nothing is delivered —
+        // but the run tears down cleanly and the rejection is metered.
+        assert!(outcome.outputs.is_empty());
+        assert!(
+            outcome
+                .report
+                .warnings
+                .iter()
+                .any(|(l, _)| l == "undecodable-frame"),
+            "expected an undecodable-frame warning, got {:?}",
+            outcome.report.warnings
+        );
+    }
+
+    /// Regression for runaway teardown: a run that hits `max_wait` with
+    /// peers still live (armed timers, queued traffic) must still join
+    /// every thread and hand all cores back, promptly.
+    #[test]
+    fn timed_out_runs_join_all_threads_within_the_deadline() {
+        #[derive(Debug)]
+        struct Idler;
+        #[derive(Debug)]
+        struct Tick;
+        impl SansIo for Idler {
+            type Msg = ();
+            type Timer = Tick;
+            type Output = ();
+            fn on_event(
+                &mut self,
+                ev: NodeEvent<(), Tick>,
+                _now: SimTime,
+                _env: &dyn Membership,
+                fx: &mut Effects<Self>,
+            ) {
+                // Re-arm forever; never deliver.
+                if matches!(ev, NodeEvent::Start | NodeEvent::Timer { .. }) {
+                    fx.set_timer(Duration::from_millis(10), Tick);
+                }
+            }
+        }
+        let started = std::time::Instant::now();
+        let outcome = run_channel(
+            (0..4).map(|_| Idler).collect(),
+            1,
+            StdDuration::from_millis(300),
+        );
+        assert!(outcome.outputs.is_empty());
+        assert_eq!(outcome.nodes.len(), 4, "every core must be handed back");
+        assert!(
+            started.elapsed() < StdDuration::from_secs(10),
+            "teardown took {:?} — threads did not join promptly",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -95,7 +95,7 @@ fn main() {
     let channel = run_channel(cores(), 1, wait);
     println!(
         "channel: {:>2} frequent items, {} B metered, {} frames, {:.1} ms",
-        channel.outputs[0].1.len(),
+        channel.outputs[0].1.answer.len(),
         channel.report.total_bytes(),
         channel.frames_sent,
         channel.elapsed.as_secs_f64() * 1e3
@@ -105,15 +105,15 @@ fn main() {
         .expect("tcp loopback fabric setup failed");
     println!(
         "tcp:     {:>2} frequent items, {} B metered, {} frames, {:.1} ms",
-        tcp.outputs[0].1.len(),
+        tcp.outputs[0].1.answer.len(),
         tcp.report.total_bytes(),
         tcp.frames_sent,
         tcp.elapsed.as_secs_f64() * 1e3
     );
 
     // 4. Reconcile: same answer, same bytes in every paper phase.
-    assert_eq!(channel.outputs[0].1, des_answer);
-    assert_eq!(tcp.outputs[0].1, des_answer);
+    assert_eq!(channel.outputs[0].1.answer, des_answer);
+    assert_eq!(tcp.outputs[0].1.answer, des_answer);
     println!("\nper-phase byte reconciliation (DES / channel / tcp):");
     let phase = |r: &MetricsReport, p: &str| r.phase_bytes(p);
     for p in PAPER_PHASES {

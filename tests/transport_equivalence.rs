@@ -18,7 +18,7 @@ use ifi_overlay::Topology;
 use ifi_sim::{DetRng, MetricsReport, PeerId, SimConfig};
 use ifi_transport::{run_channel, run_tcp};
 use ifi_workload::{ItemId, SystemData, WorkloadParams};
-use netfilter::protocol::NetFilterProtocol;
+use netfilter::protocol::{NetFilterProtocol, NfDelivery};
 use netfilter::wire::NfWire;
 use netfilter::{NetFilterConfig, Threshold};
 
@@ -95,12 +95,15 @@ fn assert_reconciles(
     s: &Scenario,
     des_answer: &[(ItemId, u64)],
     des_report: &MetricsReport,
-    outputs: &[(PeerId, Vec<(ItemId, u64)>)],
+    outputs: &[(PeerId, NfDelivery)],
     report: &MetricsReport,
 ) {
     assert_eq!(outputs.len(), 1, "exactly the root must deliver a result");
     assert_eq!(outputs[0].0, s.hierarchy.root());
-    assert_eq!(outputs[0].1, des_answer, "answers diverge across drivers");
+    assert_eq!(
+        outputs[0].1.answer, des_answer,
+        "answers diverge across drivers"
+    );
     for phase in PAPER_PHASES {
         assert_eq!(
             report.phase_bytes(phase),
