@@ -1,0 +1,55 @@
+//! CI smoke pass over the `ifi-simcheck` **approximate-engine** registry.
+//!
+//! The exact twin of [`crate::simcheck_smoke`], pointed at
+//! [`ifi_simcheck::approx_cases`]: the three clean engine cases (sketch
+//! ε-bound, top-k recall, threshold soundness) must survive their full
+//! exploration budgets with a healthy distinct-schedule count, and the
+//! three mis-tuned negatives must be caught, shrunk, replayed, and
+//! serialized to parseable artifacts. Run via `experiments approx-smoke`.
+
+use std::path::Path;
+
+use ifi_simcheck::approx_cases;
+
+use crate::simcheck_smoke::{bug_checks, clean_checks, SmokeRun};
+
+/// Explores every approximate-engine case and writes negative-case
+/// artifacts to `out_dir`.
+pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<SmokeRun> {
+    approx_cases(seed)
+        .iter()
+        .map(|case| {
+            let report = case.explore();
+            let checks = if case.expect_violation.is_none() {
+                clean_checks(case, &report)
+            } else {
+                bug_checks(case, &report, out_dir)
+            };
+            SmokeRun {
+                name: case.name,
+                checks,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full CI smoke at the default seed: every engine's claim holds
+    /// across its exploration budget, and every mis-tuned negative is
+    /// caught, shrunk, replayed, and serialized.
+    #[test]
+    fn approx_smoke_passes_at_the_default_seed() {
+        let dir = std::env::temp_dir().join("ifi-approx-smoke-test");
+        let runs = run_smoke(20080617, &dir);
+        assert_eq!(runs.len(), 6);
+        for run in &runs {
+            for c in &run.checks {
+                assert!(c.holds, "{}: {} ({})", run.name, c.claim, c.detail);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

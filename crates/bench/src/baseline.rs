@@ -25,6 +25,10 @@ use ifi_hierarchy::Hierarchy;
 use ifi_overlay::Topology;
 use ifi_sim::{DetRng, EventSink, MetricsReport, PeerId};
 use ifi_workload::{SystemData, WorkloadParams};
+use netfilter::engines::{ApproxEngine, SketchEngine, ThresholdEngine, TopKEngine};
+use netfilter::local_threshold::LocalThresholdConfig;
+use netfilter::sketch::SketchConfig;
+use netfilter::topk::TopKConfig;
 use netfilter::{gossip_filter, NetFilter, NetFilterConfig, Threshold, WireSizes};
 
 /// Seed shared by every baseline scenario (the harness default).
@@ -153,16 +157,64 @@ fn sampling_scenario() -> BaselineRun {
     }
 }
 
+/// One approximate-engine scenario: the engine's reference tuning run
+/// to quiescence under the seeded DES; the snapshot pins its per-class
+/// traffic and answer digest.
+fn approx_scenario(name: &'static str, engine: &dyn ApproxEngine, threshold: u64) -> BaselineRun {
+    let data = workload(1.0);
+    let h = Hierarchy::balanced(PEERS, 3);
+    let sim = ifi_sim::SimConfig::default().with_seed(BASELINE_SEED);
+    let out = engine.run_des(&h, &data, sim);
+    BaselineRun {
+        name,
+        report: out.report,
+        threshold,
+        result_items: out.items.len(),
+        result_checksum: digest(&out.items),
+    }
+}
+
+fn approx_scenarios() -> Vec<BaselineRun> {
+    let data = workload(1.0);
+    let truth = ifi_workload::GroundTruth::compute(&data);
+    let t = Threshold::Ratio(0.01).resolve(data.total_value());
+    let heavy = truth.globals()[0].0;
+    vec![
+        approx_scenario(
+            "approx-sketch-c32",
+            &SketchEngine {
+                config: SketchConfig::new(32),
+            },
+            t,
+        ),
+        approx_scenario(
+            "approx-topk-k10",
+            &TopKEngine::new(TopKConfig::lossless(10)),
+            0,
+        ),
+        approx_scenario(
+            "approx-threshold",
+            &ThresholdEngine {
+                config: LocalThresholdConfig::new(Threshold::Ratio(0.01)),
+                item: heavy,
+            },
+            t,
+        ),
+    ]
+}
+
 /// Runs every baseline scenario. Deterministic: two invocations in the
 /// same build produce identical [`BaselineRun::snapshot`] strings.
 pub fn run_all() -> Vec<BaselineRun> {
-    vec![
+    let mut runs = vec![
         engine_scenario("netfilter-g100-f3", 1.0, 100, 3, 0.01),
         engine_scenario("netfilter-g20-f2", 1.0, 20, 2, 0.01),
         engine_scenario("netfilter-theta08", 0.8, 100, 3, 0.01),
         gossip_scenario(),
         sampling_scenario(),
-    ]
+    ];
+    runs.extend(approx_scenarios());
+    runs
 }
 
 /// Writes (or refreshes) every scenario snapshot as

@@ -9,6 +9,8 @@
 //! cargo run -p ifi-bench --release --bin experiments -- loss-smoke --drop 0.10
 //! cargo run -p ifi-bench --release --bin experiments -- churn-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-smoke
+//! cargo run -p ifi-bench --release --bin experiments -- approx-smoke
+//! cargo run -p ifi-bench --release --bin experiments -- approx-sweep --out results/
 //! cargo run -p ifi-bench --release --bin experiments -- transport-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- chaos-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-replay results/simcheck/bug-churn-race-20080617.repro
@@ -22,17 +24,17 @@ use std::process::ExitCode;
 
 use ifi_bench::output::DataFile;
 use ifi_bench::{
-    ablation, baseline, chaos_smoke, churn, depth, fig5, fig6, fig7, fig8, loss, perfbench,
-    report_checks, simcheck_smoke, transport_smoke, Scale, ShapeCheck,
+    ablation, approx_smoke, approx_sweep, baseline, chaos_smoke, churn, depth, fig5, fig6, fig7,
+    fig8, loss, perfbench, report_checks, simcheck_smoke, transport_smoke, Scale, ShapeCheck,
 };
-use ifi_simcheck::{find_case, parse_artifact};
+use ifi_simcheck::{find_approx_case, find_case, parse_artifact};
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [fig5] [fig6] [fig7] [fig8] [ablation] [depth] [all]\n\
          \x20                  [check-baselines] [write-baselines] [loss-smoke] [churn-smoke]\n\
          \x20                  [simcheck-smoke] [simcheck-replay <artifact>] [transport-smoke]\n\
-         \x20                  [chaos-smoke]\n\
+         \x20                  [chaos-smoke] [approx-smoke] [approx-sweep]\n\
          \x20                  [bench [--write-baselines] [--check] [--only <names>]]\n\
          \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
          \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]\n\
@@ -139,9 +141,8 @@ fn main() -> ExitCode {
             "--check" => bench_check = true,
             "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
             | "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke"
-            | "simcheck-smoke" | "transport-smoke" | "chaos-smoke" | "bench" => {
-                which.push(Box::leak(arg.clone().into_boxed_str()))
-            }
+            | "simcheck-smoke" | "transport-smoke" | "chaos-smoke" | "approx-smoke"
+            | "approx-sweep" | "bench" => which.push(Box::leak(arg.clone().into_boxed_str())),
             _ => usage(),
         }
     }
@@ -293,6 +294,25 @@ fn main() -> ExitCode {
             all_ok &= report_checks(&format!("simcheck — {}", run.name), &run.checks);
         }
     }
+    if which.contains(&"approx-smoke") {
+        println!("approx smoke — engine error claims vs schedule exploration, seed {seed}");
+        let artifacts = out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/simcheck"));
+        let runs = approx_smoke::run_smoke(seed, &artifacts);
+        for run in &runs {
+            all_ok &= report_checks(&format!("approx — {}", run.name), &run.checks);
+        }
+    }
+    if which.contains(&"approx-sweep") {
+        println!("approx sweep — accuracy vs bytes across the engine family, seed {seed}");
+        let sweep = approx_sweep::run(seed);
+        sweep.print();
+        for data in sweep.to_data() {
+            dump(&out, &data);
+        }
+        all_ok &= report_checks("approx sweep", &sweep.checks());
+    }
     if which.contains(&"bench") {
         println!("perf benchmarks — fixed seeds, warmup + median-of-k, counters exact");
         let reports = match &bench_only {
@@ -371,7 +391,9 @@ fn main() -> ExitCode {
         println!("simcheck replay — {}", path.display());
         let check = match parse_artifact(&path) {
             Err(e) => ShapeCheck::new("artifact parses", false, e),
-            Ok(artifact) => match find_case(&artifact.case, artifact.seed) {
+            Ok(artifact) => match find_case(&artifact.case, artifact.seed)
+                .or_else(|| find_approx_case(&artifact.case, artifact.seed))
+            {
                 None => ShapeCheck::new(
                     "artifact names a registered case",
                     false,
@@ -409,6 +431,8 @@ fn main() -> ExitCode {
                 | "simcheck-replay"
                 | "transport-smoke"
                 | "chaos-smoke"
+                | "approx-smoke"
+                | "approx-sweep"
                 | "bench"
         )
     }) {

@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod approx_smoke;
+pub mod approx_sweep;
 pub mod baseline;
 pub mod chaos_smoke;
 pub mod churn;

@@ -25,7 +25,7 @@ pub struct SmokeRun {
     pub checks: Vec<ShapeCheck>,
 }
 
-fn clean_checks(case: &Case, report: &ExploreReport) -> Vec<ShapeCheck> {
+pub(crate) fn clean_checks(case: &Case, report: &ExploreReport) -> Vec<ShapeCheck> {
     let mut checks = Vec::new();
     let detail = match &report.violation {
         None => format!(
@@ -56,7 +56,7 @@ fn clean_checks(case: &Case, report: &ExploreReport) -> Vec<ShapeCheck> {
     checks
 }
 
-fn bug_checks(case: &Case, report: &ExploreReport, out_dir: &Path) -> Vec<ShapeCheck> {
+pub(crate) fn bug_checks(case: &Case, report: &ExploreReport, out_dir: &Path) -> Vec<ShapeCheck> {
     let expected = case.expect_violation.expect("bug case");
     let mut checks = Vec::new();
     let Some(found) = &report.violation else {

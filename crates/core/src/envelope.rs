@@ -1,0 +1,341 @@
+//! Shared ack/retransmit plumbing for the approximate engine family.
+//!
+//! `NetFilterProtocol` carries its reliability envelope inline (it predates
+//! this module and its byte stream is pinned by committed baselines); the
+//! three approximate engines — [`sketch`](crate::sketch),
+//! [`topk`](crate::topk), and [`local_threshold`](crate::local_threshold) —
+//! share this one [`Envelope`] instead. The contract is identical to the
+//! exact engine's (see `protocol.rs` and DESIGN.md §8):
+//!
+//! * the **original** transmission is charged once, in the engine's own
+//!   phase class, so accuracy-vs-bytes curves stay loss-independent;
+//! * every **ack** and **retransmission** is charged to
+//!   [`MsgClass::RETRANSMIT`];
+//! * receivers dedup by `(sender, incarnation, seq)`, so a retransmitted or
+//!   network-duplicated summary is never merged twice;
+//! * a revival (second `Start`) bumps the incarnation and re-sends the full
+//!   original backlog as RETRANSMIT — the crash lost every armed timer, so
+//!   the backlog is what keeps delivery guaranteed across restarts.
+//!
+//! An engine opts in by using [`ReliableMsg`] of its payload as its
+//! [`SansIo::Msg`] and [`RetransmitTimer`] as its [`SansIo::Timer`], then
+//! routing every send through [`Envelope::send`], every incoming frame
+//! through [`Envelope::on_frame`], every timer through
+//! [`Envelope::on_retransmit`], and a revival through
+//! [`Envelope::on_revival`].
+
+use std::fmt::Debug;
+
+use ifi_sim::{
+    Effects, MsgClass, PeerId, RelConfig, ReliableLink, ReliableMsg, Retransmit, SansIo,
+};
+
+/// The single timer tag of an envelope-driven engine: a retransmit check
+/// for the frame numbered `.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitTimer(pub u64);
+
+/// Optional reliability envelope around an engine's payload type `M`.
+///
+/// `Envelope::plain()` runs fire-and-forget (zero overhead, zero extra
+/// traffic); `Envelope::reliable(cfg)` arms the full ack/retransmit/revival
+/// machinery of [`ReliableLink`].
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// `None` = fire-and-forget.
+    link: Option<ReliableLink<M>>,
+    /// Originals produced so far `(to, msg, bytes)`, retained only under
+    /// reliability: a revival re-sends them all.
+    resend_buf: Vec<(PeerId, M, u64)>,
+}
+
+impl<M: Debug + Clone> Envelope<M> {
+    /// A fire-and-forget envelope: sends go out as [`ReliableMsg::Plain`].
+    pub fn plain() -> Self {
+        Envelope {
+            link: None,
+            resend_buf: Vec::new(),
+        }
+    }
+
+    /// An ack/retransmit envelope with the given tuning.
+    pub fn reliable(cfg: RelConfig) -> Self {
+        Envelope {
+            link: Some(ReliableLink::new(cfg)),
+            resend_buf: Vec::new(),
+        }
+    }
+
+    /// Whether the ack/retransmit machinery is armed.
+    pub fn is_reliable(&self) -> bool {
+        self.link.is_some()
+    }
+
+    /// Sends `msg` to `to`, through the envelope when reliability is on.
+    /// The original is charged `bytes` in `class` either way.
+    pub fn send<P>(&mut self, fx: &mut Effects<P>, to: PeerId, msg: M, bytes: u64, class: MsgClass)
+    where
+        P: SansIo<Msg = ReliableMsg<M>, Timer = RetransmitTimer>,
+    {
+        match self.link.as_mut() {
+            None => fx.send(to, ReliableMsg::Plain(msg), bytes, class),
+            Some(link) => {
+                let (seq, frame) = link.send_data(to, msg.clone(), bytes);
+                let delay = link.rto(seq, 0);
+                fx.send(to, frame, bytes, class);
+                fx.set_timer(delay, RetransmitTimer(seq));
+                self.resend_buf.push((to, msg, bytes));
+            }
+        }
+    }
+
+    /// Unwraps an incoming frame. Returns the payload when it must reach
+    /// the engine logic, `None` for acks, duplicates, and malformed frames
+    /// (warned, never a panic). Sequenced frames are always acked — a
+    /// duplicate usually means the first ack was lost.
+    pub fn on_frame<P>(
+        &mut self,
+        fx: &mut Effects<P>,
+        from: PeerId,
+        frame: ReliableMsg<M>,
+    ) -> Option<M>
+    where
+        P: SansIo<Msg = ReliableMsg<M>, Timer = RetransmitTimer>,
+    {
+        match frame {
+            ReliableMsg::Plain(m) => Some(m),
+            ReliableMsg::Data { inc, seq, payload } => {
+                let Some(link) = self.link.as_mut() else {
+                    // A sequenced frame at a peer with no envelope is a
+                    // configuration mismatch between the two ends; drop it
+                    // rather than take the node down.
+                    fx.warn("sequenced-frame-without-reliability");
+                    return None;
+                };
+                let ack_bytes = link.cfg().ack_bytes;
+                let fresh = link.accept(from, inc, seq);
+                fx.send(
+                    from,
+                    ReliableMsg::Ack { inc, seq },
+                    ack_bytes,
+                    MsgClass::RETRANSMIT,
+                );
+                fresh.then_some(payload)
+            }
+            ReliableMsg::Ack { inc, seq } => {
+                if let Some(link) = self.link.as_mut() {
+                    link.on_ack(from, inc, seq);
+                }
+                None
+            }
+        }
+    }
+
+    /// Handles a retransmit-timer firing: resends and re-arms while the
+    /// frame is unacknowledged, goes quiet once acked, and warns when
+    /// retries exhaust (a one-shot engine run has no coarser repair to
+    /// escalate to).
+    pub fn on_retransmit<P>(&mut self, fx: &mut Effects<P>, timer: RetransmitTimer)
+    where
+        P: SansIo<Msg = ReliableMsg<M>, Timer = RetransmitTimer>,
+    {
+        let RetransmitTimer(seq) = timer;
+        let Some(link) = self.link.as_mut() else {
+            fx.warn("retransmit-timer-without-reliability");
+            return;
+        };
+        match link.retransmit(seq) {
+            Retransmit::Resend {
+                to,
+                frame,
+                bytes,
+                next_delay,
+            } => {
+                fx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+                fx.set_timer(next_delay, RetransmitTimer(seq));
+            }
+            Retransmit::Acked => {}
+            Retransmit::GaveUp { .. } => fx.warn("retransmit-gave-up"),
+        }
+    }
+
+    /// Handles a crash/revival (second `Start`): bumps the incarnation and
+    /// re-sends the whole original backlog as RETRANSMIT. Receivers that
+    /// already merged a copy suppress it by dedup window or idempotency
+    /// guard; anyone else finally gets it. A no-op without reliability —
+    /// there is no delivery guarantee to restore.
+    pub fn on_revival<P>(&mut self, fx: &mut Effects<P>)
+    where
+        P: SansIo<Msg = ReliableMsg<M>, Timer = RetransmitTimer>,
+    {
+        let Some(link) = self.link.as_mut() else {
+            return;
+        };
+        link.on_restart();
+        for (to, msg, bytes) in self.resend_buf.clone() {
+            let link = self.link.as_mut().expect("reliability checked above");
+            let (seq, frame) = link.send_data(to, msg, bytes);
+            let delay = link.rto(seq, 0);
+            fx.send(to, frame, bytes, MsgClass::RETRANSMIT);
+            fx.set_timer(delay, RetransmitTimer(seq));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifi_sim::{Effect, Membership, NodeEvent, SimTime};
+
+    /// Minimal envelope-driven echo core, just enough to type `Effects`.
+    #[derive(Debug)]
+    struct Echo {
+        env: Envelope<u32>,
+        got: Vec<u32>,
+    }
+
+    impl SansIo for Echo {
+        type Msg = ReliableMsg<u32>;
+        type Timer = RetransmitTimer;
+        type Output = ();
+
+        fn on_event(
+            &mut self,
+            ev: NodeEvent<Self::Msg, Self::Timer>,
+            _now: SimTime,
+            _env: &dyn Membership,
+            fx: &mut Effects<Self>,
+        ) {
+            match ev {
+                NodeEvent::Start => {}
+                NodeEvent::Message { from, msg } => {
+                    if let Some(payload) = self.env.on_frame(fx, from, msg) {
+                        self.got.push(payload);
+                    }
+                }
+                NodeEvent::Timer { tag } => self.env.on_retransmit(fx, tag),
+            }
+        }
+    }
+
+    fn echo(env: Envelope<u32>) -> Echo {
+        Echo {
+            env,
+            got: Vec::new(),
+        }
+    }
+
+    fn sends(fx: &mut Effects<Echo>) -> Vec<(PeerId, ReliableMsg<u32>, u64, MsgClass)> {
+        fx.drain()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    msg,
+                    bytes,
+                    class,
+                } => Some((to, msg, bytes, class)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_mode_is_fire_and_forget() {
+        let mut node = echo(Envelope::plain());
+        let mut fx: Effects<Echo> = Effects::new();
+        node.env
+            .send(&mut fx, PeerId::new(1), 7, 16, MsgClass::SKETCH);
+        let out = sends(&mut fx);
+        assert_eq!(
+            out,
+            vec![(PeerId::new(1), ReliableMsg::Plain(7), 16, MsgClass::SKETCH)]
+        );
+    }
+
+    #[test]
+    fn reliable_send_frames_arms_a_timer_and_dedups_on_receipt() {
+        let mut sender = echo(Envelope::reliable(RelConfig::default()));
+        let mut receiver = echo(Envelope::reliable(RelConfig::default()));
+        let mut fx: Effects<Echo> = Effects::new();
+        sender
+            .env
+            .send(&mut fx, PeerId::new(1), 42, 16, MsgClass::TOPK);
+        let mut saw_timer = false;
+        let mut frame: Option<ReliableMsg<u32>> = None;
+        for e in fx.drain() {
+            match e {
+                Effect::Send { msg, class, .. } => {
+                    assert_eq!(class, MsgClass::TOPK, "original keeps its phase class");
+                    frame = Some(msg);
+                }
+                Effect::SetTimer { .. } => saw_timer = true,
+                other => panic!("unexpected effect {other:?}"),
+            }
+        }
+        assert!(saw_timer, "reliable send must arm a retransmit timer");
+        let frame = frame.expect("reliable send must emit a frame");
+
+        // First delivery dispatches and acks; the duplicate only acks.
+        let mut rfx: Effects<Echo> = Effects::new();
+        let p0 = PeerId::new(0);
+        assert_eq!(receiver.env.on_frame(&mut rfx, p0, frame.clone()), Some(42));
+        assert_eq!(receiver.env.on_frame(&mut rfx, p0, frame), None);
+        let acks = sends(&mut rfx);
+        assert_eq!(acks.len(), 2, "every sequenced frame is acked");
+        for (_, msg, _, class) in acks {
+            assert!(matches!(msg, ReliableMsg::Ack { .. }));
+            assert_eq!(class, MsgClass::RETRANSMIT);
+        }
+    }
+
+    #[test]
+    fn retransmit_stops_after_ack() {
+        let mut sender = echo(Envelope::reliable(RelConfig::default()));
+        let mut fx: Effects<Echo> = Effects::new();
+        sender
+            .env
+            .send(&mut fx, PeerId::new(1), 9, 8, MsgClass::THRESHOLD);
+        fx.drain().count();
+
+        // Unacked: the timer resends (as RETRANSMIT) and re-arms.
+        sender.env.on_retransmit(&mut fx, RetransmitTimer(0));
+        let resent = sends(&mut fx);
+        assert_eq!(resent.len(), 1);
+        assert_eq!(resent[0].3, MsgClass::RETRANSMIT);
+
+        // Acked: the timer goes quiet.
+        let ack = ReliableMsg::Ack { inc: 0, seq: 0 };
+        assert_eq!(sender.env.on_frame(&mut fx, PeerId::new(1), ack), None);
+        sender.env.on_retransmit(&mut fx, RetransmitTimer(0));
+        assert!(sends(&mut fx).is_empty(), "acked frame retransmitted");
+    }
+
+    #[test]
+    fn revival_resends_the_backlog_under_a_new_incarnation() {
+        let mut sender = echo(Envelope::reliable(RelConfig::default()));
+        let mut fx: Effects<Echo> = Effects::new();
+        sender
+            .env
+            .send(&mut fx, PeerId::new(1), 1, 8, MsgClass::SKETCH);
+        sender
+            .env
+            .send(&mut fx, PeerId::new(2), 2, 8, MsgClass::SKETCH);
+        fx.drain().count();
+
+        sender.env.on_revival(&mut fx);
+        let resent = sends(&mut fx);
+        assert_eq!(resent.len(), 2, "whole backlog resent on revival");
+        for (_, msg, _, class) in resent {
+            assert_eq!(class, MsgClass::RETRANSMIT);
+            assert!(
+                matches!(msg, ReliableMsg::Data { inc: 1, .. }),
+                "revival frames must carry the bumped incarnation"
+            );
+        }
+
+        // Plain mode has nothing to restore.
+        let mut plain = echo(Envelope::plain());
+        plain.env.on_revival(&mut fx);
+        assert!(sends(&mut fx).is_empty());
+    }
+}

@@ -41,7 +41,7 @@
 use ifi_agg::{gossip, hierarchical, MapSum};
 use ifi_hierarchy::Hierarchy;
 use ifi_overlay::Topology;
-use ifi_sim::{DetRng, EventSink, MsgClass, PeerId};
+use ifi_sim::{DetRng, EventSink, MsgClass, PeerId, PeerMap};
 use ifi_workload::{ItemId, SystemData};
 
 use crate::config::NetFilterConfig;
@@ -191,26 +191,29 @@ pub fn run_with_sink(
 
     // --- Each peer derives heavy groups from its own estimate. ---
     let deflated = (threshold as f64 * (1.0 - config.margin)).max(1.0);
-    let heavy_at: Vec<HeavyGroups> = (0..n)
-        .map(|p| {
-            let est = out.sum_estimates(p);
-            let mut lists = vec![Vec::new(); base.filters as usize];
-            for (i, list) in lists.iter_mut().enumerate() {
-                for grp in 0..base.filter_size {
-                    let slot = family.slot(i as u32, grp);
-                    if est[slot] >= deflated {
-                        list.push(grp);
-                    }
+    let mut heavy_at: PeerMap<HeavyGroups> = PeerMap::with_capacity(n);
+    for p in 0..n {
+        let est = out.sum_estimates(p);
+        let mut lists = vec![Vec::new(); base.filters as usize];
+        for (i, list) in lists.iter_mut().enumerate() {
+            for grp in 0..base.filter_size {
+                let slot = family.slot(i as u32, grp);
+                if est[slot] >= deflated {
+                    list.push(grp);
                 }
             }
-            HeavyGroups::from_lists(lists, base.filter_size)
-        })
-        .collect();
+        }
+        heavy_at.insert(
+            PeerId::new(p),
+            HeavyGroups::from_lists(lists, base.filter_size),
+        );
+    }
 
     // --- Phase 2: exact verification along the hierarchy, each peer
     // materializing from its own heavy view. ---
     let phase2 = hierarchical::aggregate(hierarchy, &sizes, |p| {
-        local_filter.partial_candidates(data.local_items(p), &heavy_at[p.index()])
+        let heavy = heavy_at.get(p).expect("every peer derived a heavy view");
+        local_filter.partial_candidates(data.local_items(p), heavy)
     });
     sink.record_vec(
         phases::AGGREGATION,

@@ -45,7 +45,10 @@
 //! | [`approx`] | an ε-approximate comparator in the style of the related work |
 //! | [`resilient`] | epoch-based re-query over a self-repairing hierarchy |
 //! | [`windowed`] | sliding-window IFI (the paper's "past week" use case) |
-//! | [`topk`] | exact top-k retrieval by threshold search over IFI |
+//! | [`topk`] | top-k engine: threshold-algorithm pruning + exact verification |
+//! | [`sketch`] | gossip sketch-merge engine (Space-Saving summaries) |
+//! | [`local_threshold`] | zero-traffic "is `v_x ≥ t`" comparator |
+//! | [`engines`] | the common trait over the approximate engine family |
 //! | [`recruitment`] | stable-peer recruitment pipeline (§III-A) |
 //! | [`analysis`] | cost models and optima: Eq. 1, 2, 3, 4, 6 |
 //! | [`tuning`] | practical optimal settings via sampling (§IV-E) |
@@ -84,15 +87,19 @@ pub mod approx;
 pub mod codec;
 mod config;
 mod engine;
+pub mod engines;
+pub mod envelope;
 mod filter;
 pub mod gossip_filter;
 mod hashing;
+pub mod local_threshold;
 pub mod naive;
 pub mod phases;
 pub mod protocol;
 pub mod recruitment;
 pub mod requests;
 pub mod resilient;
+pub mod sketch;
 pub mod topk;
 pub mod tuning;
 pub mod windowed;

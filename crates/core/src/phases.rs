@@ -33,6 +33,18 @@ pub const FAILOVER: &str = "failover";
 /// the [`MsgClass::RETRANSMIT`](ifi_sim::MsgClass::RETRANSMIT) label for
 /// the same fallback-attribution reason as the phase labels above.
 pub const RETRANSMIT: &str = "retransmit";
+/// Sketch-merge engine traffic: capacity-bounded Space-Saving summaries
+/// moving rootward. Equals the [`MsgClass::SKETCH`](ifi_sim::MsgClass::SKETCH)
+/// label for the same fallback-attribution reason as the phase labels
+/// above.
+pub const SKETCH: &str = "sketch";
+/// Top-k engine traffic: pruned candidate-list convergecasts plus the
+/// exact verification round. Equals the
+/// [`MsgClass::TOPK`](ifi_sim::MsgClass::TOPK) label.
+pub const TOPK: &str = "topk";
+/// Local-thresholding comparator traffic: budget-violation reports.
+/// Equals the [`MsgClass::THRESHOLD`](ifi_sim::MsgClass::THRESHOLD) label.
+pub const THRESHOLD: &str = "threshold";
 /// Wall-clock phase for the instant engine's whole run.
 pub const ENGINE: &str = "engine";
 /// Wall-clock phase for the DES scheduler loop (charged by `ifi-sim`).

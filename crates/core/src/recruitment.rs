@@ -16,7 +16,7 @@
 use ifi_agg::WireSizes;
 use ifi_hierarchy::Hierarchy;
 use ifi_overlay::Overlay;
-use ifi_sim::{DetRng, PeerId};
+use ifi_sim::{DetRng, PeerId, PeerMap};
 use ifi_workload::{ItemId, SystemData};
 
 /// A recruited system, ready to query.
@@ -29,8 +29,8 @@ pub struct RecruitedSystem {
     /// attached peers' data; non-participants hold nothing.
     pub folded: SystemData,
     /// Bytes spent by non-participants forwarding their local item sets
-    /// to their attachment targets, per peer.
-    pub report_bytes: Vec<u64>,
+    /// to their attachment targets — sparse: only attached peers appear.
+    pub report_bytes: PeerMap<u64>,
 }
 
 impl RecruitedSystem {
@@ -69,13 +69,12 @@ impl RecruitedSystem {
                 }
             })
             .collect();
-        let mut report_bytes = vec![0u64; n];
-        #[allow(clippy::needless_range_loop)] // i is both a peer id and an index
+        let mut report_bytes = PeerMap::new();
         for i in 0..n {
             let p = PeerId::new(i);
             if let Some(target) = overlay.attachment(p) {
                 let items = data.local_items(p);
-                report_bytes[i] = sizes.pair() * items.len() as u64;
+                report_bytes.insert(p, sizes.pair() * items.len() as u64);
                 local[target.index()].extend(items.iter().copied());
             }
         }
@@ -90,8 +89,8 @@ impl RecruitedSystem {
     /// §III-A forwarding cost the paper's accounting leaves out because it
     /// is common to netFilter and the naive approach alike.
     pub fn avg_report_bytes(&self) -> f64 {
-        let n = self.report_bytes.len().max(1);
-        self.report_bytes.iter().sum::<u64>() as f64 / n as f64
+        let n = self.folded.peer_count().max(1);
+        self.report_bytes.values().sum::<u64>() as f64 / n as f64
     }
 }
 
@@ -160,11 +159,12 @@ mod tests {
         for i in 0..data.peer_count() {
             let p = PeerId::new(i);
             let is_member = sys.hierarchy.is_member(p);
+            let paid = sys.report_bytes.get(p).copied().unwrap_or(0);
             if is_member {
-                assert_eq!(sys.report_bytes[i], 0, "participant {p} paid reporting");
+                assert_eq!(paid, 0, "participant {p} paid reporting");
             } else {
                 assert_eq!(
-                    sys.report_bytes[i],
+                    paid,
                     8 * data.local_items(p).len() as u64,
                     "non-participant {p} pays one pair per local item"
                 );

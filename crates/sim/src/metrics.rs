@@ -19,7 +19,7 @@ pub struct MsgClass(pub u8);
 
 impl MsgClass {
     /// Number of distinct classes tracked by [`Metrics`].
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 13;
 
     /// Generic payload traffic.
     pub const DATA: MsgClass = MsgClass(0);
@@ -51,6 +51,19 @@ impl MsgClass {
     /// of a robustness mechanism so the paper's phase classes stay
     /// byte-identical to the loss-free, churn-free cost model.
     pub const FAILOVER: MsgClass = MsgClass(9);
+    /// Capacity-bounded summary merges of the approximate sketch engine.
+    ///
+    /// The approximate engine family meters in its own classes (like
+    /// [`RETRANSMIT`](Self::RETRANSMIT) and [`FAILOVER`](Self::FAILOVER))
+    /// so accuracy-vs-bytes curves can be compared against the exact
+    /// engine's paper classes without disturbing them.
+    pub const SKETCH: MsgClass = MsgClass(10);
+    /// Candidate-list convergecasts and verification traffic of the
+    /// threshold-algorithm top-k engine.
+    pub const TOPK: MsgClass = MsgClass(11);
+    /// Budget-violation reports of the local-thresholding comparator
+    /// (zero while every peer stays under its local budget).
+    pub const THRESHOLD: MsgClass = MsgClass(12);
 
     /// Dense index of this class.
     ///
@@ -76,6 +89,9 @@ impl MsgClass {
             7 => "sampling",
             8 => "retransmit",
             9 => "failover",
+            10 => "sketch",
+            11 => "topk",
+            12 => "threshold",
             _ => "unknown",
         }
     }

@@ -94,7 +94,7 @@ impl Case {
     }
 }
 
-fn make_case<P, B, O>(
+pub(crate) fn make_case<P, B, O>(
     name: &'static str,
     protocol: &'static str,
     expect_violation: Option<&'static str>,
@@ -120,11 +120,11 @@ where
     }
 }
 
-fn secs(s: u64) -> SimTime {
+pub(crate) fn secs(s: u64) -> SimTime {
     SimTime::from_micros(s * 1_000_000)
 }
 
-fn workload(seed: u64) -> SystemData {
+pub(crate) fn workload(seed: u64) -> SystemData {
     SystemData::generate(
         &WorkloadParams {
             peers: 9,

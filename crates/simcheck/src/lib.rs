@@ -21,6 +21,9 @@
 //! * [`artifact`] — replayable repro files (seed + perturbation script +
 //!   trace window) under `results/simcheck/`, consumed by the
 //!   `experiments simcheck-replay` subcommand.
+//! * [`approx`] — the approximate-engine registry: ε-bound / recall /
+//!   soundness claims explored under loss, duplication, and leaf churn,
+//!   plus three mis-tuned negatives the harness must catch.
 //! * [`cases`] — the registry of configurations the harness explores:
 //!   clean netFilter / resilient / maintenance worlds whose oracles must
 //!   hold under every schedule, plus three pinned historical bugs the
@@ -36,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod artifact;
 pub mod cases;
 pub mod explore;
@@ -44,6 +48,7 @@ pub mod scale;
 pub mod shrink;
 pub mod strategy;
 
+pub use approx::{approx_cases, find_approx_case};
 pub use artifact::{parse_artifact, write_artifact, Artifact};
 pub use cases::{all_cases, find_case, Case};
 pub use explore::{explore, replay, ExploreConfig, ExploreReport, FoundViolation, Perturbation};

@@ -12,9 +12,12 @@ use ifi_hierarchy::{Hierarchy, MaintainProtocol};
 use ifi_overlay::Topology;
 use ifi_sim::{Des, PeerId, Protocol, World};
 use ifi_workload::{GroundTruth, ItemId};
+use netfilter::local_threshold::LocalThresholdProtocol;
 use netfilter::phases;
 use netfilter::protocol::NetFilterProtocol;
 use netfilter::resilient::ResilientProtocol;
+use netfilter::sketch::SketchProtocol;
+use netfilter::topk::TopKProtocol;
 use netfilter::CostBreakdown;
 
 /// When an oracle is being consulted.
@@ -317,6 +320,167 @@ impl Oracle<Des<ResilientProtocol>> for CensusSoundnessOracle {
                     ));
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+/// ε-bound accuracy of the sketch-merge engine: every reported estimate
+/// must sit within `⌈ε·V⌉` of the exact global value (and never above
+/// it — the deficit form only undercounts), and no truly frequent item
+/// may be missing from the answer. An engine whose capacity cannot honor
+/// its claimed ε violates one of the two immediately.
+#[derive(Debug)]
+pub struct EpsilonBoundOracle {
+    /// The query root.
+    pub root: PeerId,
+    /// The ground-truth fold of the workload.
+    pub truth: GroundTruth,
+    /// The resolved frequency threshold `t`.
+    pub threshold: u64,
+    /// The ε the engine claims.
+    pub claimed_epsilon: f64,
+}
+
+impl Oracle<Des<SketchProtocol>> for EpsilonBoundOracle {
+    fn name(&self) -> &'static str {
+        "epsilon-bound"
+    }
+
+    fn check(&mut self, world: &World<Des<SketchProtocol>>, at: Checkpoint) -> Result<(), String> {
+        if at != Checkpoint::End {
+            return Ok(());
+        }
+        let Some(answer) = world.peer(self.root).result() else {
+            return Err("root never produced a summary answer".into());
+        };
+        let bound = (self.claimed_epsilon * self.truth.total_value() as f64).ceil() as u64;
+        for &(item, est) in &answer.items {
+            let exact = self.truth.value_of(item);
+            if est > exact {
+                return Err(format!(
+                    "item {item:?} estimated {est} above its true value {exact}"
+                ));
+            }
+            if exact - est > bound {
+                return Err(format!(
+                    "item {item:?} estimated {est}, true value {exact}: deficit {} exceeds the claimed \
+                     bound {bound}",
+                    exact - est
+                ));
+            }
+        }
+        for &(item, v) in self.truth.globals() {
+            if v < self.threshold {
+                break; // globals are sorted descending
+            }
+            if !answer.items.iter().any(|&(i, _)| i == item) {
+                return Err(format!(
+                    "frequent item {item:?} (value {v} ≥ t = {}) missing from the answer",
+                    self.threshold
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Top-k recall: the returned values must be exact, the returned set must
+/// contain at least the claimed fraction of the true top-k, and a
+/// `certified` answer must equal the true prefix outright.
+#[derive(Debug)]
+pub struct TopKRecallOracle {
+    /// The query root.
+    pub root: PeerId,
+    /// The ground-truth fold of the workload.
+    pub truth: GroundTruth,
+    /// The true top-k prefix (ties broken like the engine: value
+    /// descending, then id ascending).
+    pub expected: Vec<(ItemId, u64)>,
+    /// The recall the engine's tuning claims.
+    pub claimed_recall: f64,
+}
+
+impl Oracle<Des<TopKProtocol>> for TopKRecallOracle {
+    fn name(&self) -> &'static str {
+        "topk-recall"
+    }
+
+    fn check(&mut self, world: &World<Des<TopKProtocol>>, at: Checkpoint) -> Result<(), String> {
+        if at != Checkpoint::End {
+            return Ok(());
+        }
+        let Some(answer) = world.peer(self.root).result() else {
+            return Err("root never produced a top-k answer".into());
+        };
+        for &(item, v) in &answer.items {
+            let exact = self.truth.value_of(item);
+            if v != exact {
+                return Err(format!(
+                    "item {item:?} reported {v} but its true value is {exact}"
+                ));
+            }
+        }
+        if answer.certified && answer.items != self.expected {
+            return Err(format!(
+                "certified answer diverges from the true top-k: {} items reported, {} expected",
+                answer.items.len(),
+                self.expected.len()
+            ));
+        }
+        if !self.expected.is_empty() {
+            let hit = answer
+                .items
+                .iter()
+                .filter(|(i, _)| self.expected.iter().any(|&(e, _)| e == *i))
+                .count();
+            let recall = hit as f64 / self.expected.len() as f64;
+            if recall + 1e-9 < self.claimed_recall {
+                return Err(format!(
+                    "recall {recall:.3} ({hit}/{}) below the claimed {:.3}",
+                    self.expected.len(),
+                    self.claimed_recall
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One-sided soundness of the local-thresholding comparator: at no point
+/// may the root answer *yes* ("`v_x ≥ t`") while the truth sits below
+/// `t`, and its running lower bound may never exceed the true value
+/// (double-counting a relayed report violates this first).
+#[derive(Debug)]
+pub struct ThresholdSoundnessOracle {
+    /// The query root.
+    pub root: PeerId,
+    /// The item's true global value.
+    pub truth_value: u64,
+}
+
+impl Oracle<Des<LocalThresholdProtocol>> for ThresholdSoundnessOracle {
+    fn name(&self) -> &'static str {
+        "threshold-soundness"
+    }
+
+    fn check(
+        &mut self,
+        world: &World<Des<LocalThresholdProtocol>>,
+        _at: Checkpoint,
+    ) -> Result<(), String> {
+        let v = world.peer(self.root).verdict();
+        if v.lower_bound > self.truth_value {
+            return Err(format!(
+                "lower bound {} exceeds the true value {}",
+                v.lower_bound, self.truth_value
+            ));
+        }
+        if v.answer && self.truth_value < v.threshold {
+            return Err(format!(
+                "root answered yes at t = {} but the true value is {}",
+                v.threshold, self.truth_value
+            ));
         }
         Ok(())
     }

@@ -79,25 +79,17 @@ fn main() {
     // (6k < 10k) and the song drops off the chart — all visible above.
     println!("\n(the viral song ages out of the 7-day window after day 10, as printed above)");
 
-    // Bonus: exact top-5 chart of the final window via threshold search.
+    // Bonus: exact top-5 chart of the final window via the top-k engine.
     let data = ifi_workload::SystemData::from_local_sets(
         (0..PEERS)
             .map(|p| monitor.window(PeerId::new(p)).local_items())
             .collect(),
         SONGS,
     );
-    let chart = topk::top_k(
-        &hierarchy,
-        &data,
-        5,
-        &NetFilterConfig::builder()
-            .filter_size(150)
-            .filters(3)
-            .build(),
-    );
+    let chart = topk::top_k(&hierarchy, &data, 5, &topk::TopKConfig::lossless(5));
     println!(
-        "\nfinal-week top-5 chart ({} threshold probes):",
-        chart.probes.len()
+        "\nfinal-week top-5 chart ({} candidates verified, certified: {}):",
+        chart.candidates, chart.certified
     );
     for (rank, &(song, downloads)) in chart.items.iter().enumerate() {
         println!(

@@ -4,6 +4,7 @@
 use ifi_hierarchy::Hierarchy;
 use ifi_sim::PeerId;
 use ifi_workload::{GroundTruth, ItemId, SystemData, WorkloadParams};
+use netfilter::sketch::SpaceSaving;
 use netfilter::windowed::{SlidingWindow, WindowedMonitor};
 use netfilter::{topk, NetFilterConfig, Threshold};
 use proptest::prelude::*;
@@ -63,13 +64,9 @@ proptest! {
         );
         let h = Hierarchy::balanced(peers, 3);
         let truth = GroundTruth::compute(&data);
-        let run = topk::top_k(
-            &h,
-            &data,
-            k,
-            &NetFilterConfig::builder().filter_size(30).filters(2).build(),
-        );
+        let run = topk::top_k(&h, &data, k, &topk::TopKConfig::lossless(k));
         let expect: Vec<(ItemId, u64)> = truth.globals().iter().copied().take(k).collect();
+        prop_assert!(run.certified, "lossless runs always certify");
         prop_assert_eq!(run.items, expect);
     }
 
@@ -103,6 +100,101 @@ proptest! {
         );
         let truth = GroundTruth::compute(&data);
         prop_assert_eq!(run.frequent_items(), &truth.frequent_items(25)[..]);
+    }
+
+    /// Space-Saving merge is exactly commutative: the deficit-form merge is
+    /// a pointwise sum plus a deterministic prune, so operand order cannot
+    /// matter at all.
+    #[test]
+    fn sketch_merge_is_commutative(
+        capacity in 1usize..12,
+        xs in prop::collection::vec((0u64..40, 1u64..100), 0..60),
+        ys in prop::collection::vec((0u64..40, 1u64..100), 0..60),
+    ) {
+        let to_items = |v: &[(u64, u64)]| -> Vec<(ItemId, u64)> {
+            v.iter().map(|&(i, w)| (ItemId(i), w)).collect()
+        };
+        let a = SpaceSaving::from_items(capacity, &to_items(&xs));
+        let b = SpaceSaving::from_items(capacity, &to_items(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Space-Saving merge is associative up to ε: either association keeps
+    /// the full weight, stays below the true count, and the two estimates
+    /// never diverge by more than the summary's own error bound.
+    #[test]
+    fn sketch_merge_is_associative_up_to_epsilon(
+        capacity in 1usize..12,
+        xs in prop::collection::vec((0u64..40, 1u64..100), 0..50),
+        ys in prop::collection::vec((0u64..40, 1u64..100), 0..50),
+        zs in prop::collection::vec((0u64..40, 1u64..100), 0..50),
+    ) {
+        let to_items = |v: &[(u64, u64)]| -> Vec<(ItemId, u64)> {
+            v.iter().map(|&(i, w)| (ItemId(i), w)).collect()
+        };
+        let mut exact: std::collections::BTreeMap<u64, u64> = Default::default();
+        for &(i, w) in xs.iter().chain(&ys).chain(&zs) {
+            *exact.entry(i).or_insert(0) += w;
+        }
+        let a = SpaceSaving::from_items(capacity, &to_items(&xs));
+        let b = SpaceSaving::from_items(capacity, &to_items(&ys));
+        let c = SpaceSaving::from_items(capacity, &to_items(&zs));
+        // left = (a ⊕ b) ⊕ c, right = a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = b.clone();
+        right.merge(&c);
+        let mut ra = a.clone();
+        ra.merge(&right);
+        let right = ra;
+        prop_assert_eq!(left.weight(), right.weight());
+        let bound = left.error_bound();
+        for item in 0..40u64 {
+            let t = exact.get(&item).copied().unwrap_or(0);
+            for s in [&left, &right] {
+                let e = s.estimate(ItemId(item));
+                prop_assert!(e <= t, "estimates never overshoot the truth");
+                prop_assert!(t - e <= bound, "deficit beyond ε·V");
+            }
+            let (el, er) = (left.estimate(ItemId(item)), right.estimate(ItemId(item)));
+            prop_assert!(el.abs_diff(er) <= bound, "associations diverge past ε·V");
+        }
+    }
+
+    /// A certified top-k answer never drops a true top-k item, at any
+    /// prune capacity: certification is only claimed when the bounds prove
+    /// the candidate slate complete.
+    #[test]
+    fn certified_topk_never_drops_a_true_item(
+        peers in 2usize..25,
+        items in 5u64..120,
+        theta in 0.0f64..2.0,
+        k in 1usize..12,
+        extra_cap in 0usize..40,
+        seed in 0u64..300,
+    ) {
+        let data = SystemData::generate(
+            &WorkloadParams { peers, items, instances_per_item: 6, theta },
+            seed,
+        );
+        let h = Hierarchy::balanced(peers, 3);
+        let truth = GroundTruth::compute(&data);
+        let cfg = topk::TopKConfig::new(k).with_prune_cap(k + extra_cap);
+        let run = topk::top_k(&h, &data, k, &cfg);
+        // Returned values are always exact, certified or not.
+        for &(item, v) in &run.items {
+            prop_assert_eq!(v, truth.value_of(item));
+        }
+        if run.certified {
+            let expect: Vec<(ItemId, u64)> =
+                truth.globals().iter().copied().take(k).collect();
+            prop_assert_eq!(run.items, expect, "certified answer missed a true top-k item");
+        }
     }
 }
 
