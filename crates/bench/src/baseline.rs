@@ -25,7 +25,10 @@ use ifi_hierarchy::Hierarchy;
 use ifi_overlay::Topology;
 use ifi_sim::{DetRng, EventSink, MetricsReport, PeerId};
 use ifi_workload::{SystemData, WorkloadParams};
-use netfilter::engines::{ApproxEngine, SketchEngine, ThresholdEngine, TopKEngine};
+use netfilter::continuous::ContinuousConfig;
+use netfilter::engines::{
+    ApproxEngine, ContinuousEngine, SketchEngine, ThresholdEngine, TopKEngine,
+};
 use netfilter::local_threshold::LocalThresholdConfig;
 use netfilter::sketch::SketchConfig;
 use netfilter::topk::TopKConfig;
@@ -203,6 +206,30 @@ fn approx_scenarios() -> Vec<BaselineRun> {
     ]
 }
 
+/// The continuous standing-query scenarios: the delta convergecast over
+/// an eight-fence run, plain-windowed and time-faded. Appended *after*
+/// every pre-existing scenario so their committed snapshots never move.
+fn continuous_scenarios() -> Vec<BaselineRun> {
+    vec![
+        approx_scenario(
+            "continuous-delta-w4",
+            &ContinuousEngine {
+                config: ContinuousConfig::new(4, 8),
+                threshold: 40,
+            },
+            40,
+        ),
+        approx_scenario(
+            "continuous-faded",
+            &ContinuousEngine {
+                config: ContinuousConfig::new(4, 8).with_fade(1, 2),
+                threshold: 20,
+            },
+            20,
+        ),
+    ]
+}
+
 /// Runs every baseline scenario. Deterministic: two invocations in the
 /// same build produce identical [`BaselineRun::snapshot`] strings.
 pub fn run_all() -> Vec<BaselineRun> {
@@ -214,6 +241,7 @@ pub fn run_all() -> Vec<BaselineRun> {
         sampling_scenario(),
     ];
     runs.extend(approx_scenarios());
+    runs.extend(continuous_scenarios());
     runs
 }
 

@@ -11,6 +11,8 @@
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- approx-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- approx-sweep --out results/
+//! cargo run -p ifi-bench --release --bin experiments -- continuous-smoke
+//! cargo run -p ifi-bench --release --bin experiments -- continuous-sweep --out results/
 //! cargo run -p ifi-bench --release --bin experiments -- transport-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- chaos-smoke
 //! cargo run -p ifi-bench --release --bin experiments -- simcheck-replay results/simcheck/bug-churn-race-20080617.repro
@@ -24,10 +26,11 @@ use std::process::ExitCode;
 
 use ifi_bench::output::DataFile;
 use ifi_bench::{
-    ablation, approx_smoke, approx_sweep, baseline, chaos_smoke, churn, depth, fig5, fig6, fig7,
-    fig8, loss, perfbench, report_checks, simcheck_smoke, transport_smoke, Scale, ShapeCheck,
+    ablation, approx_smoke, approx_sweep, baseline, chaos_smoke, churn, continuous_smoke,
+    continuous_sweep, depth, fig5, fig6, fig7, fig8, loss, perfbench, report_checks,
+    simcheck_smoke, transport_smoke, Scale, ShapeCheck,
 };
-use ifi_simcheck::{find_approx_case, find_case, parse_artifact};
+use ifi_simcheck::{find_approx_case, find_case, find_continuous_case, parse_artifact};
 
 fn usage() -> ! {
     eprintln!(
@@ -35,6 +38,7 @@ fn usage() -> ! {
          \x20                  [check-baselines] [write-baselines] [loss-smoke] [churn-smoke]\n\
          \x20                  [simcheck-smoke] [simcheck-replay <artifact>] [transport-smoke]\n\
          \x20                  [chaos-smoke] [approx-smoke] [approx-sweep]\n\
+         \x20                  [continuous-smoke] [continuous-sweep]\n\
          \x20                  [bench [--write-baselines] [--check] [--only <names>]]\n\
          \x20                  [--quick] [--seed <u64>] [--out <dir>]\n\
          \x20                  [--baselines <dir>] [--tolerance <f64>] [--metrics-out <dir>]\n\
@@ -142,7 +146,9 @@ fn main() -> ExitCode {
             "fig5" | "fig6" | "fig7" | "fig8" | "ablation" | "depth" | "all"
             | "check-baselines" | "write-baselines" | "loss-smoke" | "churn-smoke"
             | "simcheck-smoke" | "transport-smoke" | "chaos-smoke" | "approx-smoke"
-            | "approx-sweep" | "bench" => which.push(Box::leak(arg.clone().into_boxed_str())),
+            | "approx-sweep" | "continuous-smoke" | "continuous-sweep" | "bench" => {
+                which.push(Box::leak(arg.clone().into_boxed_str()))
+            }
             _ => usage(),
         }
     }
@@ -313,6 +319,25 @@ fn main() -> ExitCode {
         }
         all_ok &= report_checks("approx sweep", &sweep.checks());
     }
+    if which.contains(&"continuous-smoke") {
+        println!(
+            "continuous smoke — standing-query window consistency + K-query sharing, seed {seed}"
+        );
+        let artifacts = out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/simcheck"));
+        let runs = continuous_smoke::run_smoke(seed, &artifacts);
+        for run in &runs {
+            all_ok &= report_checks(&format!("continuous — {}", run.name), &run.checks);
+        }
+    }
+    if which.contains(&"continuous-sweep") {
+        println!("continuous sweep — bytes per epoch vs multiplexed query count, seed {seed}");
+        let sweep = continuous_sweep::run(seed);
+        sweep.print();
+        dump(&out, &sweep.to_data());
+        all_ok &= report_checks("continuous sweep", &sweep.checks());
+    }
     if which.contains(&"bench") {
         println!("perf benchmarks — fixed seeds, warmup + median-of-k, counters exact");
         let reports = match &bench_only {
@@ -393,6 +418,7 @@ fn main() -> ExitCode {
             Err(e) => ShapeCheck::new("artifact parses", false, e),
             Ok(artifact) => match find_case(&artifact.case, artifact.seed)
                 .or_else(|| find_approx_case(&artifact.case, artifact.seed))
+                .or_else(|| find_continuous_case(&artifact.case, artifact.seed))
             {
                 None => ShapeCheck::new(
                     "artifact names a registered case",
@@ -433,6 +459,8 @@ fn main() -> ExitCode {
                 | "chaos-smoke"
                 | "approx-smoke"
                 | "approx-sweep"
+                | "continuous-smoke"
+                | "continuous-sweep"
                 | "bench"
         )
     }) {

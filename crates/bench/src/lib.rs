@@ -24,6 +24,8 @@ pub mod approx_sweep;
 pub mod baseline;
 pub mod chaos_smoke;
 pub mod churn;
+pub mod continuous_smoke;
+pub mod continuous_sweep;
 pub mod depth;
 pub mod fig5;
 pub mod fig6;

@@ -4,7 +4,7 @@
 //! [`ifi_perf`] harness (warmup + median-of-k), so its counters — events
 //! processed, messages sent, wire bytes, answer digests — are
 //! bit-reproducible on any machine, while its wall-clock median is
-//! machine-dependent and only alarm-gated. The five default benches cover
+//! machine-dependent and only alarm-gated. The six default benches cover
 //! the simulator's hot paths end to end; two scale benches push `N` past
 //! the paper and run in CI's dedicated `scale` job (via `--only`):
 //!
@@ -15,6 +15,7 @@
 //! | `epoch_n1000`   | a full netFilter epoch at `N = 1000` over the DES |
 //! | `maintain_tick` | heartbeat/maintenance tick loop, 200 peers, 30 s |
 //! | `fig7_quick`    | the fig. 7 sweep at `--quick` scale (both panels) |
+//! | `epoch_delta_n1000` | continuous delta epochs at `N = 1000` vs the full re-aggregation they replace |
 //! | `epoch_n100000` | scale lane: one netFilter epoch at `N = 10^5` |
 //! | `fig7_n10000`   | scale lane: fig. 7(a) skew sweep at `N = 10^4` |
 //!
@@ -346,30 +347,141 @@ fn bench_fig7_n10000() -> BenchReport {
     })
 }
 
+// --- epoch_delta_n1000: continuous delta epochs vs full re-aggregation. ---
+
+/// What a from-scratch window re-aggregation convergecast would cost at
+/// one fence: every child→parent edge carries its subtree's merged live-
+/// window item set (`s_i` header + one pair per item), computed exactly
+/// over the hierarchy.
+fn full_reaggregation_bytes(
+    h: &Hierarchy,
+    schedules: &[Vec<Vec<(ItemId, u64)>>],
+    epoch: usize,
+    window: usize,
+    sizes: &WireSizes,
+) -> u64 {
+    use std::collections::BTreeMap;
+    let lo = (epoch + 2).saturating_sub(window); // epoch − (W − 2)
+    let per_peer: Vec<BTreeMap<ItemId, u64>> = schedules
+        .iter()
+        .map(|sched| {
+            let mut win = BTreeMap::new();
+            for batch in sched.iter().take(epoch + 1).skip(lo) {
+                for &(item, v) in batch {
+                    *win.entry(item).or_insert(0) += v;
+                }
+            }
+            win
+        })
+        .collect();
+    fn fold_up(
+        h: &Hierarchy,
+        p: PeerId,
+        per_peer: &[std::collections::BTreeMap<ItemId, u64>],
+        sizes: &WireSizes,
+        total: &mut u64,
+    ) -> std::collections::BTreeMap<ItemId, u64> {
+        let mut acc = per_peer[p.index()].clone();
+        for &c in h.children(p) {
+            let sub = fold_up(h, c, per_peer, sizes, total);
+            *total += sizes.si + sizes.pair() * sub.len() as u64;
+            for (k, v) in sub {
+                *acc.entry(k).or_insert(0) += v;
+            }
+        }
+        acc
+    }
+    let mut total = 0;
+    fold_up(h, h.root(), &per_peer, sizes, &mut total);
+    total
+}
+
+fn bench_epoch_delta_n1000() -> BenchReport {
+    use netfilter::continuous::{
+        schedule_from_data, ContinuousConfig, ContinuousProtocol, QueryRegistry,
+    };
+    const PEERS: usize = 1_000;
+    const EPOCHS: usize = 6;
+    const WINDOW: usize = 4;
+    let data = SystemData::generate_paper(
+        &WorkloadParams {
+            peers: PEERS,
+            items: 20_000,
+            instances_per_item: 10,
+            theta: 1.0,
+        },
+        PERF_SEED,
+    );
+    let schedules = schedule_from_data(&data, EPOCHS);
+    let h = Hierarchy::balanced(PEERS, 3);
+    let cfg = ContinuousConfig::new(WINDOW, EPOCHS);
+    let registry = QueryRegistry::single(1_000, PeerId::new(PEERS - 1));
+    let sizes = WireSizes::default();
+    run_bench(
+        "epoch_delta_n1000",
+        &BenchConfig { warmup: 1, reps: 3 },
+        || {
+            let mut w = ContinuousProtocol::build_world(
+                &cfg,
+                &h,
+                &registry,
+                &schedules,
+                SimConfig::default().with_seed(PERF_SEED),
+            );
+            w.start();
+            w.run_to_quiescence();
+            let root = w.peer(PeerId::new(0));
+            let digest = root
+                .standing()
+                .iter()
+                .fold(0u64, |acc, (&id, &v)| fold(fold(acc, id.0), v));
+            let full_bytes: u64 = (0..EPOCHS)
+                .map(|e| full_reaggregation_bytes(&h, &schedules, e, WINDOW, &sizes))
+                .sum();
+            Sample {
+                ops: w.events_processed(),
+                bytes: w.metrics().total_bytes(),
+                counters: vec![
+                    ("messages".into(), w.metrics().total_messages()),
+                    ("epochs_certified".into(), root.history().len() as u64),
+                    (
+                        "delta_bytes".into(),
+                        w.metrics().class_bytes(MsgClass::DELTA),
+                    ),
+                    ("full_reagg_bytes".into(), full_bytes),
+                    ("digest".into(), digest),
+                    ("queue_high_water".into(), w.queue_high_water() as u64),
+                ],
+            }
+        },
+    )
+}
+
 type BenchFn = fn() -> BenchReport;
 
-/// Every benchmark by name: the five default hot-path benches first, then
+/// Every benchmark by name: the six default hot-path benches first, then
 /// the scale-lane benches (selected by CI's `scale` job via `--only`).
-const REGISTRY: [(&str, BenchFn); 7] = [
+const REGISTRY: [(&str, BenchFn); 8] = [
     ("event_queue", bench_event_queue),
     ("codec", bench_codec),
     ("epoch_n1000", bench_epoch_n1000),
     ("maintain_tick", bench_maintain_tick),
     ("fig7_quick", bench_fig7_quick),
+    ("epoch_delta_n1000", bench_epoch_delta_n1000),
     ("epoch_n100000", bench_epoch_n100000),
     ("fig7_n10000", bench_fig7_n10000),
 ];
 
 /// How many of [`REGISTRY`]'s leading entries a plain `bench` runs (the
 /// scale benches only run when named via `--only`).
-const DEFAULT_BENCHES: usize = 5;
+const DEFAULT_BENCHES: usize = 6;
 
 /// Names of every registered benchmark, default set first.
 pub fn bench_names() -> Vec<&'static str> {
     REGISTRY.iter().map(|&(n, _)| n).collect()
 }
 
-/// Runs the five default benchmarks at their fixed seeds, in a stable
+/// Runs the six default benchmarks at their fixed seeds, in a stable
 /// order.
 pub fn run_all() -> Vec<BenchReport> {
     REGISTRY[..DEFAULT_BENCHES]
@@ -531,9 +643,29 @@ mod tests {
     fn default_set_excludes_the_scale_benches() {
         let names = bench_names();
         assert_eq!(names.len(), REGISTRY.len());
+        assert!(names[..DEFAULT_BENCHES].contains(&"epoch_delta_n1000"));
         assert!(!names[..DEFAULT_BENCHES].contains(&"epoch_n100000"));
         assert!(names[DEFAULT_BENCHES..].contains(&"epoch_n100000"));
         assert!(names[DEFAULT_BENCHES..].contains(&"fig7_n10000"));
+    }
+
+    #[test]
+    fn epoch_delta_certifies_and_undercuts_full_reaggregation() {
+        let r = bench_epoch_delta_n1000();
+        let counter = |name: &str| {
+            r.counters
+                .iter()
+                .find(|(n, _)| n.as_str() == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(counter("epochs_certified"), 6);
+        let (delta, full) = (counter("delta_bytes"), counter("full_reagg_bytes"));
+        assert!(delta > 0);
+        assert!(
+            delta < full,
+            "delta epochs ({delta} B) must undercut full re-aggregation ({full} B)"
+        );
     }
 
     #[test]

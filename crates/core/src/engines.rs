@@ -16,9 +16,10 @@
 //! against the exact engine need no per-engine glue.
 
 use ifi_hierarchy::Hierarchy;
-use ifi_sim::{MetricsReport, SimConfig};
+use ifi_sim::{MetricsReport, PeerId, SimConfig};
 use ifi_workload::{ItemId, SystemData};
 
+use crate::continuous::{schedule_from_data, ContinuousConfig, ContinuousProtocol, QueryRegistry};
 use crate::local_threshold::LocalThresholdConfig;
 use crate::protocol::NetFilterProtocol;
 use crate::sketch::{SketchConfig, SketchProtocol};
@@ -269,6 +270,64 @@ impl ApproxEngine for ThresholdEngine {
     }
 }
 
+/// The continuous standing-query engine as a family member: the workload
+/// is split round-robin into per-epoch batches, run through the delta
+/// convergecast, and the answer is the **final certified fence's**
+/// standing result — exact for its window by the telescoping-delta
+/// invariant.
+///
+/// Deliberately *not* part of [`reference_family`]: its windowed answer
+/// is not comparable row-for-row with the one-shot engines' all-time
+/// answers, and the committed approx baselines pin that family's shape.
+#[derive(Debug, Clone)]
+pub struct ContinuousEngine {
+    /// Window, epoch count, fade, and wire tuning.
+    pub config: ContinuousConfig,
+    /// The standing query's resolved absolute threshold.
+    pub threshold: u64,
+}
+
+impl ApproxEngine for ContinuousEngine {
+    fn name(&self) -> &'static str {
+        "continuous-delta"
+    }
+
+    fn claim(&self) -> ErrorClaim {
+        ErrorClaim::Exact
+    }
+
+    fn class_label(&self) -> &'static str {
+        phases::DELTA
+    }
+
+    fn run_des(&self, hierarchy: &Hierarchy, data: &SystemData, sim: SimConfig) -> EngineOutcome {
+        let schedules = schedule_from_data(data, self.config.epochs.max(1));
+        let subscriber = PeerId::new(data.peer_count().saturating_sub(1));
+        let registry = QueryRegistry::single(self.threshold, subscriber);
+        let mut w =
+            ContinuousProtocol::build_world(&self.config, hierarchy, &registry, &schedules, sim);
+        w.enable_metrics_sink();
+        w.start();
+        w.run_to_quiescence();
+        let items = w
+            .peer(hierarchy.root())
+            .history()
+            .last()
+            .expect("a quiescent continuous run certifies its final fence")
+            .answers[0]
+            .items
+            .clone();
+        let report = w.metrics_report();
+        EngineOutcome {
+            engine: self.name(),
+            items,
+            claim: self.claim(),
+            total_bytes: w.metrics().total_bytes(),
+            report,
+        }
+    }
+}
+
 /// The whole family at a reference tuning, as trait objects — the
 /// iteration order the sweep and smoke tables use.
 pub fn reference_family(item: ItemId) -> Vec<Box<dyn ApproxEngine>> {
@@ -364,6 +423,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn continuous_engine_answers_its_final_window_exactly() {
+        let (h, data, _) = setup();
+        let engine = ContinuousEngine {
+            config: ContinuousConfig::new(4, 5),
+            threshold: 50,
+        };
+        let out = engine.run_des(&h, &data, SimConfig::default());
+        assert_eq!(out.engine, "continuous-delta");
+        assert!(
+            out.report.phase_bytes(phases::DELTA) > 0,
+            "delta stream must be metered in its own class"
+        );
+        let schedules = schedule_from_data(&data, 5);
+        let scratch = crate::continuous::window_totals_from_scratch(&schedules, 4, 4);
+        let want: Vec<(ItemId, u64)> = {
+            let mut v: Vec<(ItemId, u64)> = scratch
+                .iter()
+                .filter(|&(_, t)| *t >= 50)
+                .map(|(&k, &t)| (k, t))
+                .collect();
+            v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            v
+        };
+        assert_eq!(out.items, want, "final fence ≡ from-scratch window");
     }
 
     #[test]

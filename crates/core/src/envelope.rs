@@ -18,7 +18,9 @@
 //!   the backlog is what keeps delivery guaranteed across restarts.
 //!
 //! An engine opts in by using [`ReliableMsg`] of its payload as its
-//! [`SansIo::Msg`] and [`RetransmitTimer`] as its [`SansIo::Timer`], then
+//! [`SansIo::Msg`] and a [`SansIo::Timer`] convertible
+//! `From<RetransmitTimer>` (most engines use [`RetransmitTimer`] itself;
+//! the continuous engine multiplexes it into a fence/retransmit enum), then
 //! routing every send through [`Envelope::send`], every incoming frame
 //! through [`Envelope::on_frame`], every timer through
 //! [`Envelope::on_retransmit`], and a revival through
@@ -75,7 +77,8 @@ impl<M: Debug + Clone> Envelope<M> {
     /// The original is charged `bytes` in `class` either way.
     pub fn send<P>(&mut self, fx: &mut Effects<P>, to: PeerId, msg: M, bytes: u64, class: MsgClass)
     where
-        P: SansIo<Msg = ReliableMsg<M>, Timer = RetransmitTimer>,
+        P: SansIo<Msg = ReliableMsg<M>>,
+        P::Timer: From<RetransmitTimer>,
     {
         match self.link.as_mut() {
             None => fx.send(to, ReliableMsg::Plain(msg), bytes, class),
@@ -83,7 +86,7 @@ impl<M: Debug + Clone> Envelope<M> {
                 let (seq, frame) = link.send_data(to, msg.clone(), bytes);
                 let delay = link.rto(seq, 0);
                 fx.send(to, frame, bytes, class);
-                fx.set_timer(delay, RetransmitTimer(seq));
+                fx.set_timer(delay, P::Timer::from(RetransmitTimer(seq)));
                 self.resend_buf.push((to, msg, bytes));
             }
         }
@@ -100,7 +103,8 @@ impl<M: Debug + Clone> Envelope<M> {
         frame: ReliableMsg<M>,
     ) -> Option<M>
     where
-        P: SansIo<Msg = ReliableMsg<M>, Timer = RetransmitTimer>,
+        P: SansIo<Msg = ReliableMsg<M>>,
+        P::Timer: From<RetransmitTimer>,
     {
         match frame {
             ReliableMsg::Plain(m) => Some(m),
@@ -137,7 +141,8 @@ impl<M: Debug + Clone> Envelope<M> {
     /// escalate to).
     pub fn on_retransmit<P>(&mut self, fx: &mut Effects<P>, timer: RetransmitTimer)
     where
-        P: SansIo<Msg = ReliableMsg<M>, Timer = RetransmitTimer>,
+        P: SansIo<Msg = ReliableMsg<M>>,
+        P::Timer: From<RetransmitTimer>,
     {
         let RetransmitTimer(seq) = timer;
         let Some(link) = self.link.as_mut() else {
@@ -152,7 +157,7 @@ impl<M: Debug + Clone> Envelope<M> {
                 next_delay,
             } => {
                 fx.send(to, frame, bytes, MsgClass::RETRANSMIT);
-                fx.set_timer(next_delay, RetransmitTimer(seq));
+                fx.set_timer(next_delay, P::Timer::from(RetransmitTimer(seq)));
             }
             Retransmit::Acked => {}
             Retransmit::GaveUp { .. } => fx.warn("retransmit-gave-up"),
@@ -166,7 +171,8 @@ impl<M: Debug + Clone> Envelope<M> {
     /// there is no delivery guarantee to restore.
     pub fn on_revival<P>(&mut self, fx: &mut Effects<P>)
     where
-        P: SansIo<Msg = ReliableMsg<M>, Timer = RetransmitTimer>,
+        P: SansIo<Msg = ReliableMsg<M>>,
+        P::Timer: From<RetransmitTimer>,
     {
         let Some(link) = self.link.as_mut() else {
             return;
@@ -177,7 +183,7 @@ impl<M: Debug + Clone> Envelope<M> {
             let (seq, frame) = link.send_data(to, msg, bytes);
             let delay = link.rto(seq, 0);
             fx.send(to, frame, bytes, MsgClass::RETRANSMIT);
-            fx.set_timer(delay, RetransmitTimer(seq));
+            fx.set_timer(delay, P::Timer::from(RetransmitTimer(seq)));
         }
     }
 }

@@ -45,6 +45,7 @@
 //! | [`approx`] | an ε-approximate comparator in the style of the related work |
 //! | [`resilient`] | epoch-based re-query over a self-repairing hierarchy |
 //! | [`windowed`] | sliding-window IFI (the paper's "past week" use case) |
+//! | [`continuous`] | standing queries: per-epoch delta convergecast + K-query sharing |
 //! | [`topk`] | top-k engine: threshold-algorithm pruning + exact verification |
 //! | [`sketch`] | gossip sketch-merge engine (Space-Saving summaries) |
 //! | [`local_threshold`] | zero-traffic "is `v_x ≥ t`" comparator |
@@ -86,6 +87,7 @@ pub mod analysis;
 pub mod approx;
 pub mod codec;
 mod config;
+pub mod continuous;
 mod engine;
 pub mod engines;
 pub mod envelope;

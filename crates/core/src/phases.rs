@@ -45,6 +45,15 @@ pub const TOPK: &str = "topk";
 /// Local-thresholding comparator traffic: budget-violation reports.
 /// Equals the [`MsgClass::THRESHOLD`](ifi_sim::MsgClass::THRESHOLD) label.
 pub const THRESHOLD: &str = "threshold";
+/// Continuous-engine traffic: per-epoch sliding-window delta
+/// convergecasts, shared by every registered standing query. Equals the
+/// [`MsgClass::DELTA`](ifi_sim::MsgClass::DELTA) label for the same
+/// fallback-attribution reason as the phase labels above.
+pub const DELTA: &str = "delta";
+/// Continuous-engine traffic: per-query standing-answer rows streamed to
+/// each subscriber after an epoch certifies. Equals the
+/// [`MsgClass::STANDING`](ifi_sim::MsgClass::STANDING) label.
+pub const STANDING: &str = "standing";
 /// Wall-clock phase for the instant engine's whole run.
 pub const ENGINE: &str = "engine";
 /// Wall-clock phase for the DES scheduler loop (charged by `ifi-sim`).

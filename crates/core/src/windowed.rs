@@ -16,7 +16,12 @@
 //!
 //! The coordination cost is unchanged (netFilter neither knows nor cares
 //! that local values came from a window); only peer-local state grows, by
-//! a factor of the bucket count.
+//! a factor of the bucket count. The window additionally maintains an
+//! incremental totals map so [`SlidingWindow::value`] and
+//! [`SlidingWindow::local_items`] are O(live items), and
+//! [`SlidingWindow::advance`] returns the retired slice — the raw material
+//! of the per-epoch deltas the [`continuous`](crate::continuous) engine
+//! convergecasts instead of re-aggregating.
 
 use std::collections::BTreeMap;
 
@@ -32,6 +37,11 @@ use crate::engine::{NetFilter, NetFilterRun};
 pub struct SlidingWindow {
     /// `buckets[0]` is the oldest live slice, `buckets.last()` the current.
     buckets: Vec<BTreeMap<ItemId, u64>>,
+    /// Incrementally maintained per-item totals across all live slices.
+    /// Invariant: `totals[k] == Σ buckets[i][k]`, and after every
+    /// [`advance`](Self::advance) no key with a zero total survives in
+    /// either `totals` or any live bucket.
+    totals: BTreeMap<ItemId, u64>,
     capacity: usize,
 }
 
@@ -46,6 +56,7 @@ impl SlidingWindow {
         assert!(buckets > 0, "a window needs at least one bucket");
         SlidingWindow {
             buckets: vec![BTreeMap::new()],
+            totals: BTreeMap::new(),
             capacity: buckets,
         }
     }
@@ -58,15 +69,41 @@ impl SlidingWindow {
             .expect("window always has a current bucket")
             .entry(item)
             .or_insert(0) += value;
+        *self.totals.entry(item).or_insert(0) += value;
     }
 
     /// Closes the current slice and opens a fresh one, retiring the oldest
-    /// slice once the window is full.
-    pub fn advance(&mut self) {
-        if self.buckets.len() == self.capacity {
-            self.buckets.remove(0);
+    /// slice once the window is full. Returns the retired slice (empty
+    /// while the window is still filling).
+    ///
+    /// Items whose window total decays to zero are compacted out of the
+    /// totals map *and* every live bucket, so peer-local memory tracks the
+    /// live item population instead of growing with all-time item churn.
+    pub fn advance(&mut self) -> BTreeMap<ItemId, u64> {
+        let retired = if self.buckets.len() == self.capacity {
+            self.buckets.remove(0)
+        } else {
+            BTreeMap::new()
+        };
+        for (k, v) in &retired {
+            if let Some(t) = self.totals.get_mut(k) {
+                *t = t.saturating_sub(*v);
+            }
+        }
+        let dead: Vec<ItemId> = self
+            .totals
+            .iter()
+            .filter(|&(_, v)| *v == 0)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &dead {
+            self.totals.remove(k);
+            for bucket in &mut self.buckets {
+                bucket.remove(k);
+            }
         }
         self.buckets.push(BTreeMap::new());
+        retired
     }
 
     /// Number of live slices (≤ the configured bucket count).
@@ -74,20 +111,24 @@ impl SlidingWindow {
         self.buckets.len()
     }
 
+    /// Number of distinct item keys currently held by the window (the
+    /// totals map; live buckets never hold more keys after an advance).
+    pub fn tracked_items(&self) -> usize {
+        self.totals.len()
+    }
+
     /// The window total for one item.
     pub fn value(&self, item: ItemId) -> u64 {
-        self.buckets.iter().filter_map(|b| b.get(&item)).sum()
+        self.totals.get(&item).copied().unwrap_or(0)
     }
 
     /// The merged live-window local item set, sorted by item id.
     pub fn local_items(&self) -> Vec<(ItemId, u64)> {
-        let mut merged: BTreeMap<ItemId, u64> = BTreeMap::new();
-        for bucket in &self.buckets {
-            for (&k, &v) in bucket {
-                *merged.entry(k).or_insert(0) += v;
-            }
-        }
-        merged.into_iter().filter(|&(_, v)| v > 0).collect()
+        self.totals
+            .iter()
+            .filter(|&(_, v)| *v > 0)
+            .map(|(&k, &v)| (k, v))
+            .collect()
     }
 }
 
@@ -176,6 +217,62 @@ mod tests {
         w.record(ItemId(2), 2);
         w.record(ItemId(7), 9);
         assert_eq!(w.local_items(), vec![(ItemId(2), 3), (ItemId(7), 9)]);
+    }
+
+    #[test]
+    fn advance_returns_the_retired_slice() {
+        let mut w = SlidingWindow::new(2);
+        w.record(ItemId(3), 4);
+        assert!(w.advance().is_empty(), "window still filling");
+        w.record(ItemId(3), 1);
+        let retired = w.advance();
+        assert_eq!(retired.get(&ItemId(3)), Some(&4), "oldest slice retires");
+        assert_eq!(w.value(ItemId(3)), 1);
+    }
+
+    #[test]
+    fn advance_compacts_items_decayed_to_zero() {
+        let mut w = SlidingWindow::new(3);
+        // Slice 1: heavy item churn, plus one item that stays live.
+        for i in 0..100 {
+            w.record(ItemId(i), 1);
+        }
+        w.advance();
+        // Slice 2: only the survivor records again.
+        w.record(ItemId(7), 5);
+        w.advance();
+        assert_eq!(w.tracked_items(), 100, "everything still inside window");
+        w.advance(); // slice 1 retires: 99 churn items decay to zero
+        assert_eq!(w.tracked_items(), 1, "zero-total keys compacted");
+        assert_eq!(w.value(ItemId(7)), 5);
+        assert_eq!(w.local_items(), vec![(ItemId(7), 5)]);
+    }
+
+    #[test]
+    fn steady_churn_memory_is_bounded_by_the_window() {
+        let mut w = SlidingWindow::new(4);
+        for epoch in 0..50u64 {
+            for i in 0..10 {
+                w.record(ItemId(epoch * 10 + i), 1);
+            }
+            w.advance();
+            assert!(
+                w.tracked_items() <= 4 * 10,
+                "epoch {epoch}: {} keys tracked — zero-total compaction broken",
+                w.tracked_items()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_value_records_are_compacted_on_advance() {
+        let mut w = SlidingWindow::new(3);
+        w.record(ItemId(1), 0);
+        w.record(ItemId(2), 2);
+        assert_eq!(w.tracked_items(), 2);
+        w.advance();
+        assert_eq!(w.tracked_items(), 1, "zero-value key dropped");
+        assert_eq!(w.local_items(), vec![(ItemId(2), 2)]);
     }
 
     fn monitor() -> (WindowedMonitor, Hierarchy) {

@@ -19,7 +19,7 @@ pub struct MsgClass(pub u8);
 
 impl MsgClass {
     /// Number of distinct classes tracked by [`Metrics`].
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
 
     /// Generic payload traffic.
     pub const DATA: MsgClass = MsgClass(0);
@@ -64,6 +64,16 @@ impl MsgClass {
     /// Budget-violation reports of the local-thresholding comparator
     /// (zero while every peer stays under its local budget).
     pub const THRESHOLD: MsgClass = MsgClass(12);
+    /// Per-epoch sliding-window delta convergecasts of the continuous
+    /// standing-query engine. This is the *shared* phase-1 stream: K
+    /// standing queries at the root are all served by the same delta
+    /// traffic, so the class is charged once regardless of K.
+    pub const DELTA: MsgClass = MsgClass(13);
+    /// Per-query standing-answer maintenance traffic: the changed rows the
+    /// root streams to each query's subscriber after an epoch is certified.
+    /// Unlike [`DELTA`](Self::DELTA), this class scales with the number of
+    /// registered queries.
+    pub const STANDING: MsgClass = MsgClass(14);
 
     /// Dense index of this class.
     ///
@@ -92,6 +102,8 @@ impl MsgClass {
             10 => "sketch",
             11 => "topk",
             12 => "threshold",
+            13 => "delta",
+            14 => "standing",
             _ => "unknown",
         }
     }

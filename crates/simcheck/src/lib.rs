@@ -24,6 +24,9 @@
 //! * [`approx`] — the approximate-engine registry: ε-bound / recall /
 //!   soundness claims explored under loss, duplication, and leaf churn,
 //!   plus three mis-tuned negatives the harness must catch.
+//! * [`continuous`] — the continuous-engine registry: the standing-query
+//!   window-consistency claim explored under the same faults, plus the
+//!   planted retirement-dropping negative.
 //! * [`cases`] — the registry of configurations the harness explores:
 //!   clean netFilter / resilient / maintenance worlds whose oracles must
 //!   hold under every schedule, plus three pinned historical bugs the
@@ -42,6 +45,7 @@
 pub mod approx;
 pub mod artifact;
 pub mod cases;
+pub mod continuous;
 pub mod explore;
 pub mod oracle;
 pub mod scale;
@@ -51,6 +55,7 @@ pub mod strategy;
 pub use approx::{approx_cases, find_approx_case};
 pub use artifact::{parse_artifact, write_artifact, Artifact};
 pub use cases::{all_cases, find_case, Case};
+pub use continuous::{continuous_cases, find_continuous_case};
 pub use explore::{explore, replay, ExploreConfig, ExploreReport, FoundViolation, Perturbation};
 pub use oracle::{Checkpoint, Oracle, Violation};
 pub use scale::{run_scale_check, ScaleVerdict};

@@ -12,6 +12,7 @@ use ifi_hierarchy::{Hierarchy, MaintainProtocol};
 use ifi_overlay::Topology;
 use ifi_sim::{Des, PeerId, Protocol, World};
 use ifi_workload::{GroundTruth, ItemId};
+use netfilter::continuous::{window_totals_from_scratch, ContinuousProtocol};
 use netfilter::local_threshold::LocalThresholdProtocol;
 use netfilter::phases;
 use netfilter::protocol::NetFilterProtocol;
@@ -441,6 +442,98 @@ impl Oracle<Des<TopKProtocol>> for TopKRecallOracle {
                     self.expected.len(),
                     self.claimed_recall
                 ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Window consistency of the continuous standing-query engine: every
+/// epoch answer the root certifies must equal — query by query, row by
+/// row — the answer a from-scratch windowed aggregation over the same
+/// per-epoch schedules gives at that fence, and by the end of the run
+/// every configured epoch must have certified. Dropping retirement diffs
+/// (the planted `with_dropped_retirements` bug) inflates the standing
+/// state the moment the window fills and violates this immediately.
+///
+/// Only meaningful for the unfaded engine ([`FadePolicy::None`]): under a
+/// fade policy answer membership is decided by faded values the
+/// from-scratch comparator does not model.
+///
+/// [`FadePolicy::None`]: netfilter::continuous::FadePolicy::None
+#[derive(Debug, Clone)]
+pub struct WindowConsistencyOracle {
+    /// The query root.
+    pub root: PeerId,
+    /// Every peer's per-epoch record batches — the ground-truth input.
+    pub schedules: Vec<Vec<Vec<(ItemId, u64)>>>,
+    /// The window size `W` in buckets.
+    pub window: usize,
+    /// The configured epoch count: all must certify by the end.
+    pub epochs: usize,
+    /// The registered query thresholds, in registry order.
+    pub thresholds: Vec<u64>,
+}
+
+impl Oracle<Des<ContinuousProtocol>> for WindowConsistencyOracle {
+    fn name(&self) -> &'static str {
+        "window-consistency"
+    }
+
+    fn check(
+        &mut self,
+        world: &World<Des<ContinuousProtocol>>,
+        at: Checkpoint,
+    ) -> Result<(), String> {
+        let history = world.peer(self.root).history();
+        if at == Checkpoint::End && history.len() != self.epochs {
+            return Err(format!(
+                "only {} of {} epochs certified by the end of the run",
+                history.len(),
+                self.epochs
+            ));
+        }
+        for ans in history {
+            if ans.contributors != self.schedules.len() {
+                return Err(format!(
+                    "epoch {} certified with {} contributors, roster holds {}",
+                    ans.epoch,
+                    ans.contributors,
+                    self.schedules.len()
+                ));
+            }
+            if ans.answers.len() != self.thresholds.len() {
+                return Err(format!(
+                    "epoch {}: {} query answers for {} registered queries",
+                    ans.epoch,
+                    ans.answers.len(),
+                    self.thresholds.len()
+                ));
+            }
+            let scratch = window_totals_from_scratch(&self.schedules, ans.epoch, self.window);
+            for (qi, &t) in self.thresholds.iter().enumerate() {
+                let mut want: Vec<(ItemId, u64)> = scratch
+                    .iter()
+                    .filter(|&(_, v)| *v >= t)
+                    .map(|(&k, &v)| (k, v))
+                    .collect();
+                want.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                let got = &ans.answers[qi].items;
+                if got != &want {
+                    let diff = got
+                        .iter()
+                        .find(|row| !want.contains(row))
+                        .or_else(|| want.iter().find(|row| !got.contains(row)))
+                        .map(|(k, v)| format!("item {k:?} at value {v}"))
+                        .unwrap_or_else(|| "row order".into());
+                    return Err(format!(
+                        "epoch {} query {qi} (t = {t}) diverges from the from-scratch \
+                         window: {} rows reported, {} expected; first diff: {diff}",
+                        ans.epoch,
+                        got.len(),
+                        want.len()
+                    ));
+                }
             }
         }
         Ok(())
